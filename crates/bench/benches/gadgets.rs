@@ -1,0 +1,58 @@
+//! Throughput of the masked AND gadget software models — the cost
+//! comparison underlying the paper's §II claim that `secAND2` needs
+//! fewer elementary operations than Trichina's gadget (and no fresh
+//! randomness at all, unlike every baseline).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gm_core::compose::product;
+use gm_core::gadgets::dom::{dom_dep_and, DomIndep};
+use gm_core::gadgets::sec_and2::sec_and2;
+use gm_core::gadgets::ti::{ti_and, Shared3};
+use gm_core::gadgets::trichina::trichina_and;
+use gm_core::{MaskRng, MaskedBit};
+
+fn bench_and_gadgets(c: &mut Criterion) {
+    let mut rng = MaskRng::new(1);
+    let x = MaskedBit::mask(true, &mut rng);
+    let y = MaskedBit::mask(false, &mut rng);
+    let x3 = Shared3::mask(true, &mut rng);
+    let y3 = Shared3::mask(false, &mut rng);
+
+    let mut g = c.benchmark_group("and_gadgets");
+    g.bench_function("sec_and2", |b| b.iter(|| sec_and2(black_box(x), black_box(y))));
+    g.bench_function("trichina", |b| {
+        b.iter(|| trichina_and(black_box(x), black_box(y), &mut rng))
+    });
+    g.bench_function("dom_indep", |b| {
+        b.iter(|| DomIndep::and(black_box(x), black_box(y), &mut rng))
+    });
+    g.bench_function("dom_dep", |b| {
+        b.iter(|| dom_dep_and(black_box(x), black_box(y), &mut rng))
+    });
+    g.bench_function("ti_3share", |b| b.iter(|| ti_and(black_box(x3), black_box(y3))));
+    g.finish();
+}
+
+fn bench_products(c: &mut Criterion) {
+    let mut rng = MaskRng::new(2);
+    let mut g = c.benchmark_group("products");
+    for k in [2usize, 3, 4, 8] {
+        let bits: Vec<MaskedBit> =
+            (0..k).map(|_| MaskedBit::mask(true, &mut rng)).collect();
+        g.bench_function(format!("product_{k}"), |b| b.iter(|| product(black_box(&bits))));
+    }
+    g.finish();
+}
+
+fn bench_masking(c: &mut Criterion) {
+    let mut rng = MaskRng::new(3);
+    let mut g = c.benchmark_group("masking");
+    g.bench_function("mask_bit", |b| b.iter(|| MaskedBit::mask(black_box(true), &mut rng)));
+    g.bench_function("mask_word64", |b| {
+        b.iter(|| gm_core::MaskedWord::mask(black_box(0xDEADBEEF), 64, &mut rng))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_and_gadgets, bench_products, bench_masking);
+criterion_main!(benches);

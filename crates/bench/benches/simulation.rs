@@ -1,0 +1,68 @@
+//! Throughput of the EDA substrate: event-driven simulation, static
+//! timing analysis, and area reporting over the generated DES cores.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gm_core::gadgets::sec_and2::build_sec_and2;
+use gm_core::gadgets::AndInputs;
+use gm_des::netlist_gen::driver::EncryptionInputs;
+use gm_des::netlist_gen::{build_des_core, DesCoreDriver, SboxStyle};
+use gm_core::MaskRng;
+use gm_netlist::{timing, Netlist};
+use gm_sim::power::NullSink;
+use gm_sim::{DelayModel, PowerTrace, Simulator};
+
+fn bench_gadget_sim(c: &mut Criterion) {
+    let mut n = Netlist::new("g");
+    let io = AndInputs {
+        x0: n.input("x0"),
+        x1: n.input("x1"),
+        y0: n.input("y0"),
+        y1: n.input("y1"),
+    };
+    let out = build_sec_and2(&mut n, io);
+    n.output("z0", out.z0);
+    n.output("z1", out.z1);
+    let delays = DelayModel::with_variation(&n, 0.15, 40.0, 1);
+    c.bench_function("event_sim_secand2_4edges", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut sim = Simulator::new(&n, &delays, seed);
+            sim.init_all_zero();
+            sim.schedule(io.y0, 1_000, true);
+            sim.schedule(io.x0, 2_000, true);
+            sim.schedule(io.x1, 3_000, true);
+            sim.schedule(io.y1, 4_000, true);
+            sim.run_until(black_box(50_000), &mut NullSink)
+        })
+    });
+}
+
+fn bench_full_core_trace(c: &mut Criterion) {
+    let core = build_des_core(SboxStyle::Ff);
+    let delays = DelayModel::with_variation(&core.netlist, 0.15, 40.0, 2);
+    let t = timing::analyze(&core.netlist).unwrap();
+    let period = t.critical_path_ps * 6 / 5;
+    let mut rng = MaskRng::new(3);
+    let mut g = c.benchmark_group("full_core");
+    g.sample_size(10);
+    g.bench_function("gate_level_trace_ff", |b| {
+        let mut drv = DesCoreDriver::new(&core, &delays, period, 4);
+        let cycles = drv.total_cycles();
+        let mut trace = PowerTrace::new(0, period, cycles);
+        b.iter(|| {
+            let inputs =
+                EncryptionInputs::draw(black_box(1), 0x133457799BBCDFF1, &mut rng);
+            trace.clear();
+            drv.encrypt(&inputs, &mut trace)
+        })
+    });
+    g.bench_function("sta_ff_core", |b| b.iter(|| timing::analyze(black_box(&core.netlist))));
+    g.bench_function("area_report_ff_core", |b| {
+        b.iter(|| gm_netlist::area::report(black_box(&core.netlist)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gadget_sim, bench_full_core_trace);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Throughput of the streaming statistics pipeline: per-trace moment
+//! updates dominate TVLA campaign cost after the trace itself, so the
+//! accumulator must sustain millions of samples per second.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gm_leakage::moments::TraceMoments;
+use gm_leakage::ttest::{t_first_order, t_second_order, t_third_order};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+fn traces(len: usize, n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| (0..len).map(|_| rng.random::<f64>() * 100.0).collect()).collect()
+}
+
+fn bench_accumulate(c: &mut Criterion) {
+    let data = traces(115, 256, 1);
+    let mut g = c.benchmark_group("moments");
+    g.bench_function("add_115_samples", |b| {
+        let mut m = TraceMoments::new(115);
+        let mut i = 0;
+        b.iter(|| {
+            m.add(black_box(&data[i % data.len()]));
+            i += 1;
+        })
+    });
+    g.bench_function("merge_115_samples", |b| {
+        let mut a = TraceMoments::new(115);
+        let mut mb = TraceMoments::new(115);
+        for t in &data[..128] {
+            a.add(t);
+        }
+        for t in &data[128..] {
+            mb.add(t);
+        }
+        b.iter(|| {
+            let mut x = a.clone();
+            x.merge(black_box(&mb));
+            x
+        })
+    });
+    g.finish();
+}
+
+fn bench_ttests(c: &mut Criterion) {
+    let data = traces(115, 512, 2);
+    let mut a = TraceMoments::new(115);
+    let mut b2 = TraceMoments::new(115);
+    for (i, t) in data.iter().enumerate() {
+        if i % 2 == 0 {
+            a.add(t);
+        } else {
+            b2.add(t);
+        }
+    }
+    let mut g = c.benchmark_group("ttests");
+    g.bench_function("t1_115", |b| b.iter(|| t_first_order(black_box(&a), black_box(&b2))));
+    g.bench_function("t2_115", |b| b.iter(|| t_second_order(black_box(&a), black_box(&b2))));
+    g.bench_function("t3_115", |b| b.iter(|| t_third_order(black_box(&a), black_box(&b2))));
+    g.finish();
+}
+
+fn bench_trace_source(c: &mut Criterion) {
+    use gm_des::tvla_src::{CoreVariant, CycleModelSource, SourceConfig};
+    use gm_leakage::{Class, TraceSource};
+    let mut src = CycleModelSource::new(SourceConfig::new(CoreVariant::Ff));
+    let mut buf = vec![0.0; src.num_samples()];
+    c.bench_function("cycle_model_trace_ff", |b| {
+        b.iter(|| src.trace(black_box(Class::Random), &mut buf))
+    });
+}
+
+criterion_group!(benches, bench_accumulate, bench_ttests, bench_trace_source);
+criterion_main!(benches);

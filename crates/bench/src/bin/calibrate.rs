@@ -1,0 +1,56 @@
+//! Calibration tool: sweeps the leak-model constants against the TVLA
+//! pipeline so the trace-scaling story in EXPERIMENTS.md stays honest.
+//! Usage: `calibrate [N] [sigma]`.
+use gm_des::tvla_src::{CoreVariant, CycleModelSource, SourceConfig};
+use gm_leakage::Campaign;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: u64 = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(20_000);
+    let sigma: f64 = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(60.0);
+
+    // Speed.
+    let mut cfg = SourceConfig::new(CoreVariant::Ff);
+    cfg.noise_sigma = sigma;
+    let src = CycleModelSource::new(cfg.clone());
+    let t0 = Instant::now();
+    let r = Campaign::parallel(n, 1).run(&src);
+    let dt = t0.elapsed();
+    let t1m = r.max_abs_t1();
+    let t2m = r.t2().iter().fold(0.0f64, |m, t| m.max(t.abs()));
+    let t3m = r.t3().iter().fold(0.0f64, |m, t| m.max(t.abs()));
+    println!("FF prng-on  n={n} sigma={sigma}: t1={t1m:.2} t2={t2m:.2} t3={t3m:.2} ({:.0} traces/s)", n as f64/dt.as_secs_f64());
+    let t1 = r.t1();
+    let mut idx: Vec<usize> = (0..t1.len()).collect();
+    idx.sort_by(|&a, &b| t1[b].abs().partial_cmp(&t1[a].abs()).unwrap());
+    for &i in idx.iter().take(6) {
+        let phase = if i < 3 { format!("lead-in {i}") } else { format!("round {} cyc {}", (i-3)/7, (i-3)%7) };
+        println!("   sample {i} ({phase}): t1={:.2}", t1[i]);
+    }
+
+    let mut cfg_off = cfg.clone();
+    cfg_off.prng_on = false;
+    let d = gm_leakage::first_detection(&Campaign::parallel(n, 2), &CycleModelSource::new(cfg_off), 32);
+    println!("FF prng-off detection at {:?} (history {:?})", d.traces, &d.history[..d.history.len().min(6)]);
+
+    {
+        // PD(10) with coupling disabled must stay clean (fig17 ablation).
+        use gm_des::power::PdLeakModel;
+        let mut c = SourceConfig::new(CoreVariant::Pd { unit_luts: 10 });
+        c.noise_sigma = sigma;
+        let mut leak = PdLeakModel::optimal();
+        leak.coupling_eps = 0.0;
+        let src = CycleModelSource::with_pd_leak(c, leak);
+        let r = Campaign::parallel(n, 77).run(&src);
+        println!("PD(10) coupling-off: max|t1|={:.2} at n={n}", r.max_abs_t1());
+    }
+    for unit in [1usize, 2, 3, 5, 7, 10] {
+        let mut c = SourceConfig::new(CoreVariant::Pd { unit_luts: unit });
+        c.noise_sigma = sigma;
+        let src = CycleModelSource::new(c);
+        let d = gm_leakage::first_detection(&Campaign::parallel(n, 3), &src, 256);
+        let last = d.history.last().unwrap();
+        println!("PD unit={unit:2}: detect={:?} final max|t1|={:.2} at n={}", d.traces, last.1, last.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Key recovery by Correlation Power Analysis — the attack the masking
+//! exists to stop, and the attack it cannot.
+//!
+//! 1. Against the **PRNG-off** FF core (the paper's sanity-check mode) a
+//!    first-order exact-model CPA on the round-1 S-box outputs recovers
+//!    all eight 6-bit chunks of round key K1.
+//! 2. Against the **masked** core the same first-order attack finds
+//!    nothing at many times the budget.
+//! 3. A **second-order** CPA — correlating centred-squared traces with a
+//!    share-variance model — recovers key chunks from the masked core
+//!    anyway, which is precisely the paper's §VII-A point: first-order
+//!    masking moves the attack to order two, where the trace cost grows
+//!    with the noise.
+
+use gm_bench::Args;
+use gm_core::{MaskRng, MaskedBit};
+use gm_des::masked::MaskedDesFf;
+use gm_des::power::PowerModel;
+use gm_des::reference::round_keys;
+use gm_des::sbox::{masked_sbox, SboxRandomness};
+use gm_des::tables::{permute, E, IP};
+use gm_leakage::Cpa;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Predicted leakage for S-box `s` under subkey guess `k`.
+///
+/// With the PRNG off the device's sharing is fully deterministic, so the
+/// attacker — who knows the circuit — predicts the *exact share values*
+/// of the round-1 S-box output (an exact-model/profiled CPA): share 0 of
+/// every wire is the public zero-mask evaluation, share 1 completes the
+/// value. A plain `HW(S(x ⊕ k))` model fails here precisely because the
+/// masked circuit's share 0 is a non-linear function of the data — the
+/// implementation changes the leakage function, not just its magnitude.
+fn prediction(pt: u64, s: usize, k: u8) -> f64 {
+    let ip = permute(pt, 64, &IP);
+    let r0 = ip & 0xFFFF_FFFF;
+    let expanded = permute(r0, 32, &E);
+    let six = ((expanded >> (42 - 6 * s)) & 0x3F) as u8 ^ k;
+    // Replay the masked S-box with the degenerate (PRNG-off) sharing.
+    let bits: [MaskedBit; 6] = std::array::from_fn(|i| MaskedBit {
+        s0: false,
+        s1: (six >> (5 - i)) & 1 == 1,
+    });
+    let out = masked_sbox(s, &bits, &SboxRandomness::default());
+    out.iter().map(|b| f64::from(u8::from(b.s0) + u8::from(b.s1))).sum()
+}
+
+fn attack(key: u64, prng_on: bool, traces: u64, noise: f64, seed: u64) -> (Vec<u8>, Vec<f64>) {
+    let core = MaskedDesFf::new(key);
+    let mut mask_rng = if prng_on { MaskRng::new(seed) } else { MaskRng::disabled() };
+    let mut pt_rng = SmallRng::seed_from_u64(seed ^ 0xccaa);
+    let mut power = PowerModel::ff(noise, seed ^ 0x90);
+
+    let mut cpas: Vec<Cpa> = (0..8).map(|_| Cpa::new(64, MaskedDesFf::TOTAL_CYCLES)).collect();
+    let mut preds = vec![0.0f64; 64];
+    for _ in 0..traces {
+        let pt: u64 = pt_rng.random();
+        let (_, cycles) = core.encrypt_with_cycles(pt, &mut mask_rng);
+        let trace = power.trace(&cycles);
+        for (s, cpa) in cpas.iter_mut().enumerate() {
+            for (k, p) in preds.iter_mut().enumerate() {
+                *p = prediction(pt, s, k as u8);
+            }
+            cpa.add(&preds, &trace);
+        }
+    }
+    let mut guesses = Vec::new();
+    let mut peaks = Vec::new();
+    for cpa in &cpas {
+        let (k, rho) = cpa.best();
+        guesses.push(k as u8);
+        peaks.push(rho);
+    }
+    (guesses, peaks)
+}
+
+/// Second-order prediction for S-box `s` under guess `k`: the variance
+/// of the share-wise register toggles at the S-box-output load depends on
+/// the unshared bits — a bit whose value toggles deterministically
+/// (HD = 1) contributes no variance, a quiet bit (HD = 0) contributes a
+/// full unit. Round 1 loads over a zeroed register, so HD = the S-box
+/// output bits: prediction = 4 − HW(S(x ⊕ k)).
+fn prediction2(pt: u64, s: usize, k: u8) -> f64 {
+    let ip = permute(pt, 64, &IP);
+    let r0 = ip & 0xFFFF_FFFF;
+    let expanded = permute(r0, 32, &E);
+    let six = ((expanded >> (42 - 6 * s)) & 0x3F) as u8 ^ k;
+    4.0 - f64::from(gm_des::reference::sbox_lookup(&gm_des::tables::SBOXES[s], six).count_ones())
+}
+
+/// Second-order CPA against the fully masked core: centre and square the
+/// traces, then correlate with the variance model.
+fn attack_second_order(key: u64, traces: u64, noise: f64, seed: u64) -> (Vec<u8>, Vec<f64>) {
+    let core = MaskedDesFf::new(key);
+    let mut mask_rng = MaskRng::new(seed);
+    let mut pt_rng = SmallRng::seed_from_u64(seed ^ 0x2ccaa);
+    let mut power = PowerModel::ff(noise, seed ^ 0x290);
+
+    // Pass 1: per-sample means (streaming, over a prefix).
+    let calib = (traces / 4).max(500);
+    let mut mean = vec![0.0f64; MaskedDesFf::TOTAL_CYCLES];
+    for _ in 0..calib {
+        let pt: u64 = pt_rng.random();
+        let (_, cycles) = core.encrypt_with_cycles(pt, &mut mask_rng);
+        for (m, t) in mean.iter_mut().zip(power.trace(&cycles)) {
+            *m += t;
+        }
+    }
+    mean.iter_mut().for_each(|m| *m /= calib as f64);
+
+    // Pass 2: CPA on centred squares.
+    let mut cpas: Vec<Cpa> = (0..8).map(|_| Cpa::new(64, MaskedDesFf::TOTAL_CYCLES)).collect();
+    let mut preds = vec![0.0f64; 64];
+    let mut sq = vec![0.0f64; MaskedDesFf::TOTAL_CYCLES];
+    for _ in 0..traces {
+        let pt: u64 = pt_rng.random();
+        let (_, cycles) = core.encrypt_with_cycles(pt, &mut mask_rng);
+        let trace = power.trace(&cycles);
+        for ((q, t), m) in sq.iter_mut().zip(&trace).zip(&mean) {
+            let c = t - m;
+            *q = c * c;
+        }
+        for (s, cpa) in cpas.iter_mut().enumerate() {
+            for (k, p) in preds.iter_mut().enumerate() {
+                *p = prediction2(pt, s, k as u8);
+            }
+            cpa.add(&preds, &sq);
+        }
+    }
+    let mut guesses = Vec::new();
+    let mut peaks = Vec::new();
+    for cpa in &cpas {
+        let (k, rho) = cpa.best();
+        guesses.push(k as u8);
+        peaks.push(rho);
+    }
+    (guesses, peaks)
+}
+
+fn main() {
+    let args = Args::parse();
+    let key = 0x133457799BBCDFF1u64;
+    let k1 = round_keys(key)[0];
+    let true_chunks: Vec<u8> = (0..8).map(|s| ((k1 >> (42 - 6 * s)) & 0x3F) as u8).collect();
+    println!("CPA key recovery against the masked DES cores");
+    println!("target: round key K1 = {k1:012x} (8 × 6-bit chunks)\n");
+
+    // Attack 1: PRNG off.
+    let n_off = args.trace_count(2_000, 6_000);
+    let (guesses, peaks) = attack(key, false, n_off, 6.0, args.seed);
+    println!("--- PRNG OFF, {n_off} traces ---");
+    println!("  sbox  guess  true  peak-rho  correct");
+    let mut correct = 0;
+    for s in 0..8 {
+        let ok = guesses[s] == true_chunks[s];
+        correct += usize::from(ok);
+        println!(
+            "  S{}    {:02x}     {:02x}    {:+.3}    {}",
+            s + 1,
+            guesses[s],
+            true_chunks[s],
+            peaks[s],
+            if ok { "yes" } else { "NO" }
+        );
+    }
+    println!("recovered {correct}/8 subkey chunks\n");
+
+    // Attack 2: PRNG on, many more traces.
+    let n_on = 4 * n_off;
+    let (guesses_on, peaks_on) = attack(key, true, n_on, 6.0, args.seed ^ 1);
+    let correct_on =
+        (0..8).filter(|&s| guesses_on[s] == true_chunks[s]).count();
+    let max_peak = peaks_on.iter().cloned().fold(0.0f64, f64::max);
+    println!("--- PRNG ON (masked), {n_on} traces ---");
+    println!("recovered {correct_on}/8 subkey chunks; best peak rho = {max_peak:+.3}");
+    println!(
+        "{}\n",
+        if correct_on <= 2 && max_peak < 0.1 {
+            "first-order CPA fails against the masked core, as it must."
+        } else {
+            "WARNING: unexpected first-order CPA success against the masked core!"
+        }
+    );
+
+    // Attack 3: SECOND-order CPA against the masked core — the paper's
+    // §VII-A "an adversary would likely be better off using a
+    // second-order attack".
+    let n_2nd = 8 * n_off;
+    let (g2, p2) = attack_second_order(key, n_2nd, 6.0, args.seed ^ 2);
+    let correct_2nd = (0..8).filter(|&s| g2[s] == true_chunks[s]).count();
+    println!("--- PRNG ON (masked), SECOND-order CPA, {n_2nd} traces ---");
+    println!("  sbox  guess  true  peak-rho  correct");
+    for s in 0..8 {
+        println!(
+            "  S{}    {:02x}     {:02x}    {:+.3}    {}",
+            s + 1,
+            g2[s],
+            true_chunks[s],
+            p2[s],
+            if g2[s] == true_chunks[s] { "yes" } else { "no" }
+        );
+    }
+    println!("recovered {correct_2nd}/8 subkey chunks at order two");
+    println!(
+        "{}",
+        if correct_2nd >= 6 {
+            "⇒ the masked core falls to a second-order attack — exactly the \
+             residual risk the paper accepts and prices via noise (§I, §VII-A)."
+        } else {
+            "second-order attack inconclusive at this budget; raise --traces."
+        }
+    );
+}

@@ -1,0 +1,128 @@
+//! **Fig. 17** — leakage assessment of the protected DES design using
+//! secAND2-PD with the optimal (10-LUT) DelayUnit.
+//!
+//! Panels a–c: PRNG on, the same three fixed plaintexts as Fig. 14. The
+//! paper observes *marginal but consistent* first-order crossings of
+//! ±4.5 — appearing only around 15 M traces — and attributes them to
+//! physical coupling between the long delay lines, not to insufficient
+//! delay. Panel d: PRNG off flags within 33 k traces.
+//!
+//! This binary reproduces all of that, including the attribution: the
+//! same campaign re-run with the coupling term disabled stays clean.
+
+use gm_bench::panel::{max_abs, print_panel};
+use gm_bench::Args;
+use gm_des::power::PdLeakModel;
+use gm_des::tvla_src::{CoreVariant, CycleModelSource, SourceConfig};
+use gm_leakage::detect::{consistent_leaks, first_detection};
+use gm_leakage::Campaign;
+
+const FIXED_PLAINTEXTS: [u64; 3] =
+    [0x0123456789ABCDEF, 0xDA39A3EE5E6B4B0D, 0x0000000000000000];
+
+fn main() {
+    let args = Args::parse();
+    let traces = args.trace_count(40_000, 400_000);
+    let run_all = args.panel.is_none();
+    println!("FIG. 17 — leakage assessment, protected DES with secAND2-PD (10-LUT units)");
+    println!("(campaign: {traces} traces ≙ the paper's 50M; threshold ±4.5)\n");
+
+    let variant = CoreVariant::Pd { unit_luts: 10 };
+
+    // Panels (a)-(c): PRNG on.
+    let mut t1_curves = Vec::new();
+    for (i, (panel, pt)) in ["a", "b", "c"].iter().zip(FIXED_PLAINTEXTS).enumerate() {
+        if !(run_all || args.panel.as_deref() == Some(*panel)) {
+            continue;
+        }
+        let mut cfg = SourceConfig::new(variant);
+        cfg.fixed_pt = pt;
+        cfg.seed = args.seed ^ (i as u64) << 8;
+        let src = CycleModelSource::new(cfg.clone());
+        let r = Campaign::parallel(traces, args.seed ^ (0x17 + i as u64)).run(&src);
+        print_panel(
+            &format!("panel ({panel}): PRNG on, fixed plaintext {pt:#018x}"),
+            &r,
+            &args.out_dir,
+            &format!("fig17{panel}"),
+        );
+        t1_curves.push(r.t1());
+
+        if i == 0 {
+            // When does the first-order crossing appear?
+            let det = first_detection(
+                &Campaign::parallel(traces, args.seed ^ 0x171),
+                &CycleModelSource::new(cfg),
+                1024,
+            );
+            match det.traces {
+                Some(n) => println!(
+                    "first-order crossing appears after ~{n} traces \
+                     (paper: ~15M of 50M ⇒ ~{} here)\n",
+                    15_000_000u64 * traces / 50_000_000
+                ),
+                None => println!("no first-order crossing within the campaign\n"),
+            }
+        }
+    }
+
+    if t1_curves.len() == 3 {
+        let consistent = consistent_leaks(&t1_curves);
+        let worst = t1_curves.iter().map(|t| max_abs(t)).fold(0.0f64, f64::max);
+        println!("=== Fig. 17 verdict (panels a-c) ===");
+        println!(
+            "worst max|t1| = {worst:.2} — {} (paper: marginal but real crossings)",
+            if worst > 4.5 {
+                "crossings beyond ±4.5 present"
+            } else {
+                "no crossing at this (reduced) budget; run the full campaign"
+            }
+        );
+        println!("consistent leaking samples across plaintexts: {consistent:?}\n");
+    }
+
+    // Panel (d): PRNG off.
+    if run_all || args.panel.as_deref() == Some("d") {
+        let mut cfg = SourceConfig::new(variant);
+        cfg.prng_on = false;
+        cfg.seed = args.seed ^ 0xd;
+        let det = first_detection(
+            &Campaign::parallel(traces.min(50_000), args.seed ^ 0x17d),
+            &CycleModelSource::new(cfg.clone()),
+            16,
+        );
+        println!("--- panel (d): PRNG off (sanity check) ---");
+        match det.traces {
+            Some(n) => println!(
+                "first-order leakage detected after {n} traces (paper: 33k of 50M scale ⇒ ~{})",
+                33_000 * traces / 50_000_000
+            ),
+            None => println!("NO DETECTION — setup broken!"),
+        }
+        let src = CycleModelSource::new(cfg);
+        let r = Campaign::parallel(12_000.min(traces), args.seed ^ 0x17e).run(&src);
+        print_panel("panel (d) t-curves @12k traces", &r, &args.out_dir, "fig17d");
+    }
+
+    // Attribution ablation (the paper's §VII-C hypothesis, made testable):
+    // same core, coupling term off.
+    if run_all {
+        let mut cfg = SourceConfig::new(variant);
+        cfg.seed = args.seed ^ 0xab1;
+        let mut leak = PdLeakModel::optimal();
+        leak.coupling_eps = 0.0;
+        let src = CycleModelSource::with_pd_leak(cfg, leak);
+        let r = Campaign::parallel(traces, args.seed ^ 0xab2).run(&src);
+        let m1 = max_abs(&r.t1());
+        println!("=== attribution ablation: coupling term disabled ===");
+        println!(
+            "max|t1| = {m1:.2} over {traces} traces — {}",
+            if m1 < 4.5 {
+                "clean: the residual first-order leakage is the coupling, \
+                 exactly the paper's §VII-C explanation"
+            } else {
+                "still leaking — attribution NOT confirmed"
+            }
+        );
+    }
+}

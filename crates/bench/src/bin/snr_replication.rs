@@ -1,0 +1,85 @@
+//! The paper's SNR instrumentation trick, quantified (§II-B):
+//! "To improve the signal-to-noise ratio (SNR), we replicated multiple
+//! parallel instances of secAND2 on the FPGA, each receiving identical
+//! inputs."
+//!
+//! This experiment sweeps the replica count and reports the measured
+//! SNR of the leaky arrival sequence: SNR grows with the replica count
+//! while the instrument noise dominates, then saturates at the intrinsic
+//! share-activity noise floor (which replicates coherently too).
+
+use gm_bench::Args;
+use gm_core::gadgets::sec_and2::build_sec_and2;
+use gm_core::gadgets::AndInputs;
+use gm_core::{MaskRng, MaskedBit};
+use gm_leakage::Snr;
+use gm_netlist::{NetId, Netlist};
+use gm_sim::{DelayModel, MeasurementModel, Simulator};
+use gm_sim::power::PowerTrace;
+
+fn build_bank(replicas: usize) -> (Netlist, [NetId; 4]) {
+    let mut n = Netlist::new("bank");
+    let x0 = n.input("x0");
+    let x1 = n.input("x1");
+    let y0 = n.input("y0");
+    let y1 = n.input("y1");
+    for r in 0..replicas {
+        n.in_module(format!("g{r}"), |n| {
+            let out = build_sec_and2(n, AndInputs { x0, x1, y0, y1 });
+            n.output(format!("z0_{r}"), out.z0);
+            n.output(format!("z1_{r}"), out.z1);
+        });
+    }
+    n.validate().unwrap();
+    (n, [x0, x1, y0, y1])
+}
+
+fn main() {
+    let args = Args::parse();
+    let traces = args.trace_count(3_000, 20_000);
+    println!("SNR vs. replica count — the paper's §II-B instrumentation trick");
+    println!("(leaky sequence y1 y0 x1 x0; {traces} traces per point; noise σ = 3.0)\n");
+    println!("  replicas   SNR(worst cycle)   gain vs 1x");
+    println!("  --------   ----------------   ----------");
+
+    let mut base = None;
+    for replicas in [1usize, 2, 4, 8, 16] {
+        let (n, [x0, x1, y0, y1]) = build_bank(replicas);
+        let delays = DelayModel::with_variation(&n, 0.15, 40.0, args.seed);
+        let mut mask_rng = MaskRng::new(args.seed ^ replicas as u64);
+        let mut meas = MeasurementModel::new(1.0, 3.0, 18, args.seed ^ 0x77);
+        let mut snr = Snr::new();
+        for t in 0..traces {
+            let xv = mask_rng.bit();
+            let yv = mask_rng.bit();
+            let mx = MaskedBit::mask(xv, &mut mask_rng);
+            let my = MaskedBit::mask(yv, &mut mask_rng);
+            let mut sim = Simulator::new(&n, &delays, args.seed ^ t ^ 0x51);
+            sim.init_all_zero();
+            // The leaky order: x0 last.
+            sim.schedule(y1, 1_000, my.s1);
+            sim.schedule(y0, 51_000, my.s0);
+            sim.schedule(x1, 101_000, mx.s1);
+            sim.schedule(x0, 151_000, mx.s0);
+            let mut trace = PowerTrace::new(0, 50_000, 4);
+            sim.run_until(200_000, &mut trace);
+            let mut samples = trace.into_samples();
+            meas.apply(&mut samples);
+            // Label = the unshared y (what the final cycle exposes).
+            snr.add(u64::from(yv), &samples);
+        }
+        let s = snr.snr();
+        let worst = s.iter().cloned().fold(0.0f64, f64::max);
+        let gain = base.map_or(1.0, |b: f64| worst / b);
+        if base.is_none() {
+            base = Some(worst);
+        }
+        println!("  {replicas:>8}   {worst:>16.4}   {gain:>9.1}x");
+    }
+    println!();
+    println!("SNR grows with the replica count while measurement noise dominates");
+    println!("(replicas add signal coherently, instrument noise incoherently) and");
+    println!("saturates once the masked shares' own switching randomness — which");
+    println!("also replicates coherently — becomes the noise floor. This is why the");
+    println!("paper could resolve Table I with half a million traces per sequence.");
+}

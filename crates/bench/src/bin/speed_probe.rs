@@ -1,0 +1,33 @@
+//! Quick speed probe: gate-level masked DES traces per second.
+use gm_des::netlist_gen::{build_des_core, DesCoreDriver, SboxStyle};
+use gm_des::netlist_gen::driver::EncryptionInputs;
+use gm_core::MaskRng;
+use gm_sim::{DelayModel, PowerTrace};
+use std::time::Instant;
+
+fn main() {
+    for (name, style, period) in [
+        ("FF", SboxStyle::Ff, 20_000u64),
+        ("PD(10)", SboxStyle::Pd { unit_luts: 10 }, 120_000),
+    ] {
+        let core = build_des_core(style);
+        println!("{name}: {} gates, {} nets", core.netlist.num_gates(), core.netlist.num_nets());
+        let t = gm_netlist::timing::analyze(&core.netlist).unwrap();
+        println!("  critical path {} ps -> {:.1} MHz", t.critical_path_ps, t.max_freq_mhz());
+        let delays = DelayModel::with_variation(&core.netlist, 0.15, 40.0, 1);
+        let mut drv = DesCoreDriver::new(&core, &delays, period, 2);
+        let mut rng = MaskRng::new(3);
+        let cycles = drv.total_cycles() as u64;
+        let mut trace = PowerTrace::new(0, period, cycles as usize);
+        let start = Instant::now();
+        let n = 50;
+        for i in 0..n {
+            let inputs = EncryptionInputs::draw(i, 0x133457799BBCDFF1, &mut rng);
+            trace.clear();
+            let ct = drv.encrypt(&inputs, &mut trace);
+            let _ = ct;
+        }
+        let dt = start.elapsed();
+        println!("  {} traces in {:?} -> {:.1} traces/s/thread", n, dt, n as f64 / dt.as_secs_f64());
+    }
+}

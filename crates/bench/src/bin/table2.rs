@@ -1,0 +1,188 @@
+//! **Table II** — DelayUnit sequences for single-cycle products of 3 and
+//! 4 variables with `secAND2-PD`.
+//!
+//! Prints the generalised delay schedule, verifies functional
+//! correctness of the chain netlists, and validates the *security* of
+//! the sequence with a fixed-vs-random TVLA on the event-driven
+//! simulation — plus an ablation with a deliberately wrong sequence
+//! (an `x` share arriving last, Table I's leaky pattern), which must
+//! leak.
+
+use gm_bench::Args;
+use gm_core::compose::build_product_chain_pd_with_schedule;
+use gm_core::schedule::{chain_delay_schedule, chain_max_units, ShareDelay};
+use gm_core::{MaskRng, MaskedBit};
+use gm_leakage::{leaks, Campaign, Class, TraceSource};
+use gm_netlist::{NetId, Netlist};
+use gm_sim::{DelayModel, MeasurementModel, PowerTrace, Simulator};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+const REPLICAS: usize = 8;
+const UNIT_LUTS: usize = 10;
+
+struct ChainBank {
+    netlist: Netlist,
+    /// Input share nets per variable `(s0, s1)`.
+    vars: Vec<(NetId, NetId)>,
+    k: usize,
+}
+
+/// Build a replicated bank of k-variable product chains. When `sabotage`
+/// is true the delay schedule makes an `x` share (`a₁`, the first chain
+/// variable's second share) arrive **last** — the arrival pattern
+/// Table I shows to leak.
+fn build_chain_bank(k: usize, sabotage: bool) -> ChainBank {
+    let mut n = Netlist::new("chain_bank");
+    let vars: Vec<(NetId, NetId)> = (0..k)
+        .map(|i| (n.input(format!("v{i}s0")), n.input(format!("v{i}s1"))))
+        .collect();
+    let schedule: Vec<ShareDelay> = if sabotage {
+        chain_delay_schedule(k)
+            .into_iter()
+            .map(|mut d| {
+                if d.var == 0 && d.share == 1 {
+                    d.units = 2 * k; // a1 past everything, incl. y shares
+                }
+                d
+            })
+            .collect()
+    } else {
+        chain_delay_schedule(k)
+    };
+    for r in 0..REPLICAS {
+        n.in_module(format!("g{r}"), |n| {
+            let chain = build_product_chain_pd_with_schedule(n, &vars, UNIT_LUTS, &schedule);
+            n.output(format!("z0_{r}"), chain.out.z0);
+            n.output(format!("z1_{r}"), chain.out.z1);
+        });
+    }
+    n.validate().expect("chain validates");
+    ChainBank { netlist: n, vars, k }
+}
+
+struct ChainSource {
+    bank: Arc<ChainBank>,
+    delays: Arc<DelayModel>,
+    mask_rng: MaskRng,
+    val_rng: SmallRng,
+    measurement: MeasurementModel,
+    sim_seed: u64,
+    window_ps: u64,
+}
+
+impl ChainSource {
+    fn new(bank: Arc<ChainBank>, delays: Arc<DelayModel>, seed: u64) -> Self {
+        let window_ps =
+            ((chain_max_units(bank.k) + 2) as u64 * UNIT_LUTS as u64 * 1_150 + 20_000) * 2;
+        ChainSource {
+            bank,
+            delays,
+            mask_rng: MaskRng::new(seed ^ 0x11),
+            val_rng: SmallRng::seed_from_u64(seed ^ 0x22),
+            measurement: MeasurementModel::new(1.0, 6.0, 18, seed ^ 0x33),
+            sim_seed: seed,
+            window_ps,
+        }
+    }
+}
+
+impl TraceSource for ChainSource {
+    fn fork(&self, stream: u64) -> Self {
+        ChainSource::new(
+            Arc::clone(&self.bank),
+            Arc::clone(&self.delays),
+            self.sim_seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        )
+    }
+
+    fn num_samples(&self) -> usize {
+        8
+    }
+
+    fn trace(&mut self, class: Class, out: &mut [f64]) {
+        let k = self.bank.k;
+        let vals: Vec<bool> = match class {
+            Class::Fixed => vec![true; k],
+            Class::Random => (0..k).map(|_| self.val_rng.random()).collect(),
+        };
+        self.sim_seed = self.sim_seed.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(7);
+        let mut sim = Simulator::new(&self.bank.netlist, &self.delays, self.sim_seed);
+        sim.init_all_zero();
+        // Single cycle: all input shares fire simultaneously; the
+        // DelayUnits inside the netlist create the safe sequence.
+        let mut trace = PowerTrace::new(0, self.window_ps / 8, 8);
+        for (i, &v) in vals.iter().enumerate() {
+            let b = MaskedBit::mask(v, &mut self.mask_rng);
+            sim.schedule(self.bank.vars[i].0, 1_000, b.s0);
+            sim.schedule(self.bank.vars[i].1, 1_000, b.s1);
+        }
+        sim.run_until(self.window_ps, &mut trace);
+        for (o, s) in out.iter_mut().zip(trace.into_samples()) {
+            *o = self.measurement.sample(s);
+        }
+    }
+}
+
+fn schedule_row(k: usize) -> String {
+    let names = ["a", "b", "c", "d"];
+    let mut entries: Vec<(usize, String)> = chain_delay_schedule(k)
+        .iter()
+        .map(|d| (d.units, format!("{}{}", names[d.var], d.share)))
+        .collect();
+    entries.sort();
+    entries
+        .iter()
+        .map(|(u, n)| format!("{n}@{u}"))
+        .collect::<Vec<_>>()
+        .join(" → ")
+}
+
+fn main() {
+    let args = Args::parse();
+    let traces = args.trace_count(8_000, 60_000);
+    println!("TABLE II — DelayUnit sequences for secAND2-PD product chains");
+    println!("({traces} traces/row, {REPLICAS} replicas, DelayUnit = {UNIT_LUTS} LUTs)\n");
+    println!("  product   sequence (share@DelayUnits)");
+    for k in [3, 4] {
+        println!("  {k} vars    {}", schedule_row(k));
+    }
+    println!();
+    println!("  row                      max|t1|  leaks   expected");
+    println!("  -----------------------  -------  ------  --------");
+
+    for k in [2usize, 3, 4] {
+        for sabotage in [false, true] {
+            let bank = Arc::new(build_chain_bank(k, sabotage));
+            let delays = Arc::new(DelayModel::with_variation(
+                &bank.netlist,
+                0.15,
+                40.0,
+                args.seed ^ (k as u64) << 4 | u64::from(sabotage),
+            ));
+            let src = ChainSource::new(Arc::clone(&bank), Arc::clone(&delays), args.seed);
+            let r = Campaign::parallel(traces, args.seed ^ (k as u64)).run(&src);
+            let t1 = r.t1();
+            let max_t = t1.iter().fold(0.0f64, |m, t| m.max(t.abs()));
+            let leak = leaks(&t1);
+            let label = if sabotage { "inverted (ablation)" } else { "Table II schedule" };
+            let expected = sabotage;
+            println!(
+                "  {k} vars, {label:<19}  {max_t:>7.2}  {:>6}  {:>8}{}",
+                if leak { "YES" } else { "no" },
+                if expected { "LEAK" } else { "safe" },
+                if leak == expected { "" } else { "   ** UNEXPECTED **" },
+            );
+        }
+    }
+    println!();
+    println!("The Table II sequences compute 3- and 4-variable products in a single");
+    println!("cycle with no first-order leakage at board-equivalent noise; delaying");
+    println!("an x share past the final y share (the Table I leaky pattern) flags");
+    println!("immediately, confirming the sequence itself is the countermeasure.");
+    println!();
+    println!("Note (see EXPERIMENTS.md): with near-zero instrument noise the ideal");
+    println!("simulator resolves a ~0.02-toggle residual bias in the unrefreshed");
+    println!("chain — beneath the resolution of the paper's 500k-trace setup.");
+}

@@ -1,0 +1,104 @@
+//! Minimal flag parsing shared by the experiment binaries
+//! (we avoid external CLI crates; see DESIGN.md §4.6).
+
+/// Parsed command-line arguments of an experiment binary.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// `--traces N`: number of traces per TVLA campaign.
+    pub traces: Option<u64>,
+    /// `--seed S`: master seed.
+    pub seed: u64,
+    /// `--panel X`: restrict a multi-panel figure to one panel.
+    pub panel: Option<String>,
+    /// `--out DIR`: directory for CSV dumps (default `target/experiments`).
+    pub out_dir: String,
+    /// `--quick`: reduced trace counts for CI smoke runs.
+    pub quick: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            traces: None,
+            seed: 2023,
+            panel: None,
+            out_dir: "target/experiments".to_owned(),
+            quick: false,
+        }
+    }
+}
+
+impl Args {
+    /// Parse `std::env::args()`, panicking with a usage message on
+    /// unknown flags.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut args = Args::default();
+        let mut it = iter.into_iter();
+        while let Some(flag) = it.next() {
+            let grab = &mut || {
+                it.next().unwrap_or_else(|| panic!("flag {flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--traces" => args.traces = Some(grab().parse().expect("--traces takes a number")),
+                "--seed" => args.seed = grab().parse().expect("--seed takes a number"),
+                "--panel" => args.panel = Some(grab()),
+                "--out" => args.out_dir = grab(),
+                "--quick" => args.quick = true,
+                other => panic!(
+                    "unknown flag {other}; supported: --traces N --seed S --panel X --out DIR --quick"
+                ),
+            }
+        }
+        args
+    }
+
+    /// Trace count to use: explicit `--traces`, else `quick`, else `full`.
+    pub fn trace_count(&self, quick: u64, full: u64) -> u64 {
+        self.traces.unwrap_or(if self.quick { quick } else { full })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::from_iter(s.split_whitespace().map(str::to_owned))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse("");
+        assert_eq!(a.seed, 2023);
+        assert!(a.traces.is_none());
+        assert!(!a.quick);
+        assert_eq!(a.trace_count(10, 100), 100);
+    }
+
+    #[test]
+    fn flags() {
+        let a = parse("--traces 5000 --seed 7 --panel d --out /tmp/x --quick");
+        assert_eq!(a.traces, Some(5000));
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.panel.as_deref(), Some("d"));
+        assert_eq!(a.out_dir, "/tmp/x");
+        assert_eq!(a.trace_count(10, 100), 5000);
+    }
+
+    #[test]
+    fn quick_picks_quick_count() {
+        let a = parse("--quick");
+        assert_eq!(a.trace_count(10, 100), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = parse("--bogus");
+    }
+}

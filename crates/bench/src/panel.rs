@@ -1,0 +1,45 @@
+//! Shared rendering for the TVLA figure panels (Figs. 14, 15, 17):
+//! first/second/third-order t curves as ASCII profiles plus CSV dumps,
+//! mirroring the three-row subfigures of the paper.
+
+use gm_leakage::{report, TvlaResult, THRESHOLD};
+use std::path::Path;
+
+/// Maximum |t| of a curve.
+pub fn max_abs(t: &[f64]) -> f64 {
+    t.iter().fold(0.0, |m, v| m.max(v.abs()))
+}
+
+/// Print one panel (three t-test orders) and write its CSV.
+pub fn print_panel(title: &str, result: &TvlaResult, out_dir: &str, file_stem: &str) {
+    let t1 = result.t1();
+    let t2 = result.t2();
+    let t3 = result.t3();
+    println!("--- {title} ({} traces) ---", result.total_traces());
+    for (order, t) in [("1st", &t1), ("2nd", &t2), ("3rd", &t3)] {
+        let m = max_abs(t);
+        let verdict = if m > THRESHOLD { "EXCEEDS ±4.5" } else { "below ±4.5" };
+        println!("{order}-order t-test: max|t| = {m:6.2}  ({verdict})");
+        println!("{}", report::ascii_curve(t, 72));
+    }
+    let path = Path::new(out_dir).join(format!("{file_stem}.csv"));
+    report::write_csv(&path, &["sample", "t1", "t2", "t3"], &[&t1, &t2, &t3])
+        .expect("write CSV");
+    println!("CSV written to {}\n", path.display());
+}
+
+/// One-line panel summary (for sweep tables).
+pub fn summary_line(result: &TvlaResult) -> (f64, f64, f64) {
+    (max_abs(&result.t1()), max_abs(&result.t2()), max_abs(&result.t3()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_abs_basics() {
+        assert_eq!(max_abs(&[1.0, -3.0, 2.0]), 3.0);
+        assert_eq!(max_abs(&[]), 0.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Share-dependency tracking: when is a refresh required?
+//!
+//! `secAND2` consumes no fresh randomness, so its output *sharing* is a
+//! deterministic function of its input sharings. XOR-ing two signals
+//! whose sharings depend on a common variable can therefore produce a
+//! biased sharing (§III-C shows `f = x ⊕ y ⊕ x·y` collapsing). The fix
+//! is a [`MaskedExpr::Refresh`].
+//!
+//! This module mechanises the rule conservatively: every signal carries
+//! the set of masked variables its sharing depends on; XOR demands
+//! disjoint sets; refresh clears the set. The check is sufficient, not
+//! necessary — designs it accepts are uniform, designs it rejects may
+//! still be repairable by smarter arguments (the paper leaves selective
+//! refreshing as future work).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of an independently-shared input variable.
+pub type VarId = u32;
+
+/// A masked-domain expression over shared variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MaskedExpr {
+    /// An independently-shared input variable.
+    Var(VarId),
+    /// Share-wise XOR.
+    Xor(Box<MaskedExpr>, Box<MaskedExpr>),
+    /// A `secAND2`-style AND (no fresh randomness: output sharing depends
+    /// on both operands' sharings).
+    And(Box<MaskedExpr>, Box<MaskedExpr>),
+    /// Re-mask with a fresh random bit.
+    Refresh(Box<MaskedExpr>),
+}
+
+/// Composition-rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompositionError {
+    /// Variables whose sharings appear on both sides of the offending XOR.
+    pub shared_vars: BTreeSet<VarId>,
+}
+
+impl fmt::Display for CompositionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "XOR of sharings that both depend on variables {:?}; refresh one side first",
+            self.shared_vars
+        )
+    }
+}
+
+impl std::error::Error for CompositionError {}
+
+impl MaskedExpr {
+    /// Shorthand constructors.
+    pub fn var(v: VarId) -> Self {
+        MaskedExpr::Var(v)
+    }
+    /// `self ⊕ other`.
+    pub fn xor(self, other: MaskedExpr) -> Self {
+        MaskedExpr::Xor(Box::new(self), Box::new(other))
+    }
+    /// `self · other` through a randomness-free AND gadget.
+    pub fn and(self, other: MaskedExpr) -> Self {
+        MaskedExpr::And(Box::new(self), Box::new(other))
+    }
+    /// Re-mask with a fresh bit.
+    pub fn refresh(self) -> Self {
+        MaskedExpr::Refresh(Box::new(self))
+    }
+
+    /// Check the composition; on success returns the set of variables the
+    /// final sharing still depends on.
+    pub fn check(&self) -> Result<BTreeSet<VarId>, CompositionError> {
+        match self {
+            MaskedExpr::Var(v) => Ok([*v].into()),
+            MaskedExpr::And(a, b) => {
+                let mut da = a.check()?;
+                let db = b.check()?;
+                // secAND2 keeps the output uniform but entangled with both
+                // operands' sharings.
+                da.extend(db);
+                Ok(da)
+            }
+            MaskedExpr::Xor(a, b) => {
+                let da = a.check()?;
+                let db = b.check()?;
+                let shared: BTreeSet<VarId> = da.intersection(&db).copied().collect();
+                if shared.is_empty() {
+                    Ok(da.union(&db).copied().collect())
+                } else {
+                    Err(CompositionError { shared_vars: shared })
+                }
+            }
+            MaskedExpr::Refresh(a) => {
+                a.check()?;
+                Ok(BTreeSet::new())
+            }
+        }
+    }
+
+    /// Number of fresh random bits the expression consumes (one per
+    /// refresh).
+    pub fn fresh_bits(&self) -> usize {
+        match self {
+            MaskedExpr::Var(_) => 0,
+            MaskedExpr::Xor(a, b) | MaskedExpr::And(a, b) => a.fresh_bits() + b.fresh_bits(),
+            MaskedExpr::Refresh(a) => 1 + a.fresh_bits(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_xor_ok() {
+        // x ⊕ y with independent sharings.
+        let e = MaskedExpr::var(0).xor(MaskedExpr::var(1));
+        assert_eq!(e.check().unwrap(), [0, 1].into());
+    }
+
+    #[test]
+    fn fig7_without_refresh_rejected() {
+        // f = x ⊕ y ⊕ x·y — the motivating §III-C example.
+        let f = MaskedExpr::var(0)
+            .xor(MaskedExpr::var(1))
+            .xor(MaskedExpr::var(0).and(MaskedExpr::var(1)));
+        let err = f.check().unwrap_err();
+        assert_eq!(err.shared_vars, [0, 1].into());
+    }
+
+    #[test]
+    fn fig7_with_refresh_accepted() {
+        let f = MaskedExpr::var(0)
+            .xor(MaskedExpr::var(1))
+            .xor(MaskedExpr::var(0).and(MaskedExpr::var(1)).refresh());
+        assert!(f.check().is_ok());
+        assert_eq!(f.fresh_bits(), 1, "Fig. 7 costs exactly one fresh bit");
+    }
+
+    #[test]
+    fn product_of_independent_vars_ok() {
+        // a·b·c·d needs no refresh in isolation (§III-A/B).
+        let p = MaskedExpr::var(0)
+            .and(MaskedExpr::var(1))
+            .and(MaskedExpr::var(2))
+            .and(MaskedExpr::var(3));
+        assert_eq!(p.check().unwrap().len(), 4);
+        assert_eq!(p.fresh_bits(), 0);
+    }
+
+    #[test]
+    fn mini_sbox_anf_requires_refresh_of_products() {
+        // y = x1 ⊕ x2 ⊕ x1x2 (a fragment of Eq. 3): products must be
+        // refreshed before the XOR stage.
+        let bad = MaskedExpr::var(1)
+            .xor(MaskedExpr::var(2))
+            .xor(MaskedExpr::var(1).and(MaskedExpr::var(2)));
+        assert!(bad.check().is_err());
+
+        let good = MaskedExpr::var(1)
+            .xor(MaskedExpr::var(2))
+            .xor(MaskedExpr::var(1).and(MaskedExpr::var(2)).refresh());
+        assert!(good.check().is_ok());
+    }
+
+    #[test]
+    fn xor_of_two_products_with_common_factor_rejected() {
+        // x·y ⊕ x·z share x.
+        let e = MaskedExpr::var(0)
+            .and(MaskedExpr::var(1))
+            .xor(MaskedExpr::var(0).and(MaskedExpr::var(2)));
+        assert_eq!(e.check().unwrap_err().shared_vars, [0].into());
+    }
+
+    #[test]
+    fn refresh_clears_dependencies() {
+        let e = MaskedExpr::var(0).and(MaskedExpr::var(1)).refresh();
+        assert!(e.check().unwrap().is_empty());
+    }
+}

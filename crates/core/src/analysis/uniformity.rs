@@ -1,0 +1,182 @@
+//! Exhaustive *uniformity and sharing-independence* analysis of
+//! masked-gadget outputs.
+//!
+//! Two properties matter for composition:
+//!
+//! * **marginal uniformity** — over fresh input sharings, every valid
+//!   output share vector of the computed value is equally likely;
+//! * **independence from the input sharing** — conditioning on the
+//!   concrete input share vector does not change the output-share
+//!   distribution.
+//!
+//! Interestingly, `secAND2` *keeps* the first property but completely
+//! loses the second: with no fresh randomness, its output shares are a
+//! deterministic function of the input shares. That conditional
+//! determinism is exactly what makes recombining dependent terms unsafe
+//! (§III-C) and what one fresh refresh bit repairs. This module computes
+//! both properties exactly by enumeration.
+
+use crate::share::MaskedBit;
+use std::collections::BTreeMap;
+
+/// Exact distribution report for one masked-bit output.
+#[derive(Debug, Clone)]
+pub struct UniformityReport {
+    /// For each unshared input assignment: marginal share-vector
+    /// histogram `(z0, z1) -> count`.
+    pub histograms: Vec<BTreeMap<(bool, bool), u64>>,
+    /// Worst deviation of the *marginal* from uniform, in `[0, 1]`.
+    pub marginal_bias: f64,
+    /// Worst total-variation distance between any *conditional*
+    /// distribution (given a concrete input sharing) and the marginal —
+    /// 0 means the output sharing is independent of the input sharing.
+    pub sharing_dependence: f64,
+}
+
+impl UniformityReport {
+    /// True when the marginal output-share distribution is uniform over
+    /// the sharings of each value.
+    pub fn is_uniform(&self) -> bool {
+        self.marginal_bias < 1e-12
+    }
+
+    /// True when the output sharing is independent of the input sharing
+    /// (the property compositions without refresh rely on).
+    pub fn is_input_independent(&self) -> bool {
+        self.sharing_dependence < 1e-12
+    }
+}
+
+/// Exhaustively check the output sharing of a 2-input masked-bit gadget.
+///
+/// `gadget(x, y, fresh)` computes the masked output from two masked
+/// inputs plus `fresh_bits` auxiliary uniform bits (packed in a `u32`).
+pub fn check_gadget2(
+    gadget: impl Fn(MaskedBit, MaskedBit, u32) -> MaskedBit,
+    fresh_bits: u32,
+) -> UniformityReport {
+    let mut histograms = Vec::with_capacity(4);
+    let mut marginal_bias = 0.0f64;
+    let mut sharing_dependence = 0.0f64;
+    for vals in 0..4u8 {
+        let (xv, yv) = (vals & 1 == 1, vals & 2 == 2);
+        let mut marginal: BTreeMap<(bool, bool), u64> = BTreeMap::new();
+        let mut conditionals: Vec<BTreeMap<(bool, bool), u64>> = Vec::new();
+        let mut total = 0u64;
+        let per_sharing = 1u64 << fresh_bits;
+        for masks in 0..4u8 {
+            let x = MaskedBit { s0: masks & 1 == 1, s1: xv ^ (masks & 1 == 1) };
+            let y = MaskedBit { s0: masks & 2 == 2, s1: yv ^ (masks & 2 == 2) };
+            let mut cond: BTreeMap<(bool, bool), u64> = BTreeMap::new();
+            for fresh in 0..(1u32 << fresh_bits) {
+                let z = gadget(x, y, fresh);
+                *marginal.entry((z.s0, z.s1)).or_default() += 1;
+                *cond.entry((z.s0, z.s1)).or_default() += 1;
+                total += 1;
+            }
+            conditionals.push(cond);
+        }
+        // Marginal uniformity over the value's valid sharings (2 each).
+        let buckets = marginal.len() as f64;
+        for &count in marginal.values() {
+            let p = count as f64 / total as f64;
+            marginal_bias = marginal_bias.max((p - 1.0 / buckets).abs());
+        }
+        // Dependence: TV distance of each conditional from the marginal.
+        for cond in &conditionals {
+            let mut tv = 0.0f64;
+            for (share_vec, &m_count) in &marginal {
+                let p_marg = m_count as f64 / total as f64;
+                let p_cond =
+                    cond.get(share_vec).copied().unwrap_or(0) as f64 / per_sharing as f64;
+                tv += (p_cond - p_marg).abs();
+            }
+            sharing_dependence = sharing_dependence.max(tv / 2.0);
+        }
+        histograms.push(marginal);
+    }
+    UniformityReport { histograms, marginal_bias, sharing_dependence }
+}
+
+/// Convenience wrappers for the workspace gadgets.
+pub mod gadget {
+    use super::*;
+
+    /// `secAND2` — marginally uniform but its output sharing is a
+    /// *deterministic function of the input sharing*.
+    pub fn sec_and2(x: MaskedBit, y: MaskedBit, _fresh: u32) -> MaskedBit {
+        crate::gadgets::sec_and2(x, y)
+    }
+
+    /// `secAND2` followed by the Fig. 7 refresh — uniform again.
+    pub fn sec_and2_refreshed(x: MaskedBit, y: MaskedBit, fresh: u32) -> MaskedBit {
+        crate::gadgets::sec_and2(x, y).refresh_with(fresh & 1 == 1)
+    }
+
+    /// Trichina's AND (Eq. 1) with an explicit fresh bit — uniform: the
+    /// fresh bit *is* the output mask.
+    pub fn trichina(x: MaskedBit, y: MaskedBit, fresh: u32) -> MaskedBit {
+        let r = fresh & 1 == 1;
+        let z0 = (((r ^ (x.s0 & y.s0)) ^ (x.s0 & y.s1)) ^ (x.s1 & y.s1)) ^ (x.s1 & y.s0);
+        MaskedBit { s0: z0, s1: r }
+    }
+
+    /// DOM-indep with an explicit fresh bit — uniform.
+    pub fn dom_indep(x: MaskedBit, y: MaskedBit, fresh: u32) -> MaskedBit {
+        let r = fresh & 1 == 1;
+        MaskedBit {
+            s0: (x.s0 & y.s0) ^ ((x.s0 & y.s1) ^ r),
+            s1: (x.s1 & y.s1) ^ ((x.s1 & y.s0) ^ r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sec_and2_uniform_but_sharing_dependent() {
+        let rep = check_gadget2(gadget::sec_and2, 0);
+        assert!(rep.is_uniform(), "marginal bias {}", rep.marginal_bias);
+        assert!(
+            !rep.is_input_independent(),
+            "no fresh randomness ⇒ deterministic given the input sharing"
+        );
+        // Deterministic conditional vs a 2-point uniform marginal: TV = ½.
+        assert!((rep.sharing_dependence - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refresh_restores_independence() {
+        let rep = check_gadget2(gadget::sec_and2_refreshed, 1);
+        assert!(rep.is_uniform());
+        assert!(rep.is_input_independent(), "dependence {}", rep.sharing_dependence);
+    }
+
+    #[test]
+    fn trichina_is_uniform_and_independent() {
+        let rep = check_gadget2(gadget::trichina, 1);
+        assert!(rep.is_uniform());
+        assert!(rep.is_input_independent());
+    }
+
+    #[test]
+    fn dom_indep_is_uniform_and_independent() {
+        let rep = check_gadget2(gadget::dom_indep, 1);
+        assert!(rep.is_uniform());
+        assert!(rep.is_input_independent());
+    }
+
+    /// The value is always correct regardless of uniformity.
+    #[test]
+    fn histograms_respect_gadget_semantics() {
+        let rep = check_gadget2(gadget::sec_and2, 0);
+        for vals in 0..4usize {
+            let want = (vals & 1 == 1) & (vals & 2 == 2);
+            for (&(z0, z1), _) in &rep.histograms[vals] {
+                assert_eq!(z0 ^ z1, want, "vals {vals:02b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Domain-Oriented Masking AND gadgets (Groß et al.) — the baselines the
+//! paper compares its DES cores against via Sasdrich & Hutter's
+//! DOM-protected TDES.
+//!
+//! **DOM-indep** (inputs independently shared, 1 fresh bit, 1 register
+//! stage, 1-cycle latency):
+//!
+//! ```text
+//! z₀ = x₀y₀ ⊕ FF(x₀y₁ ⊕ r)
+//! z₁ = x₁y₁ ⊕ FF(x₁y₀ ⊕ r)
+//! ```
+//!
+//! The registers stop glitch propagation across the share-domain
+//! crossing; the fresh `r` restores uniformity.
+//!
+//! **DOM-dep** (inputs may share randomness) additionally blinds each
+//! operand, consuming 3 fresh bits per AND — the variant whose leakage
+//! Sasdrich & Hutter actually assess, and whose randomness cost (528 bits
+//! per TDES round) Table III quotes.
+
+use super::{AndInputs, AndOutputs};
+use crate::rng::MaskRng;
+use crate::share::MaskedBit;
+use gm_netlist::{NetId, Netlist};
+
+/// Fresh random bits per DOM-indep AND.
+pub const DOM_INDEP_FRESH_BITS: usize = 1;
+/// Fresh random bits per DOM-dep AND.
+pub const DOM_DEP_FRESH_BITS: usize = 3;
+
+/// Cycle-accurate software model of a DOM-indep AND.
+///
+/// Call [`DomIndep::compute`] on cycle 1 (cross terms registered),
+/// [`DomIndep::output`] on cycle 2.
+#[derive(Debug, Clone, Default)]
+pub struct DomIndep {
+    cross0: bool,
+    cross1: bool,
+    inner0: bool,
+    inner1: bool,
+    loaded: bool,
+}
+
+impl DomIndep {
+    /// Fresh gadget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cycle 1: compute and register the blinded cross-domain terms.
+    pub fn compute(&mut self, x: MaskedBit, y: MaskedBit, rng: &mut MaskRng) {
+        let r = rng.bit();
+        self.cross0 = (x.s0 & y.s1) ^ r;
+        self.cross1 = (x.s1 & y.s0) ^ r;
+        self.inner0 = x.s0 & y.s0;
+        self.inner1 = x.s1 & y.s1;
+        self.loaded = true;
+    }
+
+    /// Cycle 2: recombine.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before [`DomIndep::compute`].
+    pub fn output(&self) -> MaskedBit {
+        assert!(self.loaded, "DOM output read before compute");
+        MaskedBit { s0: self.inner0 ^ self.cross0, s1: self.inner1 ^ self.cross1 }
+    }
+
+    /// Both cycles at once (functional use).
+    pub fn and(x: MaskedBit, y: MaskedBit, rng: &mut MaskRng) -> MaskedBit {
+        let mut g = Self::new();
+        g.compute(x, y, rng);
+        g.output()
+    }
+}
+
+/// Software model of a DOM-dep AND: operand `y` is first re-masked with
+/// two fresh bits so it is independent of `x`, then DOM-indep applies
+/// with the third.
+pub fn dom_dep_and(x: MaskedBit, y: MaskedBit, rng: &mut MaskRng) -> MaskedBit {
+    let b0 = rng.bit();
+    let b1 = rng.bit();
+    let y_blinded = MaskedBit { s0: y.s0 ^ b0 ^ b1, s1: y.s1 ^ b0 ^ b1 };
+    DomIndep::and(x, y_blinded, rng)
+}
+
+/// Netlist generator for DOM-indep. `r` is the fresh-randomness net;
+/// the two domain-crossing registers are plain DFFs.
+pub fn build_dom_indep(n: &mut Netlist, io: AndInputs, r: NetId) -> AndOutputs {
+    let inner0 = n.and2(io.x0, io.y0);
+    let inner1 = n.and2(io.x1, io.y1);
+    let c0 = n.and2(io.x0, io.y1);
+    let c0r = n.xor2(c0, r);
+    let c0q = n.dff(c0r);
+    let c1 = n.and2(io.x1, io.y0);
+    let c1r = n.xor2(c1, r);
+    let c1q = n.dff(c1r);
+    AndOutputs { z0: n.xor2(inner0, c0q), z1: n.xor2(inner1, c1q) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_netlist::Evaluator;
+
+    #[test]
+    fn dom_indep_correct_for_all_sharings() {
+        let mut rng = MaskRng::new(61);
+        for bits in 0..16u8 {
+            let x = MaskedBit { s0: bits & 1 != 0, s1: bits & 2 != 0 };
+            let y = MaskedBit { s0: bits & 4 != 0, s1: bits & 8 != 0 };
+            for _ in 0..4 {
+                assert_eq!(DomIndep::and(x, y, &mut rng).unmask(), x.unmask() & y.unmask());
+            }
+        }
+    }
+
+    #[test]
+    fn dom_dep_correct_for_all_sharings() {
+        let mut rng = MaskRng::new(62);
+        for bits in 0..16u8 {
+            let x = MaskedBit { s0: bits & 1 != 0, s1: bits & 2 != 0 };
+            let y = MaskedBit { s0: bits & 4 != 0, s1: bits & 8 != 0 };
+            for _ in 0..4 {
+                assert_eq!(dom_dep_and(x, y, &mut rng).unmask(), x.unmask() & y.unmask());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before compute")]
+    fn output_before_compute_panics() {
+        let g = DomIndep::new();
+        let _ = g.output();
+    }
+
+    #[test]
+    fn netlist_two_cycle_behaviour() {
+        let mut n = Netlist::new("dom");
+        let io = AndInputs {
+            x0: n.input("x0"),
+            x1: n.input("x1"),
+            y0: n.input("y0"),
+            y1: n.input("y1"),
+        };
+        let r = n.input("r");
+        let out = build_dom_indep(&mut n, io, r);
+        n.output("z0", out.z0);
+        n.output("z1", out.z1);
+        n.validate().unwrap();
+
+        let mut ev = Evaluator::new(&n).unwrap();
+        let mut rng = MaskRng::new(63);
+        for _ in 0..32 {
+            let (xv, yv) = (rng.bit(), rng.bit());
+            let x = MaskedBit::mask(xv, &mut rng);
+            let y = MaskedBit::mask(yv, &mut rng);
+            let rv = rng.bit();
+            ev.reset();
+            ev.set_input(io.x0, x.s0);
+            ev.set_input(io.x1, x.s1);
+            ev.set_input(io.y0, y.s0);
+            ev.set_input(io.y1, y.s1);
+            ev.set_input(r, rv);
+            ev.clock(&n); // cross terms registered
+            ev.settle(&n);
+            let z = ev.value(out.z0) ^ ev.value(out.z1);
+            assert_eq!(z, xv & yv);
+        }
+    }
+
+    /// DOM's defining property: with fresh r, each output share is
+    /// uniform and independent of the unshared inputs.
+    #[test]
+    fn output_share_uniform() {
+        let mut rng = MaskRng::new(64);
+        let mut ones = 0u32;
+        let n = 20_000;
+        for _ in 0..n {
+            let x = MaskedBit::mask(true, &mut rng);
+            let y = MaskedBit::mask(true, &mut rng);
+            ones += DomIndep::and(x, y, &mut rng).s0 as u32;
+        }
+        let p = ones as f64 / n as f64;
+        assert!((p - 0.5).abs() < 0.02, "DOM output share must be uniform: {p}");
+    }
+}

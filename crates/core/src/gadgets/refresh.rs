@@ -1,0 +1,111 @@
+//! The refresh (re-masking) gadget of Fig. 7.
+//!
+//! `secAND2` reuses input randomness, so its output sharing is *dependent*
+//! on its inputs. Before such a term is XOR-ed with anything sharing those
+//! inputs (e.g. `f = x ⊕ y ⊕ x·y`), it must be re-masked with one fresh
+//! bit `m`:
+//!
+//! ```text
+//! z₀' = z₀ ⊕ m,   z₁' = z₁ ⊕ m
+//! ```
+//!
+//! This is the only place the paper's designs consume fresh randomness
+//! (14 bits per DES round).
+
+use crate::rng::MaskRng;
+use crate::share::MaskedBit;
+use gm_netlist::{NetId, Netlist};
+
+/// Software model: re-mask `z` with one fresh bit.
+pub fn refresh(z: MaskedBit, rng: &mut MaskRng) -> MaskedBit {
+    z.refresh(rng)
+}
+
+/// Netlist generator: XOR the fresh-mask net `m` into both shares.
+pub fn build_refresh(n: &mut Netlist, z: (NetId, NetId), m: NetId) -> (NetId, NetId) {
+    (n.xor2(z.0, m), n.xor2(z.1, m))
+}
+
+/// The secure composition of Fig. 7: `f = x ⊕ y ⊕ x·y`, with the product
+/// term computed by `secAND2` and refreshed before recombination.
+pub fn fig7_f(x: MaskedBit, y: MaskedBit, rng: &mut MaskRng) -> MaskedBit {
+    let z = crate::gadgets::sec_and2(x, y);
+    let z = refresh(z, rng);
+    x.xor(y).xor(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_netlist::Evaluator;
+
+    #[test]
+    fn refresh_preserves_value() {
+        let mut rng = MaskRng::new(41);
+        for bits in 0..4u8 {
+            let z = MaskedBit { s0: bits & 1 != 0, s1: bits & 2 != 0 };
+            assert_eq!(refresh(z, &mut rng).unmask(), z.unmask());
+        }
+    }
+
+    #[test]
+    fn fig7_is_functionally_correct() {
+        let mut rng = MaskRng::new(42);
+        for (xv, yv) in [(false, false), (false, true), (true, false), (true, true)] {
+            for _ in 0..16 {
+                let x = MaskedBit::mask(xv, &mut rng);
+                let y = MaskedBit::mask(yv, &mut rng);
+                assert_eq!(fig7_f(x, y, &mut rng).unmask(), xv ^ yv ^ (xv & yv));
+            }
+        }
+    }
+
+    /// Without refresh, the output sharing of f = x ⊕ y ⊕ x·y is skewed;
+    /// with refresh it is uniform. This is the quantitative version of
+    /// §III-C.
+    #[test]
+    fn refresh_restores_uniformity() {
+        let mut rng = MaskRng::new(43);
+        let mut count_refreshed = 0u32;
+        let mut count_raw = 0u32;
+        let n = 40_000;
+        // Fix the unshared values; look at the distribution of share 0.
+        for _ in 0..n {
+            let x = MaskedBit::mask(true, &mut rng);
+            let y = MaskedBit::mask(true, &mut rng);
+            let z = crate::gadgets::sec_and2(x, y);
+            let f_raw = x.xor(y).xor(z);
+            let f_ref = x.xor(y).xor(refresh(z, &mut rng));
+            count_raw += f_raw.s0 as u32;
+            count_refreshed += f_ref.s0 as u32;
+        }
+        let p_raw = count_raw as f64 / n as f64;
+        let p_ref = count_refreshed as f64 / n as f64;
+        assert!(
+            (p_ref - 0.5).abs() < 0.02,
+            "refreshed share must be uniform, got {p_ref}"
+        );
+        assert!(
+            (p_raw - 0.5).abs() > 0.05,
+            "unrefreshed share expected to be biased, got {p_raw}"
+        );
+    }
+
+    #[test]
+    fn netlist_matches_model() {
+        let mut n = Netlist::new("refresh");
+        let z = (n.input("z0"), n.input("z1"));
+        let m = n.input("m");
+        let (r0, r1) = build_refresh(&mut n, z, m);
+        n.output("r0", r0);
+        n.output("r1", r1);
+        let mut ev = Evaluator::new(&n).unwrap();
+        for bits in 0..8u8 {
+            let outs = ev.run_combinational(
+                &n,
+                &[(z.0, bits & 1 != 0), (z.1, bits & 2 != 0), (m, bits & 4 != 0)],
+            );
+            assert_eq!(outs[0] ^ outs[1], (bits & 1 != 0) ^ (bits & 2 != 0));
+        }
+    }
+}

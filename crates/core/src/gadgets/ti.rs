@@ -1,0 +1,169 @@
+//! Three-share Threshold Implementation (TI) AND — the other established
+//! glitch-resistant baseline the paper positions itself against.
+//!
+//! The classic first-order TI multiplication over 3 shares
+//! (`x = x₀⊕x₁⊕x₂`, likewise `y`):
+//!
+//! ```text
+//! z₀ = x₁y₁ ⊕ x₁y₂ ⊕ x₂y₁
+//! z₁ = x₂y₂ ⊕ x₂y₀ ⊕ x₀y₂
+//! z₂ = x₀y₀ ⊕ x₀y₁ ⊕ x₁y₀
+//! ```
+//!
+//! Each output share omits one input share index (*non-completeness*), so
+//! even glitch-extended probes on one output never see all shares of an
+//! input. The price: 3 shares everywhere (≥1.5× datapath area vs 2-share
+//! schemes) and a uniformity repair via fresh masks for composition.
+
+use crate::rng::MaskRng;
+use gm_netlist::{NetId, Netlist};
+
+/// A sensitive bit in three Boolean shares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shared3 {
+    /// The shares; value = s\[0\] ⊕ s\[1\] ⊕ s\[2\].
+    pub s: [bool; 3],
+}
+
+impl Shared3 {
+    /// Freshly share `value` with two random masks.
+    pub fn mask(value: bool, rng: &mut MaskRng) -> Self {
+        let m0 = rng.bit();
+        let m1 = rng.bit();
+        Shared3 { s: [m0, m1, value ^ m0 ^ m1] }
+    }
+
+    /// Recombine.
+    pub fn unmask(self) -> bool {
+        self.s[0] ^ self.s[1] ^ self.s[2]
+    }
+
+    /// Share-wise XOR.
+    pub fn xor(self, o: Shared3) -> Self {
+        Shared3 { s: [self.s[0] ^ o.s[0], self.s[1] ^ o.s[1], self.s[2] ^ o.s[2]] }
+    }
+}
+
+/// Software model of the 3-share TI AND.
+pub fn ti_and(x: Shared3, y: Shared3) -> Shared3 {
+    let z0 = (x.s[1] & y.s[1]) ^ (x.s[1] & y.s[2]) ^ (x.s[2] & y.s[1]);
+    let z1 = (x.s[2] & y.s[2]) ^ (x.s[2] & y.s[0]) ^ (x.s[0] & y.s[2]);
+    let z2 = (x.s[0] & y.s[0]) ^ (x.s[0] & y.s[1]) ^ (x.s[1] & y.s[0]);
+    Shared3 { s: [z0, z1, z2] }
+}
+
+/// Netlist generator: three non-complete component functions, each
+/// followed by the TI register stage (glitch barrier).
+pub fn build_ti_and(
+    n: &mut Netlist,
+    x: [NetId; 3],
+    y: [NetId; 3],
+) -> [NetId; 3] {
+    let mut outs = [NetId(0); 3];
+    for (i, out) in outs.iter_mut().enumerate() {
+        // Component i uses share indices (i+1, i+2) mod 3 per the classic
+        // scheme above (component 0 omits index 0, etc.).
+        let a = (i + 1) % 3;
+        let b = (i + 2) % 3;
+        let p1 = n.and2(x[a], y[a]);
+        let p2 = n.and2(x[a], y[b]);
+        let p3 = n.and2(x[b], y[a]);
+        let t = n.xor2(p1, p2);
+        let comb = n.xor2(t, p3);
+        *out = n.dff(comb);
+    }
+    outs
+}
+
+/// Non-completeness check on a TI netlist: no output cone may contain all
+/// three shares of one input. Returns true when the property holds.
+pub fn check_non_completeness(n: &Netlist, x: [NetId; 3], y: [NetId; 3], outs: [NetId; 3]) -> bool {
+    outs.iter().all(|&o| {
+        let cone = input_cone(n, o);
+        let xs = x.iter().filter(|i| cone.contains(i)).count();
+        let ys = y.iter().filter(|i| cone.contains(i)).count();
+        xs < 3 && ys < 3
+    })
+}
+
+fn input_cone(n: &Netlist, net: NetId) -> std::collections::HashSet<NetId> {
+    let mut seen = std::collections::HashSet::new();
+    let mut stack = vec![net];
+    while let Some(cur) = stack.pop() {
+        if !seen.insert(cur) {
+            continue;
+        }
+        if let gm_netlist::netlist::Driver::Gate(g) = n.driver(cur) {
+            for &i in &n.gate(g).inputs {
+                stack.push(i);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_roundtrip() {
+        let mut rng = MaskRng::new(71);
+        for v in [false, true] {
+            for _ in 0..32 {
+                assert_eq!(Shared3::mask(v, &mut rng).unmask(), v);
+            }
+        }
+    }
+
+    /// Exhaustive over all 64 share assignments.
+    #[test]
+    fn ti_and_correct_for_all_sharings() {
+        for bits in 0..64u8 {
+            let x = Shared3 { s: [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0] };
+            let y = Shared3 { s: [bits & 8 != 0, bits & 16 != 0, bits & 32 != 0] };
+            assert_eq!(ti_and(x, y).unmask(), x.unmask() & y.unmask(), "bits {bits:06b}");
+        }
+    }
+
+    /// Algebraic non-completeness: component i must not reference share i.
+    #[test]
+    fn model_is_non_complete() {
+        // Flip share 0 of x with all else fixed: component 0 must not change.
+        for bits in 0..32u8 {
+            let mut x = Shared3 { s: [false, bits & 1 != 0, bits & 2 != 0] };
+            let y = Shared3 { s: [bits & 4 != 0, bits & 8 != 0, bits & 16 != 0] };
+            let z_a = ti_and(x, y);
+            x.s[0] = true;
+            let z_b = ti_and(x, y);
+            assert_eq!(z_a.s[0], z_b.s[0], "component 0 depends on x0!");
+        }
+    }
+
+    #[test]
+    fn netlist_non_complete_and_correct() {
+        let mut n = Netlist::new("ti");
+        let x = [n.input("x0"), n.input("x1"), n.input("x2")];
+        let y = [n.input("y0"), n.input("y1"), n.input("y2")];
+        let outs = build_ti_and(&mut n, x, y);
+        for (i, &o) in outs.iter().enumerate() {
+            n.output(format!("z{i}"), o);
+        }
+        n.validate().unwrap();
+        assert!(check_non_completeness(&n, x, y, outs));
+
+        let mut ev = gm_netlist::Evaluator::new(&n).unwrap();
+        for bits in 0..64u8 {
+            let xs = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+            let ys = [bits & 8 != 0, bits & 16 != 0, bits & 32 != 0];
+            for i in 0..3 {
+                ev.set_input(x[i], xs[i]);
+                ev.set_input(y[i], ys[i]);
+            }
+            ev.clock(&n); // register stage
+            let z = ev.value(outs[0]) ^ ev.value(outs[1]) ^ ev.value(outs[2]);
+            let want = (xs[0] ^ xs[1] ^ xs[2]) & (ys[0] ^ ys[1] ^ ys[2]);
+            assert_eq!(z, want, "bits {bits:06b}");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Linear masked gadgets: XOR and NOT.
+//!
+//! XOR is applied share-wise (`z᷀ᵢ = xᵢ ⊕ yᵢ`), NOT flips exactly one
+//! share. Both are trivially glitch-safe *in isolation*; the subtlety the
+//! paper stresses (§III-C) is that XOR-ing **dependent** sharings skews
+//! the output distribution — that check lives in
+//! [`crate::analysis::deps`].
+
+use crate::share::MaskedBit;
+use gm_netlist::{NetId, Netlist};
+
+/// Share-wise masked XOR (software model): see [`MaskedBit::xor`].
+pub fn masked_xor(x: MaskedBit, y: MaskedBit) -> MaskedBit {
+    x.xor(y)
+}
+
+/// Masked NOT (software model): see [`MaskedBit::not`].
+pub fn masked_not(x: MaskedBit) -> MaskedBit {
+    x.not()
+}
+
+/// Netlist generator for a masked XOR: two independent XOR2 cells, one
+/// per share domain.
+pub fn build_masked_xor(
+    n: &mut Netlist,
+    x: (NetId, NetId),
+    y: (NetId, NetId),
+) -> (NetId, NetId) {
+    (n.xor2(x.0, y.0), n.xor2(x.1, y.1))
+}
+
+/// Netlist generator for a masked NOT: a single inverter on share 0.
+pub fn build_masked_not(n: &mut Netlist, x: (NetId, NetId)) -> (NetId, NetId) {
+    (n.inv(x.0), x.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_netlist::Evaluator;
+
+    #[test]
+    fn model_truth_table() {
+        for bits in 0..16u8 {
+            let x = MaskedBit { s0: bits & 1 != 0, s1: bits & 2 != 0 };
+            let y = MaskedBit { s0: bits & 4 != 0, s1: bits & 8 != 0 };
+            assert_eq!(masked_xor(x, y).unmask(), x.unmask() ^ y.unmask());
+            assert_eq!(masked_not(x).unmask(), !x.unmask());
+        }
+    }
+
+    #[test]
+    fn netlist_shares_never_mix() {
+        let mut n = Netlist::new("mxor");
+        let x = (n.input("x0"), n.input("x1"));
+        let y = (n.input("y0"), n.input("y1"));
+        let (z0, z1) = build_masked_xor(&mut n, x, y);
+        n.output("z0", z0);
+        n.output("z1", z1);
+        n.validate().unwrap();
+        // Structural share separation: the cone of z0 must not touch
+        // share-1 inputs and vice versa.
+        for g in n.gates() {
+            let ins: Vec<_> = g.inputs.clone();
+            assert!(
+                !(ins.contains(&x.0) && ins.contains(&x.1)),
+                "a single gate mixes both shares of x"
+            );
+        }
+        let mut ev = Evaluator::new(&n).unwrap();
+        let outs = ev.run_combinational(&n, &[(x.0, true), (x.1, false), (y.0, true), (y.1, true)]);
+        assert_eq!(outs[0] ^ outs[1], (true ^ false) ^ (true ^ true));
+    }
+
+    #[test]
+    fn masked_not_netlist() {
+        let mut n = Netlist::new("mnot");
+        let x = (n.input("x0"), n.input("x1"));
+        let (z0, z1) = build_masked_not(&mut n, x);
+        n.output("z0", z0);
+        n.output("z1", z1);
+        let mut ev = Evaluator::new(&n).unwrap();
+        let outs = ev.run_combinational(&n, &[(x.0, true), (x.1, true)]);
+        assert_eq!(outs[0] ^ outs[1], !(true ^ true));
+    }
+}

@@ -1,0 +1,281 @@
+//! The full gate-level masked DES cores (Fig. 8b / Fig. 9b).
+//!
+//! Everything sensitive is in the netlist: state and key registers, the
+//! round-key extraction, the masked S-box layer, the Feistel combine.
+//! Permutations (IP, FP, E, P, PC1, PC2, rotations) are wire reorders.
+//! Control signals are primary inputs pulsed by the
+//! [`super::driver::DesCoreDriver`] FSM, and the paper's 14 fresh mask
+//! bits per round enter through shared primary inputs.
+
+use super::sbox_ff::{build_sbox_ff, SboxFfControls};
+use super::sbox_pd::build_sbox_pd;
+use super::MaskedWire;
+use crate::tables::{E, FP, IP, P, PC1, PC2};
+use gm_netlist::{NetId, Netlist};
+
+/// Which AND gadget the S-boxes use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SboxStyle {
+    /// secAND2-FF (7 cycles per round).
+    Ff,
+    /// secAND2-PD with the given DelayUnit size (2 cycles per round).
+    Pd {
+        /// LUT-buffers per DelayUnit.
+        unit_luts: usize,
+    },
+}
+
+/// Control inputs of a core.
+#[derive(Debug, Clone)]
+pub struct CoreControls {
+    /// Load plaintext into L/R (also asserted during the PD core's
+    /// pre-load cycle so the IR source mux sees the IP right half).
+    pub load: NetId,
+    /// Load the PC1-selected key into C/D (block start only).
+    pub load_key: NetId,
+    /// Rotate the key halves and capture the S-box input register.
+    pub ir_en: NetId,
+    /// Rotate by 2 instead of 1 this round.
+    pub shift2: NetId,
+    /// Update the L/R state registers (Feistel combine).
+    pub state_en: NetId,
+    /// FF style: y₁ capture of pair/select gadgets.
+    pub and1_en: NetId,
+    /// FF style: y₁ capture of triple gadgets.
+    pub and2_en: NetId,
+    /// FF style: MUX stage-1 select register load.
+    pub sel_en: NetId,
+    /// FF style: y₁ capture of MUX stage-2 gadgets.
+    pub mux2_en: NetId,
+    /// FF style: S-box output register load.
+    pub sout_en: NetId,
+    /// PD style: mid-register (selects + mini outputs) load.
+    pub mid_en: NetId,
+}
+
+/// A generated masked DES core with its interface nets.
+#[derive(Debug, Clone)]
+pub struct DesCoreNetlist {
+    /// The circuit.
+    pub netlist: Netlist,
+    /// Masked plaintext input bus (64 bits).
+    pub pt: MaskedWire,
+    /// Masked key input bus (64 bits).
+    pub key: MaskedWire,
+    /// The 14 shared fresh-mask inputs.
+    pub masks: Vec<NetId>,
+    /// Control inputs.
+    pub ctl: CoreControls,
+    /// Masked ciphertext nets (FP wiring from the final state).
+    pub ct: MaskedWire,
+    /// Gadget style used.
+    pub style: SboxStyle,
+    /// PD only: adjacent equal-delay share-line pairs for coupling models.
+    pub coupled_pairs: Vec<(NetId, NetId)>,
+}
+
+/// Build a complete masked DES core of the given style.
+pub fn build_des_core(style: SboxStyle) -> DesCoreNetlist {
+    let mut n = Netlist::new(match style {
+        SboxStyle::Ff => "masked_des_ff",
+        SboxStyle::Pd { .. } => "masked_des_pd",
+    });
+
+    let pt = MaskedWire::inputs(&mut n, "pt", 64);
+    let key = MaskedWire::inputs(&mut n, "key", 64);
+    let masks: Vec<NetId> = (0..14).map(|i| n.input(format!("mask{i}"))).collect();
+    let ctl = CoreControls {
+        load: n.input("ctl_load"),
+        load_key: n.input("ctl_load_key"),
+        ir_en: n.input("ctl_ir_en"),
+        shift2: n.input("ctl_shift2"),
+        state_en: n.input("ctl_state_en"),
+        and1_en: n.input("ctl_and1_en"),
+        and2_en: n.input("ctl_and2_en"),
+        sel_en: n.input("ctl_sel_en"),
+        mux2_en: n.input("ctl_mux2_en"),
+        sout_en: n.input("ctl_sout_en"),
+        mid_en: n.input("ctl_mid_en"),
+    };
+
+    // ---- key schedule ------------------------------------------------
+    n.enter_module("key_schedule");
+    let pc1 = key.permute(&PC1); // 56 bits: C (28) ++ D (28)
+    // C/D registers with a rotate-1/rotate-2 mux and a load mux. The
+    // rotation mux output doubles as the *current round key* source so
+    // the S-box input register and the key registers can update on the
+    // same edge. Register feedback is built in two phases: create the
+    // DFFs on a placeholder input, build the mux tree from their
+    // outputs, then patch the d-pins.
+    let (c_regs, d_regs, rk);
+    {
+        // Phase 1: create the DFF gates with dummy inputs (const0), then
+        // patch their input nets once the mux tree exists.
+        let zero = n.const0();
+        let mk_regs = |n: &mut Netlist, en: NetId| -> MaskedWire {
+            MaskedWire {
+                s0: (0..28).map(|_| n.dff_en(zero, en)).collect(),
+                s1: (0..28).map(|_| n.dff_en(zero, en)).collect(),
+            }
+        };
+        // Key registers update on key load OR rotation.
+        let key_en = n.or2(ctl.load_key, ctl.ir_en);
+        let c_q = mk_regs(&mut n, key_en);
+        let d_q = mk_regs(&mut n, key_en);
+
+        // Rotation wiring and muxes from the register outputs.
+        let c_rot1 = c_q.rotl(1);
+        let c_rot2 = c_q.rotl(2);
+        let d_rot1 = d_q.rotl(1);
+        let d_rot2 = d_q.rotl(2);
+        let c_rot = MaskedWire::mux(&mut n, ctl.shift2, &c_rot1, &c_rot2);
+        let d_rot = MaskedWire::mux(&mut n, ctl.shift2, &d_rot1, &d_rot2);
+        let c_next = MaskedWire::mux(&mut n, ctl.load_key, &c_rot, &pc1.slice(0, 28));
+        let d_next = MaskedWire::mux(&mut n, ctl.load_key, &d_rot, &pc1.slice(28, 28));
+
+        // Phase 2: patch the DFF d-pins.
+        patch_dff_inputs(&mut n, &c_q, &c_next);
+        patch_dff_inputs(&mut n, &d_q, &d_next);
+
+        // Round key = PC2 over the *post-rotation* halves, so the S-box
+        // input register capturing on the same edge sees this round's key.
+        let cd_rot = c_rot.concat(&d_rot);
+        rk = cd_rot.permute(&PC2);
+        c_regs = c_q;
+        d_regs = d_q;
+    }
+    let _ = (&c_regs, &d_regs);
+    n.exit_module();
+
+    // ---- state registers ----------------------------------------------
+    n.enter_module("state");
+    let zero = n.const0();
+    let state_en_any = n.or2(ctl.load, ctl.state_en);
+    let l_q = MaskedWire {
+        s0: (0..32).map(|_| n.dff_en(zero, state_en_any)).collect(),
+        s1: (0..32).map(|_| n.dff_en(zero, state_en_any)).collect(),
+    };
+    let r_q = MaskedWire {
+        s0: (0..32).map(|_| n.dff_en(zero, state_en_any)).collect(),
+        s1: (0..32).map(|_| n.dff_en(zero, state_en_any)).collect(),
+    };
+    n.exit_module();
+
+    // ---- round function -------------------------------------------------
+    // S-box input register (two-phase: patched once the Feistel feedback
+    // exists — the PD core feeds it from the *next* state, Fig. 9b).
+    n.enter_module("round");
+    let ir = MaskedWire {
+        s0: (0..48).map(|_| n.dff_en(zero, ctl.ir_en)).collect(),
+        s1: (0..48).map(|_| n.dff_en(zero, ctl.ir_en)).collect(),
+    };
+
+    let mut sout = MaskedWire { s0: Vec::new(), s1: Vec::new() };
+    let mut coupled_pairs = Vec::new();
+    for s in 0..8 {
+        let six = ir.slice(6 * s, 6);
+        let out = match style {
+            SboxStyle::Ff => {
+                let sc = SboxFfControls {
+                    and1_en: ctl.and1_en,
+                    and2_en: ctl.and2_en,
+                    sel_en: ctl.sel_en,
+                    mux2_en: ctl.mux2_en,
+                };
+                build_sbox_ff(&mut n, s, &six, &masks, &sc)
+            }
+            SboxStyle::Pd { unit_luts } => {
+                let (out, art) = build_sbox_pd(&mut n, s, &six, &masks, ctl.mid_en, unit_luts);
+                coupled_pairs.extend(art.coupled_pairs);
+                out
+            }
+        };
+        sout = sout.concat(&out);
+    }
+
+    // FF core: a registered S-box output (Fig. 8b); PD core wires
+    // through (Fig. 9b removes it).
+    let sout = match style {
+        SboxStyle::Ff => sout.register(&mut n, ctl.sout_en),
+        SboxStyle::Pd { .. } => sout,
+    };
+
+    // Feistel combine.
+    let f_out = sout.permute(&P);
+    let new_r = l_q.xor(&mut n, &f_out);
+
+    // State register next-value muxes: load chooses IP halves.
+    let ip = pt.permute(&IP);
+    let l_next = MaskedWire::mux(&mut n, ctl.load, &r_q, &ip.slice(0, 32));
+    let r_next = MaskedWire::mux(&mut n, ctl.load, &new_r, &ip.slice(32, 32));
+    patch_dff_inputs(&mut n, &l_q, &l_next);
+    patch_dff_inputs(&mut n, &r_q, &r_next);
+
+    // S-box input register source: the FF core reads the state register
+    // (Fig. 8b); the PD core taps the next-state value so the state
+    // update and the IR capture share one edge (Fig. 9b).
+    let ir_src = match style {
+        SboxStyle::Ff => &r_q,
+        SboxStyle::Pd { .. } => &r_next,
+    };
+    let mixed = ir_src.permute(&E).xor(&mut n, &rk);
+    patch_dff_inputs(&mut n, &ir, &mixed);
+    n.exit_module();
+
+    // Ciphertext = FP over (R16 ++ L16).
+    let preoutput = r_q.concat(&l_q);
+    let ct = preoutput.permute(&FP);
+    for (i, (&c0, &c1)) in ct.s0.iter().zip(&ct.s1).enumerate() {
+        n.output(format!("ct_s0_{i}"), c0);
+        n.output(format!("ct_s1_{i}"), c1);
+    }
+
+    n.validate().expect("generated core must validate");
+    DesCoreNetlist { netlist: n, pt, key, masks, ctl, ct, style, coupled_pairs }
+}
+
+/// Re-point the `d` pins of register buses created with placeholder
+/// inputs (two-phase feedback construction).
+fn patch_dff_inputs(n: &mut Netlist, regs: &MaskedWire, next: &MaskedWire) {
+    for (q, d) in regs.s0.iter().zip(&next.s0).chain(regs.s1.iter().zip(&next.s1)) {
+        let gm_netlist::netlist::Driver::Gate(g) = n.driver(*q) else {
+            panic!("register output must be gate-driven")
+        };
+        n.set_gate_input(g, 0, *d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ff_core_builds_and_validates() {
+        let core = build_des_core(SboxStyle::Ff);
+        assert!(core.netlist.num_gates() > 3_000, "gates: {}", core.netlist.num_gates());
+        assert!(core.coupled_pairs.is_empty());
+        assert_eq!(core.ct.width(), 64);
+    }
+
+    #[test]
+    fn pd_core_builds_with_delays() {
+        let core = build_des_core(SboxStyle::Pd { unit_luts: 2 });
+        let delays = core
+            .netlist
+            .gates()
+            .iter()
+            .filter(|g| g.kind == gm_netlist::GateKind::DelayBuf)
+            .count();
+        assert!(delays > 500, "delay elements: {delays}");
+        assert_eq!(core.coupled_pairs.len(), 8 * 10);
+    }
+
+    #[test]
+    fn ff_core_register_budget() {
+        let core = build_des_core(SboxStyle::Ff);
+        let ffs =
+            core.netlist.gates().iter().filter(|g| g.kind.is_sequential()).count();
+        // 112 key + 128 state + 96 IR + 64 sout + 8×38 sbox = 704.
+        assert_eq!(ffs, 112 + 128 + 96 + 64 + 8 * 38);
+    }
+}

@@ -1,0 +1,303 @@
+//! Gate-level masked S-box, secAND2-FF flavour (Fig. 8a).
+//!
+//! Five pipeline stages controlled by four enable inputs:
+//!
+//! 1. pair products (`and1_en` captures their y₁ FFs),
+//! 2. triple products (`and2_en`), with the MUX stage-1 select products
+//!    computed in parallel (their y₁ FFs also on `and1_en`),
+//! 3. refresh (combinational XOR with the 14 shared mask nets) and the
+//!    mini S-box XOR stage; select register captures on `sel_en`,
+//! 4. MUX stage-2 gadgets (`mux2_en` captures their y₁ FFs),
+//! 5. MUX stage-3 XOR plane.
+
+use super::MaskedWire;
+use crate::sbox::mini::{mini_sbox_anfs, TEN_PRODUCTS};
+use gm_core::gadgets::sec_and2_ff::build_sec_and2_ff;
+use gm_core::gadgets::AndInputs;
+use gm_netlist::{NetId, Netlist};
+
+/// Enable inputs of one FF-style S-box.
+#[derive(Debug, Clone, Copy)]
+pub struct SboxFfControls {
+    /// Captures y₁ of the pair-product and select gadgets.
+    pub and1_en: NetId,
+    /// Captures y₁ of the triple-product gadgets.
+    pub and2_en: NetId,
+    /// Loads the MUX stage-1 select register.
+    pub sel_en: NetId,
+    /// Captures y₁ of the MUX stage-2 gadgets.
+    pub mux2_en: NetId,
+}
+
+/// Share pair of one masked signal.
+pub(crate) type Pair = (NetId, NetId);
+
+/// Build the ten refreshed products of the mini-S-box AND stage with
+/// secAND2-FF gadgets. Returns products in [`TEN_PRODUCTS`] order.
+fn and_stage_ff(
+    n: &mut Netlist,
+    v: &[Pair; 4],
+    masks: &[NetId],
+    and1_en: NetId,
+    and2_en: NetId,
+) -> Vec<Pair> {
+    // Pairs first: keyed by their variable mask for triple reuse.
+    let mut pair_out = std::collections::HashMap::new();
+    let mut products = Vec::with_capacity(10);
+    for &mask in TEN_PRODUCTS.iter().take(6) {
+        let i = mask.trailing_zeros() as usize;
+        let j = (mask & (mask - 1)).trailing_zeros() as usize;
+        let out = build_sec_and2_ff(
+            n,
+            AndInputs { x0: v[i].0, x1: v[i].1, y0: v[j].0, y1: v[j].1 },
+            and1_en,
+        );
+        pair_out.insert(mask, (out.z0, out.z1));
+        products.push((out.z0, out.z1));
+    }
+    for &mask in TEN_PRODUCTS.iter().skip(6) {
+        let high = 7 - mask.leading_zeros() as usize;
+        let pair_mask = mask & !(1 << high);
+        let p = pair_out[&pair_mask];
+        let out = build_sec_and2_ff(
+            n,
+            AndInputs { x0: p.0, x1: p.1, y0: v[high].0, y1: v[high].1 },
+            and2_en,
+        );
+        products.push((out.z0, out.z1));
+    }
+    // Refresh each product with its shared mask net.
+    products
+        .into_iter()
+        .enumerate()
+        .map(|(i, (z0, z1))| (n.xor2(z0, masks[i]), n.xor2(z1, masks[i])))
+        .collect()
+}
+
+/// Assemble the four mini S-box outputs per row from the ANF: constant,
+/// linear terms, and the refreshed products. Returns `[row][bit]`.
+pub(crate) fn xor_stage(
+    n: &mut Netlist,
+    sbox: usize,
+    v: &[Pair; 4],
+    products: &[Pair],
+) -> [[Pair; 4]; 4] {
+    let anfs = mini_sbox_anfs();
+    let rows = &anfs[sbox];
+    std::array::from_fn(|r| {
+        std::array::from_fn(|j| {
+            let anf = &rows[r].outputs[j];
+            let mut s0_terms = Vec::new();
+            let mut s1_terms = Vec::new();
+            for m in anf.monomials_of_degree(1) {
+                let k = m.trailing_zeros() as usize;
+                s0_terms.push(v[k].0);
+                s1_terms.push(v[k].1);
+            }
+            for d in 2..=3u32 {
+                for m in anf.monomials_of_degree(d) {
+                    let idx = TEN_PRODUCTS.iter().position(|&t| t == m).expect("covered");
+                    s0_terms.push(products[idx].0);
+                    s1_terms.push(products[idx].1);
+                }
+            }
+            let mut s0 = if s0_terms.is_empty() { n.const0() } else { n.xor_reduce(&s0_terms) };
+            let s1 = if s1_terms.is_empty() { n.const0() } else { n.xor_reduce(&s1_terms) };
+            if anf.constant() {
+                s0 = n.inv(s0);
+            }
+            (s0, s1)
+        })
+    })
+}
+
+/// The four refreshed select products of MUX stage 1 (`sel[row]`,
+/// row = 2·b₀ + b₅). `build_and` produces one masked AND.
+pub(crate) fn mux_stage1(
+    n: &mut Netlist,
+    b0: Pair,
+    b5: Pair,
+    mux_masks: &[NetId],
+    mut build_and: impl FnMut(&mut Netlist, AndInputs) -> (NetId, NetId),
+) -> [Pair; 4] {
+    let nb0 = (n.inv(b0.0), b0.1);
+    let nb5 = (n.inv(b5.0), b5.1);
+    std::array::from_fn(|r| {
+        let hi = if r & 0b10 != 0 { b0 } else { nb0 };
+        let lo = if r & 0b01 != 0 { b5 } else { nb5 };
+        let (z0, z1) =
+            build_and(n, AndInputs { x0: hi.0, x1: hi.1, y0: lo.0, y1: lo.1 });
+        (n.xor2(z0, mux_masks[r]), n.xor2(z1, mux_masks[r]))
+    })
+}
+
+/// Build one FF-style masked S-box. `bits` is the 6-bit masked input
+/// (MSB-first), `masks` the 14 shared fresh-mask nets (10 product + 4
+/// MUX). Returns the 4-bit masked output, MSB-first.
+pub fn build_sbox_ff(
+    n: &mut Netlist,
+    sbox: usize,
+    bits: &MaskedWire,
+    masks: &[NetId],
+    ctl: &SboxFfControls,
+) -> MaskedWire {
+    assert_eq!(bits.width(), 6, "S-box input is 6 bits");
+    assert_eq!(masks.len(), 14, "14 fresh mask nets");
+    n.enter_module(format!("sbox{sbox}"));
+
+    // ANF variables (little-endian in the column index): v_k = bit 4-k.
+    let v: [Pair; 4] = std::array::from_fn(|k| bits.bit(4 - k));
+
+    n.enter_module("and_stage");
+    let products = and_stage_ff(n, &v, &masks[..10], ctl.and1_en, ctl.and2_en);
+    n.exit_module();
+
+    n.enter_module("xor_stage");
+    let mini = xor_stage(n, sbox, &v, &products);
+    n.exit_module();
+
+    n.enter_module("mux");
+    let sel = mux_stage1(n, bits.bit(0), bits.bit(5), &masks[10..14], |n, io| {
+        let out = build_sec_and2_ff(n, io, ctl.and1_en);
+        (out.z0, out.z1)
+    });
+    // Register the refreshed selects (the synchronisation register the
+    // paper places after MUX AND stage 1).
+    let sel_reg: [Pair; 4] =
+        std::array::from_fn(|r| (n.dff_en(sel[r].0, ctl.sel_en), n.dff_en(sel[r].1, ctl.sel_en)));
+
+    // Stage 2: select AND, with the mini outputs as y operands.
+    let mut out_s0 = Vec::with_capacity(4);
+    let mut out_s1 = Vec::with_capacity(4);
+    for j in 0..4 {
+        let mut terms0 = Vec::with_capacity(4);
+        let mut terms1 = Vec::with_capacity(4);
+        for r in 0..4 {
+            let o = build_sec_and2_ff(
+                n,
+                AndInputs {
+                    x0: sel_reg[r].0,
+                    x1: sel_reg[r].1,
+                    y0: mini[r][j].0,
+                    y1: mini[r][j].1,
+                },
+                ctl.mux2_en,
+            );
+            terms0.push(o.z0);
+            terms1.push(o.z1);
+        }
+        out_s0.push(n.xor_reduce(&terms0));
+        out_s1.push(n.xor_reduce(&terms1));
+    }
+    n.exit_module();
+    n.exit_module();
+    MaskedWire { s0: out_s0, s1: out_s1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::sbox_lookup;
+    use crate::tables::SBOXES;
+    use gm_core::MaskRng;
+    use gm_netlist::Evaluator;
+
+    fn fixture(sbox: usize) -> (Netlist, MaskedWire, Vec<NetId>, SboxFfControls, MaskedWire) {
+        let mut n = Netlist::new("sbox_ff");
+        let bits = MaskedWire::inputs(&mut n, "b", 6);
+        let masks: Vec<NetId> = (0..14).map(|i| n.input(format!("m{i}"))).collect();
+        let ctl = SboxFfControls {
+            and1_en: n.input("and1_en"),
+            and2_en: n.input("and2_en"),
+            sel_en: n.input("sel_en"),
+            mux2_en: n.input("mux2_en"),
+        };
+        let out = build_sbox_ff(&mut n, sbox, &bits, &masks, &ctl);
+        for (i, &o) in out.s0.iter().enumerate() {
+            n.output(format!("o_s0_{i}"), o);
+        }
+        for (i, &o) in out.s1.iter().enumerate() {
+            n.output(format!("o_s1_{i}"), o);
+        }
+        n.validate().unwrap();
+        (n, bits, masks, ctl, out)
+    }
+
+    fn drive(
+        n: &Netlist,
+        ev: &mut Evaluator,
+        bits: &MaskedWire,
+        masks: &[NetId],
+        ctl: &SboxFfControls,
+        six: u8,
+        rng: &mut MaskRng,
+    ) {
+        for i in 0..6 {
+            let val = (six >> (5 - i)) & 1 == 1;
+            let m = rng.bit();
+            ev.set_input(bits.s0[i], m);
+            ev.set_input(bits.s1[i], val ^ m);
+        }
+        for &mnet in masks {
+            ev.set_input(mnet, rng.bit());
+        }
+        let pulse = |ev: &mut Evaluator, net: NetId, n: &Netlist, others: &[NetId]| {
+            for &o in others {
+                ev.set_input(o, false);
+            }
+            ev.set_input(net, true);
+            ev.clock(n);
+            ev.set_input(net, false);
+        };
+        let all = [ctl.and1_en, ctl.and2_en, ctl.sel_en, ctl.mux2_en];
+        pulse(ev, ctl.and1_en, n, &all);
+        pulse(ev, ctl.and2_en, n, &all);
+        pulse(ev, ctl.sel_en, n, &all);
+        pulse(ev, ctl.mux2_en, n, &all);
+        ev.settle(n);
+    }
+
+    /// Exhaustive functional check of the gate-level FF S-box against the
+    /// reference lookup, across all boxes.
+    #[test]
+    fn matches_reference() {
+        let mut rng = MaskRng::new(151);
+        for sbox in 0..8 {
+            let (n, bits, masks, ctl, out) = fixture(sbox);
+            let mut ev = Evaluator::new(&n).unwrap();
+            for six in 0..64u8 {
+                drive(&n, &mut ev, &bits, &masks, &ctl, six, &mut rng);
+                let mut got = 0u8;
+                for j in 0..4 {
+                    got = (got << 1)
+                        | u8::from(ev.value(out.s0[j]) ^ ev.value(out.s1[j]));
+                }
+                assert_eq!(got, sbox_lookup(&SBOXES[sbox], six), "S{sbox} in {six:06b}");
+            }
+        }
+    }
+
+    /// Thirty secAND2 gadgets per S-box, as the paper reports (§VI-A):
+    /// 6 pairs + 4 triples + 4 selects + 16 stage-2. Each secAND2
+    /// contributes exactly one INV (the ¬y₁), counted per module.
+    #[test]
+    fn gadget_count_is_thirty() {
+        let (n, ..) = fixture(0);
+        let invs_in = |module: &str| {
+            n.gates()
+                .iter()
+                .enumerate()
+                .filter(|(gi, g)| {
+                    g.kind == gm_netlist::GateKind::Inv
+                        && n.module_of(gm_netlist::GateId(*gi as u32)).contains(module)
+                })
+                .count()
+        };
+        assert_eq!(invs_in("and_stage"), 10, "pair + triple gadgets");
+        // 4 select + 16 stage-2 gadgets + the two ¬b0/¬b5 inverters.
+        assert_eq!(invs_in("mux"), 22);
+        let ffs = n.gates().iter().filter(|g| g.kind.is_sequential()).count();
+        // 30 gadget y1-FFs + 8 select-register FFs.
+        assert_eq!(ffs, 38);
+    }
+}

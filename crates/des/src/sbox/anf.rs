@@ -1,0 +1,124 @@
+//! Algebraic Normal Form of 4-variable Boolean functions.
+//!
+//! A function is stored as a 16-bit truth table (`tt` bit `i` = value at
+//! input `i`, variables little-endian in `i`). Its ANF is another 16-bit
+//! vector: bit `m` is the coefficient of the monomial `∏_{k ∈ m} v_k`,
+//! obtained by the Möbius transform.
+
+/// A 4-variable Boolean function in ANF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Anf4 {
+    /// Coefficient bit per monomial mask (bit `m` ⇔ monomial `m` present).
+    pub coeffs: u16,
+}
+
+impl Anf4 {
+    /// Möbius transform of a truth table.
+    pub fn from_truth_table(tt: u16) -> Self {
+        let mut c = tt;
+        // Butterfly over each variable.
+        for k in 0..4 {
+            let bit = 1u16 << k;
+            let mut m = 0u16;
+            for i in 0..16u16 {
+                if i & bit != 0 {
+                    let lower = (c >> (i ^ bit)) & 1;
+                    m |= (((c >> i) & 1) ^ lower) << i;
+                } else {
+                    m |= ((c >> i) & 1) << i;
+                }
+            }
+            c = m;
+        }
+        Anf4 { coeffs: c }
+    }
+
+    /// Evaluate at `x` (variables little-endian).
+    pub fn eval(&self, x: u8) -> bool {
+        let mut acc = false;
+        for m in 0..16u16 {
+            if self.coeffs & (1 << m) != 0 && (u16::from(x) & m) == m {
+                acc ^= true;
+            }
+        }
+        acc
+    }
+
+    /// Back to a truth table (inverse Möbius — the transform is an
+    /// involution, but evaluate directly for an independent check).
+    pub fn truth_table(&self) -> u16 {
+        (0..16u8).fold(0u16, |tt, x| tt | (u16::from(self.eval(x)) << x))
+    }
+
+    /// Algebraic degree (0 for the zero function).
+    pub fn degree(&self) -> u32 {
+        (0..16u16)
+            .filter(|m| self.coeffs & (1 << m) != 0)
+            .map(|m| m.count_ones())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The constant-term coefficient.
+    pub fn constant(&self) -> bool {
+        self.coeffs & 1 != 0
+    }
+
+    /// Monomial masks of exactly `deg` variables present in the ANF.
+    pub fn monomials_of_degree(&self, deg: u32) -> Vec<u8> {
+        (0..16u16)
+            .filter(|m| m.count_ones() == deg && self.coeffs & (1 << m) != 0)
+            .map(|m| m as u8)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_and_single_variable() {
+        let zero = Anf4::from_truth_table(0);
+        assert_eq!(zero.coeffs, 0);
+        assert_eq!(zero.degree(), 0);
+
+        let one = Anf4::from_truth_table(0xFFFF);
+        assert_eq!(one.coeffs, 1, "constant 1 has only the empty monomial");
+
+        // f = v0: truth table has bit set wherever input bit 0 is set.
+        let tt_v0 = (0..16u8).fold(0u16, |tt, x| tt | (u16::from(x & 1) << x));
+        let v0 = Anf4::from_truth_table(tt_v0);
+        assert_eq!(v0.coeffs, 0b10, "only monomial {{v0}}");
+        assert_eq!(v0.degree(), 1);
+    }
+
+    #[test]
+    fn and_of_all_four() {
+        // f = v0v1v2v3: only input 15 maps to 1.
+        let anf = Anf4::from_truth_table(1 << 15);
+        assert_eq!(anf.coeffs, 1 << 15);
+        assert_eq!(anf.degree(), 4);
+        assert_eq!(anf.monomials_of_degree(4), vec![15]);
+    }
+
+    #[test]
+    fn roundtrip_all_functions_sampled() {
+        // The transform must invert via evaluation for arbitrary tables.
+        for seed in [0x0123u16, 0xBEEF, 0x8001, 0x5A5A, 0xFFFE, 0x7E57] {
+            let anf = Anf4::from_truth_table(seed);
+            assert_eq!(anf.truth_table(), seed, "tt {seed:04x}");
+        }
+    }
+
+    #[test]
+    fn xor_is_degree_one() {
+        // f = v0 ⊕ v1 ⊕ v2 ⊕ v3.
+        let tt = (0..16u8).fold(0u16, |tt, x| {
+            tt | (((x.count_ones() & 1) as u16) << x)
+        });
+        let anf = Anf4::from_truth_table(tt as u16);
+        assert_eq!(anf.degree(), 1);
+        assert_eq!(anf.monomials_of_degree(1).len(), 4);
+    }
+}

@@ -1,0 +1,243 @@
+//! The masked DES S-box (value-level model of Fig. 8a / Fig. 9a).
+//!
+//! Pipeline:
+//!
+//! 1. **AND stage** — the ten shared products of the four middle bits,
+//!    computed with `secAND2` compositions (no fresh randomness);
+//! 2. **refresh** — each product re-masked with one of 10 fresh bits
+//!    (§IV-A: the AND outputs are not independent of the inputs);
+//! 3. **XOR stage** — the four mini S-box outputs assembled per ANF;
+//! 4. **MUX stage 1** — the four select products of `b₀`, `b₅`,
+//!    refreshed with 4 more fresh bits (the paper's cost-saving move of
+//!    refreshing right after stage 1);
+//! 5. **MUX stage 2 + 3** — select-AND and final XOR.
+//!
+//! Total fresh randomness: **14 bits**, shared by all eight S-boxes of a
+//! round (the paper's recycling choice).
+
+use super::mini::{mini_sbox_anfs, MiniSboxAnf, TEN_PRODUCTS};
+use gm_core::gadgets::sec_and2;
+use gm_core::{MaskRng, MaskedBit};
+use std::sync::OnceLock;
+
+/// The 14 fresh mask bits consumed by one S-box evaluation (and, in the
+/// paper's design, recycled by all eight parallel S-boxes of the round).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SboxRandomness {
+    /// Masks for the ten AND-stage products.
+    pub product_masks: [bool; 10],
+    /// Masks for the four MUX stage-1 select products.
+    pub mux_masks: [bool; 4],
+}
+
+impl SboxRandomness {
+    /// Draw 14 fresh bits (all zero when the PRNG is disabled).
+    pub fn draw(rng: &mut MaskRng) -> Self {
+        let mut s = SboxRandomness::default();
+        for m in &mut s.product_masks {
+            *m = rng.bit();
+        }
+        for m in &mut s.mux_masks {
+            *m = rng.bit();
+        }
+        s
+    }
+
+    /// Number of fresh bits per draw — Table III's "Rand" column.
+    pub const BITS: usize = 14;
+}
+
+fn anfs() -> &'static Vec<[MiniSboxAnf; 4]> {
+    static CACHE: OnceLock<Vec<[MiniSboxAnf; 4]>> = OnceLock::new();
+    CACHE.get_or_init(mini_sbox_anfs)
+}
+
+/// All intermediate masked values of one S-box evaluation — the
+/// cycle-accurate cores and the fast power model consume these.
+#[derive(Debug, Clone)]
+pub struct SboxTrace {
+    /// The ten AND-stage products, already refreshed.
+    pub products: [MaskedBit; 10],
+    /// MUX stage-1 select products, already refreshed.
+    pub sel: [MaskedBit; 4],
+    /// Mini S-box outputs, `mini_out[row][bit]`.
+    pub mini_out: [[MaskedBit; 4]; 4],
+    /// Final S-box output bits, MSB-first.
+    pub out: [MaskedBit; 4],
+    /// Σ over every `secAND2` evaluation of the unshared value of its
+    /// *y* operand: the quantity a glitch exposes when the safe arrival
+    /// order is violated (§II-B). Basis of the Fig. 15 leak model.
+    pub glitch_y_units: u32,
+    /// Σ over every `secAND2` evaluation of the unshared value of its
+    /// *x* operand: the quantity crosstalk between the adjacent
+    /// equally-delayed x₀/x₁ lines exposes (§VII-C). Basis of the
+    /// Fig. 17 coupling model.
+    pub coupling_x_units: u32,
+}
+
+/// Evaluate DES S-box `sbox` (0-based) on six masked input bits
+/// (`bits[0]` = MSB) with the given fresh randomness. Returns the four
+/// masked output bits, MSB-first.
+pub fn masked_sbox(
+    sbox: usize,
+    bits: &[MaskedBit; 6],
+    rnd: &SboxRandomness,
+) -> [MaskedBit; 4] {
+    masked_sbox_trace(sbox, bits, rnd).out
+}
+
+/// As [`masked_sbox`], exposing all intermediates (see [`SboxTrace`]).
+pub fn masked_sbox_trace(
+    sbox: usize,
+    bits: &[MaskedBit; 6],
+    rnd: &SboxRandomness,
+) -> SboxTrace {
+    // ANF variables over the column index: v_k = bit k (little-endian),
+    // so v0 = b4, v1 = b3, v2 = b2, v3 = b1.
+    let v = [bits[4], bits[3], bits[2], bits[1]];
+    let mut glitch_y_units = 0u32;
+    let mut coupling_x_units = 0u32;
+    let mut count_gadget = |x: MaskedBit, y: MaskedBit| {
+        glitch_y_units += u32::from(y.unmask());
+        coupling_x_units += u32::from(x.unmask());
+    };
+
+    // AND stage: the ten products, then per-product refresh.
+    let mut products = [MaskedBit::constant(false); 10];
+    for (i, &mask) in TEN_PRODUCTS.iter().enumerate() {
+        let mut acc: Option<MaskedBit> = None;
+        for (k, &var) in v.iter().enumerate() {
+            if mask & (1 << k) != 0 {
+                acc = Some(match acc {
+                    None => var,
+                    Some(a) => {
+                        count_gadget(a, var);
+                        sec_and2(a, var)
+                    }
+                });
+            }
+        }
+        let p = acc.expect("every product has at least two variables");
+        products[i] = p.refresh_with(rnd.product_masks[i]);
+    }
+
+    // XOR stage: the four mini S-box outputs per row.
+    let rows = &anfs()[sbox];
+    let mut mini_out = [[MaskedBit::constant(false); 4]; 4];
+    for (r, anf) in rows.iter().enumerate() {
+        for (j, out_anf) in anf.outputs.iter().enumerate() {
+            let mut acc = MaskedBit::constant(out_anf.constant());
+            for m in out_anf.monomials_of_degree(1) {
+                let k = m.trailing_zeros() as usize;
+                acc = acc.xor(v[k]);
+            }
+            for d in 2..=3u32 {
+                for m in out_anf.monomials_of_degree(d) {
+                    let idx = TEN_PRODUCTS
+                        .iter()
+                        .position(|&t| t == m)
+                        .expect("all monomials covered by the ten products");
+                    acc = acc.xor(products[idx]);
+                }
+            }
+            mini_out[r][j] = acc;
+        }
+    }
+
+    // MUX stage 1: select products of (b0, b5), refreshed.
+    let mut sel = [MaskedBit::constant(false); 4];
+    for (r, s) in sel.iter_mut().enumerate() {
+        let hi = if r & 0b10 != 0 { bits[0] } else { bits[0].not() };
+        let lo = if r & 0b01 != 0 { bits[5] } else { bits[5].not() };
+        count_gadget(hi, lo);
+        *s = sec_and2(hi, lo).refresh_with(rnd.mux_masks[r]);
+    }
+
+    // MUX stages 2 and 3.
+    let mut out = [MaskedBit::constant(false); 4];
+    for (j, o) in out.iter_mut().enumerate() {
+        let mut acc = MaskedBit::constant(false);
+        for r in 0..4 {
+            count_gadget(sel[r], mini_out[r][j]);
+            acc = acc.xor(sec_and2(sel[r], mini_out[r][j]));
+        }
+        *o = acc;
+    }
+    SboxTrace { products, sel, mini_out, out, glitch_y_units, coupling_x_units }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::sbox_lookup;
+    use crate::tables::SBOXES;
+
+    fn run_sbox(sbox: usize, six: u8, rng: &mut MaskRng) -> u8 {
+        let bits: [MaskedBit; 6] = std::array::from_fn(|i| {
+            MaskedBit::mask((six >> (5 - i)) & 1 == 1, rng)
+        });
+        let rnd = SboxRandomness::draw(rng);
+        let out = masked_sbox(sbox, &bits, &rnd);
+        out.iter().fold(0u8, |acc, b| (acc << 1) | u8::from(b.unmask()))
+    }
+
+    /// Exhaustive functional correctness: all 8 S-boxes × 64 inputs, with
+    /// several random sharings each.
+    #[test]
+    fn matches_reference_lookup() {
+        let mut rng = MaskRng::new(101);
+        for s in 0..8 {
+            for six in 0..64u8 {
+                for _ in 0..3 {
+                    assert_eq!(
+                        run_sbox(s, six, &mut rng),
+                        sbox_lookup(&SBOXES[s], six),
+                        "S{s} input {six:06b}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Still correct with the PRNG off (shares degenerate but the value
+    /// pipeline must hold) — the paper's sanity-check mode.
+    #[test]
+    fn correct_with_prng_off() {
+        let mut rng = MaskRng::disabled();
+        for s in 0..8 {
+            for six in 0..64u8 {
+                assert_eq!(run_sbox(s, six, &mut rng), sbox_lookup(&SBOXES[s], six));
+            }
+        }
+    }
+
+    /// The randomness budget is exactly 14 bits.
+    #[test]
+    fn randomness_budget() {
+        assert_eq!(SboxRandomness::BITS, 14);
+        let d = SboxRandomness::default();
+        assert_eq!(d.product_masks.len() + d.mux_masks.len(), 14);
+    }
+
+    /// With fresh randomness the S-box output shares are uniform, even
+    /// for a fixed unshared input (the composition goal of §III-C).
+    #[test]
+    fn output_shares_uniform() {
+        let mut rng = MaskRng::new(103);
+        let n = 8_000;
+        let mut ones = [0u32; 4];
+        for _ in 0..n {
+            let bits: [MaskedBit; 6] =
+                std::array::from_fn(|i| MaskedBit::mask((0b101010 >> (5 - i)) & 1 == 1, &mut rng));
+            let rnd = SboxRandomness::draw(&mut rng);
+            let out = masked_sbox(0, &bits, &rnd);
+            for (j, o) in out.iter().enumerate() {
+                ones[j] += o.s0 as u32;
+            }
+        }
+        for (j, &c) in ones.iter().enumerate() {
+            let p = f64::from(c) / f64::from(n);
+            assert!((p - 0.5).abs() < 0.03, "output {j} share bias: {p}");
+        }
+    }
+}

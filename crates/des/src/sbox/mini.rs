@@ -1,0 +1,188 @@
+//! Mini S-boxes: the rows of each DES S-box as 4-bit permutations, and
+//! their ANF — verifying the structural claims of §IV-A that make the
+//! masked S-box cheap:
+//!
+//! * every output bit has algebraic degree ≤ 3;
+//! * across the four output bits of a mini S-box, only the 6 possible
+//!   degree-2 and 4 possible degree-3 monomials occur, so **ten** shared
+//!   product terms cover the whole AND stage.
+//!
+//! Variable convention: the mini S-box input is the DES column index
+//! `col`, with ANF variable `v_k` = bit `k` of `col` (little-endian).
+//! `col` itself is formed from the S-box input bits `b1..b4` MSB-first.
+
+use super::anf::Anf4;
+use crate::tables::SBOXES;
+
+/// Truth tables of one mini S-box's four output bits, MSB-first:
+/// `tts[j]` is output bit `j` (`j = 0` the most significant).
+pub type MiniTruthTables = [u16; 4];
+
+/// Truth tables of mini S-box `row` of S-box `sbox` (0-based).
+pub fn mini_truth_tables(sbox: usize, row: usize) -> MiniTruthTables {
+    let table = &SBOXES[sbox][row];
+    let mut tts = [0u16; 4];
+    for (col, &val) in table.iter().enumerate() {
+        for j in 0..4 {
+            let bit = (val >> (3 - j)) & 1;
+            tts[j] |= u16::from(bit) << col;
+        }
+    }
+    tts
+}
+
+/// The ANF of one mini S-box.
+#[derive(Debug, Clone)]
+pub struct MiniSboxAnf {
+    /// ANF per output bit, MSB-first.
+    pub outputs: [Anf4; 4],
+}
+
+impl MiniSboxAnf {
+    /// Compute the ANF of mini S-box `row` of S-box `sbox`.
+    pub fn new(sbox: usize, row: usize) -> Self {
+        let tts = mini_truth_tables(sbox, row);
+        MiniSboxAnf { outputs: tts.map(Anf4::from_truth_table) }
+    }
+
+    /// Highest algebraic degree over the four outputs.
+    pub fn max_degree(&self) -> u32 {
+        self.outputs.iter().map(Anf4::degree).max().unwrap_or(0)
+    }
+
+    /// Distinct non-linear monomial masks (degree ≥ 2) used by any output.
+    pub fn product_terms(&self) -> Vec<u8> {
+        let mut set = std::collections::BTreeSet::new();
+        for o in &self.outputs {
+            for d in 2..=4u32 {
+                set.extend(o.monomials_of_degree(d));
+            }
+        }
+        set.into_iter().collect()
+    }
+}
+
+/// ANFs of all 32 mini S-boxes, indexed `[sbox][row]`.
+pub fn mini_sbox_anfs() -> Vec<[MiniSboxAnf; 4]> {
+    (0..8)
+        .map(|s| [0, 1, 2, 3].map(|r| MiniSboxAnf::new(s, r)))
+        .collect()
+}
+
+/// The ten canonical product-term monomials of the masked AND stage:
+/// all six pairs then all four triples of the four variables, as
+/// little-endian variable masks.
+pub const TEN_PRODUCTS: [u8; 10] = [
+    0b0011, 0b0101, 0b1001, 0b0110, 0b1010, 0b1100, // pairs
+    0b0111, 0b1011, 0b1101, 0b1110, // triples
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::sbox_lookup;
+
+    /// ANFs evaluate back to the original tables for every mini S-box.
+    #[test]
+    fn anf_matches_tables() {
+        for s in 0..8 {
+            for r in 0..4 {
+                let anf = MiniSboxAnf::new(s, r);
+                for col in 0..16u8 {
+                    let want = SBOXES[s][r][col as usize];
+                    let mut got = 0u8;
+                    for j in 0..4 {
+                        got = (got << 1) | u8::from(anf.outputs[j].eval(col));
+                    }
+                    assert_eq!(got, want, "S{s} row {r} col {col}");
+                }
+            }
+        }
+    }
+
+    /// §IV-A: degree at most 3 — never 4 — for every mini S-box output.
+    #[test]
+    fn degree_at_most_three() {
+        for (s, rows) in mini_sbox_anfs().iter().enumerate() {
+            for (r, anf) in rows.iter().enumerate() {
+                assert!(anf.max_degree() <= 3, "S{s} row {r} degree {}", anf.max_degree());
+            }
+        }
+    }
+
+    /// §IV-A: the ten products cover every non-linear monomial.
+    #[test]
+    fn ten_products_suffice() {
+        let ten: std::collections::BTreeSet<u8> = TEN_PRODUCTS.into_iter().collect();
+        assert_eq!(ten.len(), 10);
+        for (s, rows) in mini_sbox_anfs().iter().enumerate() {
+            for (r, anf) in rows.iter().enumerate() {
+                for term in anf.product_terms() {
+                    assert!(ten.contains(&term), "S{s} row {r} monomial {term:04b} not covered");
+                }
+            }
+        }
+    }
+
+    /// Mini S-box + row selection reproduces the full S-box lookup.
+    #[test]
+    fn row_column_decomposition() {
+        for s in 0..8 {
+            for six in 0..64u8 {
+                let row = (((six >> 4) & 0b10) | (six & 1)) as usize;
+                let col = (six >> 1) & 0xF;
+                assert_eq!(
+                    SBOXES[s][row][col as usize],
+                    sbox_lookup(&SBOXES[s], six),
+                    "S{s} input {six:06b}"
+                );
+            }
+        }
+    }
+
+    /// The paper's Eq. 3 is the ANF of S1's first mini S-box, with its
+    /// `x1..x4` mapping to our column-bit variables `v3..v0`. All four
+    /// output equations match **bit-exactly** — the strongest possible
+    /// cross-validation of the decomposition pipeline.
+    #[test]
+    fn eq3_is_s1_row0_exactly() {
+        // Monomial over paper variables -> our little-endian v-mask bit.
+        let m = |xs: &[u32]| -> u16 {
+            let mask: u8 = xs.iter().map(|&x| 1u8 << (4 - x)).sum();
+            1u16 << mask
+        };
+        let y1 = 1 | m(&[1]) | m(&[2]) | m(&[1, 2]) | m(&[2, 3]) | m(&[1, 2, 3])
+            | m(&[4]) | m(&[2, 3, 4]);
+        let y2 = 1 | m(&[1]) | m(&[2]) | m(&[1, 3]) | m(&[2, 4]) | m(&[3, 4])
+            | m(&[1, 3, 4]);
+        let y3 = 1 | m(&[1, 2]) | m(&[3]) | m(&[1, 3]) | m(&[2, 3]) | m(&[1, 2, 3])
+            | m(&[4]) | m(&[1, 4]) | m(&[2, 4]) | m(&[1, 2, 4]) | m(&[3, 4]);
+        let y4 = m(&[1]) | m(&[3]) | m(&[1, 4]) | m(&[2, 4]) | m(&[1, 3, 4]);
+        let anf = MiniSboxAnf::new(0, 0);
+        assert_eq!(anf.outputs[0].coeffs, y1, "Eq. 3 y1");
+        assert_eq!(anf.outputs[1].coeffs, y2, "Eq. 3 y2");
+        assert_eq!(anf.outputs[2].coeffs, y3, "Eq. 3 y3");
+        assert_eq!(anf.outputs[3].coeffs, y4, "Eq. 3 y4");
+    }
+
+    /// Count the paper's "at most six degree-2 and four degree-3 terms".
+    #[test]
+    fn per_minibox_term_counts() {
+        for rows in mini_sbox_anfs() {
+            for anf in rows {
+                let deg2: std::collections::BTreeSet<u8> = anf
+                    .outputs
+                    .iter()
+                    .flat_map(|o| o.monomials_of_degree(2))
+                    .collect();
+                let deg3: std::collections::BTreeSet<u8> = anf
+                    .outputs
+                    .iter()
+                    .flat_map(|o| o.monomials_of_degree(3))
+                    .collect();
+                assert!(deg2.len() <= 6);
+                assert!(deg3.len() <= 4);
+            }
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! The paper's S-box decomposition (§IV-A): each DES S-box as four 4-bit
+//! *mini S-boxes* (its rows) selected by a masked 4:1 MUX, with the mini
+//! S-boxes expressed in Algebraic Normal Form so the AND stage reduces to
+//! the ten possible product terms of the four middle input bits.
+
+pub mod anf;
+pub mod masked;
+pub mod mini;
+
+pub use anf::Anf4;
+pub use masked::{masked_sbox, SboxRandomness};
+pub use mini::{mini_sbox_anfs, mini_truth_tables, MiniSboxAnf};

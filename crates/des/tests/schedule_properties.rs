@@ -1,0 +1,74 @@
+//! Structural properties of the gate-level control schedules.
+
+use gm_des::netlist_gen::driver::{schedule, CycleCtl};
+use gm_des::netlist_gen::SboxStyle;
+use gm_des::tables::SHIFTS;
+
+fn count(s: &[CycleCtl], f: impl Fn(&CycleCtl) -> bool) -> usize {
+    s.iter().filter(|c| f(c)).count()
+}
+
+#[test]
+fn ff_schedule_control_counts() {
+    let s = schedule(SboxStyle::Ff);
+    assert_eq!(count(&s, |c| c.load), 1);
+    assert_eq!(count(&s, |c| c.load_key), 1);
+    assert_eq!(count(&s, |c| c.ir_en), 16, "one IR capture per round");
+    assert_eq!(count(&s, |c| c.and1), 16);
+    assert_eq!(count(&s, |c| c.and2), 16);
+    assert_eq!(count(&s, |c| c.sel), 16);
+    assert_eq!(count(&s, |c| c.mux2), 16);
+    assert_eq!(count(&s, |c| c.sout), 16);
+    assert_eq!(count(&s, |c| c.state_en), 16);
+    assert_eq!(count(&s, |c| c.mid), 0, "no mid register in the FF core");
+}
+
+#[test]
+fn pd_schedule_control_counts() {
+    let s = schedule(SboxStyle::Pd { unit_luts: 10 });
+    assert_eq!(count(&s, |c| c.load), 2, "load + preload (state path held)");
+    assert_eq!(count(&s, |c| c.load_key), 1);
+    assert_eq!(count(&s, |c| c.ir_en), 16, "preload + 15 overlapped captures");
+    assert_eq!(count(&s, |c| c.mid), 16);
+    assert_eq!(count(&s, |c| c.state_en), 16);
+    assert_eq!(count(&s, |c| c.and1), 0, "no FF enables in the PD core");
+}
+
+#[test]
+fn rotation_amounts_follow_the_standard() {
+    // Every ir_en cycle carries the shift amount of the upcoming rotation;
+    // collecting them over the schedule must reproduce SHIFTS.
+    for style in [SboxStyle::Ff, SboxStyle::Pd { unit_luts: 10 }] {
+        let shifts: Vec<u8> = schedule(style)
+            .iter()
+            .filter(|c| c.ir_en)
+            .map(|c| if c.shift2 { 2 } else { 1 })
+            .collect();
+        assert_eq!(shifts.len(), 16, "{style:?}");
+        assert_eq!(shifts, SHIFTS.to_vec(), "{style:?}");
+    }
+}
+
+#[test]
+fn masks_presented_before_every_round() {
+    for style in [SboxStyle::Ff, SboxStyle::Pd { unit_luts: 10 }] {
+        let rounds: Vec<usize> = schedule(style)
+            .iter()
+            .filter_map(|c| c.masks_for_round)
+            .collect();
+        assert_eq!(rounds, (0..16).collect::<Vec<_>>(), "{style:?}");
+    }
+}
+
+#[test]
+fn at_most_one_capture_control_group_per_cycle() {
+    // Controls that capture different pipeline stages never overlap in
+    // the FF core (its whole point is sequencing the arrival order).
+    for c in schedule(SboxStyle::Ff) {
+        let stages = [c.and1, c.and2, c.sel, c.mux2, c.sout, c.state_en]
+            .iter()
+            .filter(|&&b| b)
+            .count();
+        assert!(stages <= 1, "FF stages are strictly sequenced: {c:?}");
+    }
+}

@@ -1,0 +1,296 @@
+//! χ²-based leakage detection (Moradi–Richter–Schneider–Standaert).
+//!
+//! Welch's t-test compares class *means* (and, preprocessed, higher
+//! moments one at a time); the χ² test compares the whole per-sample
+//! *histograms* of the two classes, catching distributional differences
+//! a fixed-order moment test can miss — e.g. multimodal leakage where
+//! means and variances coincide. Each sample point gets a contingency
+//! table over binned amplitudes; the statistic is reported as the
+//! log₁₀(p)-style score used in the leakage-detection literature
+//! (−log₁₀ p > 5 ⇔ roughly the ±4.5 t-test bar).
+
+use std::collections::BTreeMap;
+
+/// Per-sample histograms of both TVLA classes.
+#[derive(Debug, Clone)]
+pub struct Chi2 {
+    bin_width: f64,
+    /// `hist[class][sample][bin] -> count`.
+    hist: [Vec<BTreeMap<i64, u64>>; 2],
+    counts: [u64; 2],
+}
+
+impl Chi2 {
+    /// Accumulator for traces of `len` samples, binning amplitudes at
+    /// `bin_width` resolution.
+    pub fn new(len: usize, bin_width: f64) -> Self {
+        assert!(bin_width > 0.0, "bin width must be positive");
+        Chi2 {
+            bin_width,
+            hist: [vec![BTreeMap::new(); len], vec![BTreeMap::new(); len]],
+            counts: [0; 2],
+        }
+    }
+
+    /// Trace length.
+    pub fn len(&self) -> usize {
+        self.hist[0].len()
+    }
+
+    /// True when no traces have been added.
+    pub fn is_empty(&self) -> bool {
+        self.counts[0] + self.counts[1] == 0
+    }
+
+    /// Add one trace under class 0 (fixed) or 1 (random).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a length mismatch or a class index > 1.
+    pub fn add(&mut self, class: usize, trace: &[f64]) {
+        assert!(class < 2, "two classes");
+        assert_eq!(trace.len(), self.len(), "trace length mismatch");
+        self.counts[class] += 1;
+        for (h, &v) in self.hist[class].iter_mut().zip(trace) {
+            let bin = (v / self.bin_width).floor() as i64;
+            *h.entry(bin).or_default() += 1;
+        }
+    }
+
+    /// The χ² statistic and degrees of freedom at sample `i`, after
+    /// merging bins with expected count < 5 into their neighbours
+    /// (the standard validity rule).
+    pub fn statistic(&self, i: usize) -> (f64, usize) {
+        // Union of bins.
+        let mut bins: Vec<i64> = self.hist[0][i]
+            .keys()
+            .chain(self.hist[1][i].keys())
+            .copied()
+            .collect();
+        bins.sort_unstable();
+        bins.dedup();
+        let n0 = self.counts[0] as f64;
+        let n1 = self.counts[1] as f64;
+        let n = n0 + n1;
+        if n0 < 1.0 || n1 < 1.0 || bins.len() < 2 {
+            return (0.0, 0);
+        }
+        // Column totals per (possibly merged) bin.
+        let mut cells: Vec<(f64, f64)> = Vec::new();
+        let mut acc = (0.0, 0.0);
+        for b in bins {
+            acc.0 += self.hist[0][i].get(&b).copied().unwrap_or(0) as f64;
+            acc.1 += self.hist[1][i].get(&b).copied().unwrap_or(0) as f64;
+            let col = acc.0 + acc.1;
+            // Expected count in the smaller class for this column.
+            if col * n0.min(n1) / n >= 5.0 {
+                cells.push(acc);
+                acc = (0.0, 0.0);
+            }
+        }
+        if acc != (0.0, 0.0) {
+            match cells.last_mut() {
+                Some(last) => {
+                    last.0 += acc.0;
+                    last.1 += acc.1;
+                }
+                None => cells.push(acc),
+            }
+        }
+        if cells.len() < 2 {
+            return (0.0, 0);
+        }
+        let mut chi2 = 0.0;
+        for &(c0, c1) in &cells {
+            let col = c0 + c1;
+            let e0 = col * n0 / n;
+            let e1 = col * n1 / n;
+            chi2 += (c0 - e0) * (c0 - e0) / e0 + (c1 - e1) * (c1 - e1) / e1;
+        }
+        (chi2, cells.len() - 1)
+    }
+
+    /// −log₁₀ of the χ² upper-tail p-value at sample `i`.
+    pub fn neg_log10_p(&self, i: usize) -> f64 {
+        let (x, dof) = self.statistic(i);
+        if dof == 0 {
+            return 0.0;
+        }
+        -chi2_sf(x, dof).max(1e-300).log10()
+    }
+
+    /// The full −log₁₀(p) curve.
+    pub fn curve(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.neg_log10_p(i)).collect()
+    }
+}
+
+/// Survival function of the χ² distribution with `dof` degrees of
+/// freedom: `P(X > x) = Γ(dof/2, x/2) / Γ(dof/2)` (upper regularised
+/// incomplete gamma), via the series / continued-fraction split of
+/// Numerical Recipes.
+pub fn chi2_sf(x: f64, dof: usize) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    let a = dof as f64 / 2.0;
+    let x = x / 2.0;
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_cf(a, x)
+    }
+}
+
+fn ln_gamma(z: f64) -> f64 {
+    // Lanczos, g = 7.
+    const C: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if z < 0.5 {
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * z).sin().ln()
+            - ln_gamma(1.0 - z);
+    }
+    let z = z - 1.0;
+    let mut a = C[0];
+    for (i, &c) in C.iter().enumerate().skip(1) {
+        a += c / (z + i as f64);
+    }
+    let t = z + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (z + 0.5) * t.ln() - t + a.ln()
+}
+
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut sum = 1.0 / a;
+    let mut term = sum;
+    let mut ap = a;
+    for _ in 0..500 {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if term.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    let tiny = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / tiny;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        c = b + an / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn sf_reference_values() {
+        // χ²(1): P(X > 3.841) ≈ 0.05; χ²(4): P(X > 9.488) ≈ 0.05.
+        assert!((chi2_sf(3.841, 1) - 0.05).abs() < 2e-3);
+        assert!((chi2_sf(9.488, 4) - 0.05).abs() < 2e-3);
+        assert!((chi2_sf(0.0, 3) - 1.0).abs() < 1e-12);
+        assert!(chi2_sf(100.0, 2) < 1e-20);
+    }
+
+    #[test]
+    fn identical_distributions_stay_quiet() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut c = Chi2::new(1, 0.5);
+        for i in 0..20_000 {
+            let v = (rng.random::<f64>() * 8.0).round();
+            c.add(i % 2, &[v]);
+        }
+        assert!(c.neg_log10_p(0) < 5.0, "score {}", c.neg_log10_p(0));
+    }
+
+    #[test]
+    fn mean_shift_detected() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut c = Chi2::new(1, 0.5);
+        for i in 0..20_000 {
+            let shift = if i % 2 == 0 { 0.6 } else { 0.0 };
+            let v = (rng.random::<f64>() * 8.0 + shift).round();
+            c.add(i % 2, &[v]);
+        }
+        assert!(c.neg_log10_p(0) > 5.0, "score {}", c.neg_log10_p(0));
+    }
+
+    /// χ²'s selling point: a symmetric *bimodal* difference with matched
+    /// mean and variance that a 1st/2nd-order t-test cannot see.
+    #[test]
+    fn shape_difference_detected_where_t_test_is_blind() {
+        use crate::moments::TraceMoments;
+        use crate::ttest::{t_first_order, t_second_order};
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut chi = Chi2::new(1, 0.5);
+        let mut m0 = TraceMoments::new(1);
+        let mut m1 = TraceMoments::new(1);
+        for i in 0..30_000 {
+            let v = if i % 2 == 0 {
+                // Class 0: ±1 coin flip (mean 0, var 1).
+                if rng.random::<bool>() { 1.0 } else { -1.0 }
+            } else {
+                // Class 1: {-sqrt2, 0, +sqrt2} with probs ¼,½,¼
+                // (mean 0, var 1, same skew 0 — different shape).
+                match rng.random::<u8>() % 4 {
+                    0 => -(2.0f64).sqrt(),
+                    1 => (2.0f64).sqrt(),
+                    _ => 0.0,
+                }
+            };
+            chi.add(i % 2, &[v]);
+            if i % 2 == 0 {
+                m0.add(&[v]);
+            } else {
+                m1.add(&[v]);
+            }
+        }
+        assert!(t_first_order(&m0, &m1)[0].abs() < 4.5, "t1 blind");
+        assert!(t_second_order(&m0, &m1)[0].abs() < 4.5, "t2 blind");
+        assert!(chi.neg_log10_p(0) > 10.0, "chi2 sees it: {}", chi.neg_log10_p(0));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let c = Chi2::new(2, 1.0);
+        assert!(c.is_empty());
+        assert_eq!(c.statistic(0), (0.0, 0));
+        let mut one_sided = Chi2::new(1, 1.0);
+        one_sided.add(0, &[1.0]);
+        assert_eq!(one_sided.neg_log10_p(0), 0.0);
+    }
+}

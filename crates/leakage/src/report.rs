@@ -1,0 +1,116 @@
+//! Textual rendering of t-statistic curves and CSV dumps.
+//!
+//! The paper's figures are oscilloscope-style plots; in a terminal we show
+//! the same information as a coarse ASCII profile plus summary statistics,
+//! and write the full-resolution series to CSV for external plotting.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Render a t curve as a fixed-width ASCII profile with the ±4.5 band.
+///
+/// Each output column aggregates a window of samples by the value of
+/// largest magnitude, so narrow leakage spikes stay visible.
+pub fn ascii_curve(t: &[f64], width: usize) -> String {
+    const ROWS: i64 = 9; // odd: one centre row
+    if t.is_empty() || width == 0 {
+        return String::new();
+    }
+    let cols = width.min(t.len()).max(1);
+    let window = t.len().div_ceil(cols);
+    let peaks: Vec<f64> = t
+        .chunks(window)
+        .map(|c| c.iter().copied().fold(0.0f64, |m, v| if v.abs() > m.abs() { v } else { m }))
+        .collect();
+    let max_abs = peaks.iter().fold(4.5f64, |m, v| m.max(v.abs()));
+    let scale = (ROWS / 2) as f64 / max_abs;
+
+    let mut out = String::new();
+    for row in (-(ROWS / 2)..=ROWS / 2).rev() {
+        let row_t = row as f64 / scale;
+        let is_threshold_row =
+            (row_t.abs() - 4.5).abs() < 0.5 / scale && row != 0;
+        let _ = write!(out, "{:>8.1} |", row_t);
+        for &p in &peaks {
+            let bucket = (p * scale).round() as i64;
+            let ch = if row == 0 {
+                '-'
+            } else if (row > 0 && bucket >= row) || (row < 0 && bucket <= row) {
+                '#'
+            } else if is_threshold_row {
+                '·'
+            } else {
+                ' '
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    let max = peaks.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    let _ = writeln!(out, "max |t| = {max:.2} over {} samples", t.len());
+    out
+}
+
+/// Write `(sample_index, series...)` rows to a CSV file, creating parent
+/// directories as needed.
+pub fn write_csv(
+    path: impl AsRef<Path>,
+    headers: &[&str],
+    series: &[&[f64]],
+) -> io::Result<()> {
+    assert_eq!(headers.len(), series.len() + 1, "one header per column incl. index");
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let len = series.first().map_or(0, |s| s.len());
+    assert!(series.iter().all(|s| s.len() == len), "ragged series");
+    let mut body = String::with_capacity(len * 16);
+    let _ = writeln!(body, "{}", headers.join(","));
+    for i in 0..len {
+        let _ = write!(body, "{i}");
+        for s in series {
+            let _ = write!(body, ",{}", s[i]);
+        }
+        body.push('\n');
+    }
+    std::fs::write(path, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_curve_shows_peak() {
+        let mut t = vec![0.0; 100];
+        t[50] = 60.0;
+        let s = ascii_curve(&t, 50);
+        assert!(s.contains('#'), "peak rendered");
+        assert!(s.contains("max |t| = 60.00"));
+    }
+
+    #[test]
+    fn ascii_curve_flat_is_clean() {
+        let t = vec![0.3; 64];
+        let s = ascii_curve(&t, 32);
+        assert!(!s.contains('#'), "no spurious marks: {s}");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(ascii_curve(&[], 10).is_empty());
+        assert!(ascii_curve(&[1.0], 0).is_empty());
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("gm_leakage_csv_test");
+        let path = dir.join("t.csv");
+        write_csv(&path, &["i", "t1", "t2"], &[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "i,t1,t2\n0,1,3\n1,2,4\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

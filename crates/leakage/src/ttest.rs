@@ -1,0 +1,163 @@
+//! Welch t-tests of orders one to three over [`TraceMoments`] pairs.
+//!
+//! Following Schneider & Moradi ("Leakage Assessment Methodology", CHES
+//! 2015), the order-`d` univariate t-test is a first-order Welch test on
+//! preprocessed traces:
+//!
+//! * order 1 — the raw traces;
+//! * order 2 — centred squares `(x − μ)²`, whose per-class mean is the
+//!   central moment `CM₂` and variance `CM₄ − CM₂²`;
+//! * order 3 — standardised cubes `((x − μ)/σ)³`, with mean `CM₃/CM₂^{3/2}`
+//!   and variance `(CM₆ − CM₃²/CM₂)/CM₂³`.
+//!
+//! All quantities come from the streaming accumulator, so arbitrary-length
+//! campaigns need constant memory.
+
+use crate::moments::TraceMoments;
+
+fn welch(mean_a: f64, var_a: f64, na: f64, mean_b: f64, var_b: f64, nb: f64) -> f64 {
+    let denom = (var_a / na + var_b / nb).sqrt();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    (mean_a - mean_b) / denom
+}
+
+/// First-order Welch t-statistic per sample point.
+///
+/// # Panics
+///
+/// Panics when the accumulators have different lengths or fewer than two
+/// traces each.
+pub fn t_first_order(a: &TraceMoments, b: &TraceMoments) -> Vec<f64> {
+    check(a, b);
+    let (na, nb) = (a.count() as f64, b.count() as f64);
+    (0..a.len())
+        .map(|i| welch(a.mean()[i], a.variance(i), na, b.mean()[i], b.variance(i), nb))
+        .collect()
+}
+
+/// Second-order univariate t-statistic (centred squares) per sample point.
+pub fn t_second_order(a: &TraceMoments, b: &TraceMoments) -> Vec<f64> {
+    check(a, b);
+    let (na, nb) = (a.count() as f64, b.count() as f64);
+    (0..a.len())
+        .map(|i| {
+            let (ma, va) = centered_square_stats(a, i);
+            let (mb, vb) = centered_square_stats(b, i);
+            welch(ma, va, na, mb, vb, nb)
+        })
+        .collect()
+}
+
+/// Third-order univariate t-statistic (standardised cubes) per sample point.
+pub fn t_third_order(a: &TraceMoments, b: &TraceMoments) -> Vec<f64> {
+    check(a, b);
+    let (na, nb) = (a.count() as f64, b.count() as f64);
+    (0..a.len())
+        .map(|i| {
+            let (ma, va) = standardized_cube_stats(a, i);
+            let (mb, vb) = standardized_cube_stats(b, i);
+            welch(ma, va, na, mb, vb, nb)
+        })
+        .collect()
+}
+
+/// Mean and variance of the preprocessed trace `(x − μ)²` at sample `i`.
+fn centered_square_stats(m: &TraceMoments, i: usize) -> (f64, f64) {
+    let cm2 = m.central_moment(2, i);
+    let cm4 = m.central_moment(4, i);
+    (cm2, (cm4 - cm2 * cm2).max(0.0))
+}
+
+/// Mean and variance of the preprocessed trace `((x − μ)/σ)³` at sample `i`.
+fn standardized_cube_stats(m: &TraceMoments, i: usize) -> (f64, f64) {
+    let cm2 = m.central_moment(2, i);
+    if cm2 <= 0.0 {
+        return (0.0, 0.0);
+    }
+    let cm3 = m.central_moment(3, i);
+    let cm6 = m.central_moment(6, i);
+    let mean = cm3 / cm2.powf(1.5);
+    let var = ((cm6 - cm3 * cm3 / cm2) / (cm2 * cm2 * cm2)).max(0.0);
+    (mean, var)
+}
+
+fn check(a: &TraceMoments, b: &TraceMoments) {
+    assert_eq!(a.len(), b.len(), "trace length mismatch");
+    assert!(a.count() >= 2 && b.count() >= 2, "need at least two traces per class");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn gauss(rng: &mut SmallRng) -> f64 {
+        let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.random();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    fn acc(samples: impl Iterator<Item = f64>) -> TraceMoments {
+        let mut m = TraceMoments::new(1);
+        for s in samples {
+            m.add(&[s]);
+        }
+        m
+    }
+
+    #[test]
+    fn same_distribution_small_t() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = acc((0..20_000).map(|_| gauss(&mut rng)));
+        let b = acc((0..20_000).map(|_| gauss(&mut rng)));
+        assert!(t_first_order(&a, &b)[0].abs() < 4.5);
+        assert!(t_second_order(&a, &b)[0].abs() < 4.5);
+        assert!(t_third_order(&a, &b)[0].abs() < 4.5);
+    }
+
+    #[test]
+    fn mean_shift_detected_first_order_only() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let a = acc((0..20_000).map(|_| gauss(&mut rng) + 0.2));
+        let b = acc((0..20_000).map(|_| gauss(&mut rng)));
+        assert!(t_first_order(&a, &b)[0].abs() > 4.5, "shifted mean must flag");
+        assert!(t_second_order(&a, &b)[0].abs() < 4.5, "variance unchanged");
+    }
+
+    #[test]
+    fn variance_shift_detected_second_order() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        // Same mean, different variance: classic 2-share masked leakage shape.
+        let a = acc((0..40_000).map(|_| gauss(&mut rng) * 1.3));
+        let b = acc((0..40_000).map(|_| gauss(&mut rng)));
+        assert!(t_first_order(&a, &b)[0].abs() < 4.5, "means equal");
+        assert!(t_second_order(&a, &b)[0].abs() > 4.5, "variances differ");
+    }
+
+    #[test]
+    fn skew_shift_detected_third_order() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        // Class A: skewed (exponential-ish, standardised); class B: symmetric.
+        let a = acc((0..60_000).map(|_| {
+            let e: f64 = -rng.random::<f64>().max(f64::MIN_POSITIVE).ln();
+            e - 1.0 // mean 0, var 1, skew 2
+        }));
+        let b = acc((0..60_000).map(|_| gauss(&mut rng)));
+        assert!(
+            t_third_order(&a, &b)[0].abs() > 4.5,
+            "skewness difference must flag at third order: {}",
+            t_third_order(&a, &b)[0]
+        );
+        assert!(t_first_order(&a, &b)[0].abs() < 4.5);
+    }
+
+    #[test]
+    fn zero_variance_yields_zero_t() {
+        let a = acc([5.0, 5.0, 5.0].into_iter());
+        let b = acc([5.0, 5.0, 5.0].into_iter());
+        assert_eq!(t_first_order(&a, &b)[0], 0.0);
+    }
+}

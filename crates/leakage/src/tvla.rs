@@ -1,0 +1,296 @@
+//! Non-specific (fixed-vs-random) TVLA campaign harness.
+//!
+//! Mirrors the paper's methodology (§VII): per acquisition the device gets
+//! either the fixed or a random plaintext, chosen uniformly at random, and
+//! per-class trace statistics are accumulated. Acquisition parallelises
+//! across threads; every worker owns an independently-forked
+//! [`TraceSource`] (its own simulated "device" RNG streams) and the
+//! per-class moment accumulators merge at synchronisation points.
+
+use crate::moments::TraceMoments;
+use crate::ttest::{t_first_order, t_second_order, t_third_order};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// TVLA trace class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// The fixed plaintext.
+    Fixed,
+    /// A fresh random plaintext.
+    Random,
+}
+
+/// A source of power traces for a TVLA campaign.
+///
+/// Implementors wrap a simulated device (gadget test-bench, masked DES
+/// core, …). A source is *stateful*: consecutive calls may share device
+/// state, exactly like consecutive acquisitions on a real target.
+pub trait TraceSource: Send {
+    /// Create an independent copy for worker `stream` (distinct RNG
+    /// streams, same circuit).
+    fn fork(&self, stream: u64) -> Self
+    where
+        Self: Sized;
+
+    /// Number of samples per trace.
+    fn num_samples(&self) -> usize;
+
+    /// Acquire one trace of the given class into `out`
+    /// (`out.len() == self.num_samples()`).
+    fn trace(&mut self, class: Class, out: &mut [f64]);
+}
+
+/// Accumulated result of a TVLA campaign.
+#[derive(Debug, Clone)]
+pub struct TvlaResult {
+    /// Moments of the fixed class.
+    pub fixed: TraceMoments,
+    /// Moments of the random class.
+    pub random: TraceMoments,
+}
+
+impl TvlaResult {
+    /// Empty result for traces of `len` samples.
+    pub fn new(len: usize) -> Self {
+        TvlaResult { fixed: TraceMoments::new(len), random: TraceMoments::new(len) }
+    }
+
+    /// Total traces over both classes.
+    pub fn total_traces(&self) -> u64 {
+        self.fixed.count() + self.random.count()
+    }
+
+    /// First-order t curve.
+    pub fn t1(&self) -> Vec<f64> {
+        t_first_order(&self.fixed, &self.random)
+    }
+
+    /// Second-order t curve.
+    pub fn t2(&self) -> Vec<f64> {
+        t_second_order(&self.fixed, &self.random)
+    }
+
+    /// Third-order t curve.
+    pub fn t3(&self) -> Vec<f64> {
+        t_third_order(&self.fixed, &self.random)
+    }
+
+    /// Largest |t| of the first-order curve.
+    pub fn max_abs_t1(&self) -> f64 {
+        self.t1().iter().fold(0.0, |m, t| m.max(t.abs()))
+    }
+
+    /// Merge a partial result (from a worker).
+    pub fn merge(&mut self, other: &TvlaResult) {
+        self.fixed.merge(&other.fixed);
+        self.random.merge(&other.random);
+    }
+}
+
+/// Campaign configuration.
+///
+/// # Examples
+///
+/// ```
+/// use gm_leakage::{Campaign, Class, TraceSource};
+///
+/// // A device that leaks nothing: one flat noisy sample.
+/// #[derive(Clone)]
+/// struct Quiet(u64);
+/// impl TraceSource for Quiet {
+///     fn fork(&self, stream: u64) -> Self { Quiet(self.0 ^ stream) }
+///     fn num_samples(&self) -> usize { 1 }
+///     fn trace(&mut self, _class: Class, out: &mut [f64]) {
+///         self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+///         out[0] = (self.0 >> 33) as f64 / 1e9;
+///     }
+/// }
+///
+/// let result = Campaign::sequential(2_000, 42).run(&Quiet(7));
+/// assert!(result.max_abs_t1() < 4.5);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Campaign {
+    /// Total number of traces to acquire.
+    pub traces: u64,
+    /// Worker threads (1 = fully sequential and deterministic).
+    pub threads: usize,
+    /// Master seed for class selection and source forking.
+    pub seed: u64,
+}
+
+impl Campaign {
+    /// A single-threaded campaign (deterministic trace order).
+    pub fn sequential(traces: u64, seed: u64) -> Self {
+        Campaign { traces, threads: 1, seed }
+    }
+
+    /// A campaign using all available parallelism.
+    pub fn parallel(traces: u64, seed: u64) -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        Campaign { traces, threads, seed }
+    }
+
+    /// Run the whole campaign and return the accumulated result.
+    pub fn run<S: TraceSource>(&self, source: &S) -> TvlaResult {
+        self.run_chunked(source, &[self.traces], |_, _| true)
+            .expect("single checkpoint provided")
+    }
+
+    /// Run the campaign in chunks, invoking `checkpoint` after every chunk
+    /// with the cumulative trace count and result. Returning `false` stops
+    /// the campaign early (used by traces-to-detection estimation).
+    ///
+    /// `chunk_ends` are cumulative trace counts, strictly increasing; the
+    /// last entry is the campaign total.
+    ///
+    /// Returns `None` when `chunk_ends` is empty.
+    pub fn run_chunked<S: TraceSource>(
+        &self,
+        source: &S,
+        chunk_ends: &[u64],
+        mut checkpoint: impl FnMut(u64, &TvlaResult) -> bool,
+    ) -> Option<TvlaResult> {
+        if chunk_ends.is_empty() {
+            return None;
+        }
+        let threads = self.threads.max(1);
+        let mut workers: Vec<S> = (0..threads).map(|w| source.fork(w as u64)).collect();
+        let mut rngs: Vec<SmallRng> = (0..threads)
+            .map(|w| SmallRng::seed_from_u64(self.seed ^ 0xa076_1d64_78bd_642fu64.wrapping_mul(w as u64 + 1)))
+            .collect();
+        let mut result = TvlaResult::new(source.num_samples());
+        let mut done = 0u64;
+
+        for &end in chunk_ends {
+            assert!(end >= done, "chunk ends must be non-decreasing");
+            let todo = end - done;
+            if todo > 0 {
+                let per = todo / threads as u64;
+                let extra = (todo % threads as u64) as usize;
+                let num_samples = source.num_samples();
+
+                let partials: Vec<TvlaResult> = crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = workers
+                        .iter_mut()
+                        .zip(rngs.iter_mut())
+                        .enumerate()
+                        .map(|(w, (src, rng))| {
+                            let quota = per + u64::from(w < extra);
+                            scope.spawn(move |_| {
+                                let mut local = TvlaResult::new(num_samples);
+                                let mut buf = vec![0.0f64; num_samples];
+                                for _ in 0..quota {
+                                    let class =
+                                        if rng.random::<bool>() { Class::Fixed } else { Class::Random };
+                                    src.trace(class, &mut buf);
+                                    match class {
+                                        Class::Fixed => local.fixed.add(&buf),
+                                        Class::Random => local.random.add(&buf),
+                                    }
+                                }
+                                local
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+                })
+                .expect("scope panicked");
+
+                for p in &partials {
+                    result.merge(p);
+                }
+                done = end;
+            }
+            if !checkpoint(done, &result) {
+                break;
+            }
+        }
+        Some(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic device leaking `class` into sample 1 only.
+    #[derive(Clone)]
+    struct LeakyToy {
+        rng: SmallRng,
+        leak: f64,
+    }
+
+    impl LeakyToy {
+        fn new(leak: f64) -> Self {
+            LeakyToy { rng: SmallRng::seed_from_u64(99), leak }
+        }
+    }
+
+    impl TraceSource for LeakyToy {
+        fn fork(&self, stream: u64) -> Self {
+            LeakyToy { rng: SmallRng::seed_from_u64(stream.wrapping_mul(0x9e37) ^ 7), leak: self.leak }
+        }
+        fn num_samples(&self) -> usize {
+            3
+        }
+        fn trace(&mut self, class: Class, out: &mut [f64]) {
+            let noise = |r: &mut SmallRng| r.random::<f64>() - 0.5;
+            out[0] = noise(&mut self.rng);
+            out[1] = noise(&mut self.rng)
+                + if class == Class::Fixed { self.leak } else { 0.0 };
+            out[2] = noise(&mut self.rng);
+        }
+    }
+
+    #[test]
+    fn leak_detected_at_leaky_sample_only() {
+        let c = Campaign::sequential(8_000, 1);
+        let r = c.run(&LeakyToy::new(0.2));
+        let t = r.t1();
+        assert!(t[1].abs() > 4.5, "t at leaky sample: {}", t[1]);
+        assert!(t[0].abs() < 4.5 && t[2].abs() < 4.5, "clean samples stay clean");
+    }
+
+    #[test]
+    fn clean_device_passes() {
+        let c = Campaign::sequential(8_000, 2);
+        let r = c.run(&LeakyToy::new(0.0));
+        assert!(r.max_abs_t1() < 4.5);
+    }
+
+    #[test]
+    fn classes_roughly_balanced() {
+        let c = Campaign::sequential(10_000, 3);
+        let r = c.run(&LeakyToy::new(0.0));
+        let f = r.fixed.count() as f64;
+        let n = r.total_traces() as f64;
+        assert_eq!(r.total_traces(), 10_000);
+        assert!((f / n - 0.5).abs() < 0.05, "fixed fraction {}", f / n);
+    }
+
+    #[test]
+    fn parallel_equals_more_threads() {
+        let seq = Campaign { traces: 6_000, threads: 1, seed: 4 }.run(&LeakyToy::new(0.3));
+        let par = Campaign { traces: 6_000, threads: 4, seed: 4 }.run(&LeakyToy::new(0.3));
+        // Different trace partitioning, same statistics up to sampling noise.
+        assert!(seq.t1()[1].abs() > 4.5);
+        assert!(par.t1()[1].abs() > 4.5);
+        assert_eq!(par.total_traces(), 6_000);
+    }
+
+    #[test]
+    fn chunked_checkpoints_cumulative_and_stoppable() {
+        let c = Campaign::sequential(10_000, 5);
+        let mut seen = Vec::new();
+        let r = c
+            .run_chunked(&LeakyToy::new(0.5), &[1_000, 2_000, 10_000], |n, res| {
+                seen.push((n, res.total_traces()));
+                n < 2_000 // stop after the second checkpoint
+            })
+            .unwrap();
+        assert_eq!(seen, vec![(1_000, 1_000), (2_000, 2_000)]);
+        assert_eq!(r.total_traces(), 2_000);
+    }
+}

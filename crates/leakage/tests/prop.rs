@@ -1,0 +1,105 @@
+//! Property-based tests for the streaming statistics: the one-pass
+//! central moments and their merges must match naive two-pass
+//! computation on arbitrary data, and the t-tests must respect their
+//! symmetries.
+
+use gm_leakage::moments::TraceMoments;
+use gm_leakage::ttest::{t_first_order, t_second_order, t_third_order};
+use proptest::prelude::*;
+
+fn finite_samples(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3f64..1e3, 4..len)
+}
+
+fn naive_central_sum(xs: &[f64], p: i32) -> f64 {
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    xs.iter().map(|x| (x - mean).powi(p)).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Streaming central sums match the two-pass computation for every
+    /// order we track.
+    #[test]
+    fn streaming_matches_two_pass(xs in finite_samples(120)) {
+        let mut m = TraceMoments::new(1);
+        for &x in &xs {
+            m.add(&[x]);
+        }
+        prop_assert_eq!(m.count(), xs.len() as u64);
+        for p in 2..=6usize {
+            let got = m.central_sum(p, 0);
+            let want = naive_central_sum(&xs, p as i32);
+            let scale = want.abs().max(1.0);
+            prop_assert!(
+                (got - want).abs() / scale < 1e-6,
+                "order {}: {} vs {}", p, got, want
+            );
+        }
+    }
+
+    /// Merging split accumulators equals one accumulator over the
+    /// concatenation, for any split point.
+    #[test]
+    fn merge_equals_concat(xs in finite_samples(120), split_frac in 0.0f64..1.0) {
+        let split = ((xs.len() as f64) * split_frac) as usize;
+        let (l, r) = xs.split_at(split.min(xs.len()));
+        let mut a = TraceMoments::new(1);
+        l.iter().for_each(|&x| a.add(&[x]));
+        let mut b = TraceMoments::new(1);
+        r.iter().for_each(|&x| b.add(&[x]));
+        a.merge(&b);
+
+        let mut whole = TraceMoments::new(1);
+        xs.iter().for_each(|&x| whole.add(&[x]));
+
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean()[0] - whole.mean()[0]).abs() < 1e-9);
+        for p in 2..=6usize {
+            let (g, w) = (a.central_sum(p, 0), whole.central_sum(p, 0));
+            let scale = w.abs().max(1.0);
+            prop_assert!((g - w).abs() / scale < 1e-6, "order {}: {} vs {}", p, g, w);
+        }
+    }
+
+    /// Welch t-tests are antisymmetric in their arguments.
+    #[test]
+    fn t_tests_antisymmetric(xs in finite_samples(60), ys in finite_samples(60)) {
+        let mut a = TraceMoments::new(1);
+        xs.iter().for_each(|&x| a.add(&[x]));
+        let mut b = TraceMoments::new(1);
+        ys.iter().for_each(|&y| b.add(&[y]));
+        for f in [t_first_order, t_second_order, t_third_order] {
+            let ab = f(&a, &b)[0];
+            let ba = f(&b, &a)[0];
+            prop_assert!((ab + ba).abs() < 1e-9, "{} vs {}", ab, ba);
+        }
+    }
+
+    /// A common shift leaves every central moment unchanged, so the
+    /// higher-order t-tests are translation invariant.
+    #[test]
+    fn moments_translation_invariant(xs in finite_samples(80), shift in -1e3f64..1e3) {
+        let mut m = TraceMoments::new(1);
+        xs.iter().for_each(|&x| m.add(&[x]));
+        let mut ms = TraceMoments::new(1);
+        xs.iter().for_each(|&x| ms.add(&[x + shift]));
+        for p in 2..=6usize {
+            let (a, b) = (m.central_sum(p, 0), ms.central_sum(p, 0));
+            let scale = a.abs().max(1.0);
+            prop_assert!((a - b).abs() / scale < 1e-5, "order {}: {} vs {}", p, a, b);
+        }
+    }
+
+    /// Identical classes never flag, at any order.
+    #[test]
+    fn identical_classes_never_flag(xs in finite_samples(100)) {
+        let mut a = TraceMoments::new(1);
+        let mut b = TraceMoments::new(1);
+        xs.iter().for_each(|&x| { a.add(&[x]); b.add(&[x]); });
+        prop_assert!(t_first_order(&a, &b)[0].abs() < 1e-9);
+        prop_assert!(t_second_order(&a, &b)[0].abs() < 1e-9);
+        prop_assert!(t_third_order(&a, &b)[0].abs() < 1e-9);
+    }
+}

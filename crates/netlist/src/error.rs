@@ -1,0 +1,56 @@
+//! Structural error types for netlist construction and validation.
+
+use crate::gate::GateId;
+use crate::netlist::NetId;
+use std::fmt;
+
+/// Errors raised during netlist construction or validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A net is driven by more than one gate or primary input.
+    MultipleDrivers {
+        /// The doubly-driven net.
+        net: NetId,
+        /// The gate attempting to add a second driver.
+        gate: GateId,
+    },
+    /// A net is used as a gate input or primary output but has no driver.
+    UndrivenNet {
+        /// The floating net.
+        net: NetId,
+    },
+    /// The combinational subgraph contains a cycle.
+    CombinationalLoop {
+        /// A net on the cycle.
+        net: NetId,
+    },
+    /// A gate was constructed with the wrong number of input pins.
+    ArityMismatch {
+        /// The offending gate.
+        gate: GateId,
+        /// Expected pin count.
+        expected: usize,
+        /// Provided pin count.
+        found: usize,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::MultipleDrivers { net, gate } => {
+                write!(f, "net {net:?} already has a driver; gate {gate:?} adds a second one")
+            }
+            NetlistError::UndrivenNet { net } => write!(f, "net {net:?} has no driver"),
+            NetlistError::CombinationalLoop { net } => {
+                write!(f, "combinational loop through net {net:?}")
+            }
+            NetlistError::ArityMismatch { gate, expected, found } => {
+                write!(f, "gate {gate:?} expects {expected} inputs, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}

@@ -1,0 +1,272 @@
+//! Gate (standard cell) definitions: logic, area, and nominal timing.
+
+use crate::netlist::NetId;
+
+/// Identifier of a gate inside a [`crate::Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GateId(pub u32);
+
+impl GateId {
+    /// Index into the netlist's gate arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Configuration of a D flip-flop cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct DffConfig {
+    /// The FF samples its `d` input only while the `enable` input is high.
+    pub has_enable: bool,
+    /// The FF clears to 0 while the `reset` input is high (synchronous).
+    pub has_reset: bool,
+}
+
+/// The standard-cell library.
+///
+/// Area weights are in gate equivalents (GE, NAND2 = 1.0) in the style of
+/// the NanGate 45 nm Open Cell Library used by the paper for its ASIC
+/// numbers. Nominal delays are in picoseconds and are calibrated so that
+/// the two DES cores land near the paper's reported maximum frequencies
+/// (~183 MHz for the secAND2-FF core, ~21 MHz for the secAND2-PD core whose
+/// critical path runs through 4 DelayUnits of 10 [`GateKind::DelayBuf`]s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Inverter.
+    Inv,
+    /// Non-inverting buffer.
+    Buf,
+    /// Delay element: a LUT wired as a buffer on FPGA (Section V of the
+    /// paper), or a chain of inverters on ASIC. Logically an identity.
+    DelayBuf,
+    /// 2-input AND.
+    And2,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer; inputs are `[sel, a, b]`, output `a` when `sel = 0`.
+    Mux2,
+    /// D flip-flop; inputs are `[d]`, then `enable` and/or `reset` when
+    /// configured. Clocking is handled by the simulator, not by
+    /// combinational evaluation.
+    Dff(DffConfig),
+}
+
+impl GateKind {
+    /// Number of input pins this cell expects.
+    pub fn num_inputs(self) -> usize {
+        match self {
+            GateKind::Inv | GateKind::Buf | GateKind::DelayBuf => 1,
+            GateKind::And2
+            | GateKind::Nand2
+            | GateKind::Or2
+            | GateKind::Nor2
+            | GateKind::Xor2
+            | GateKind::Xnor2 => 2,
+            GateKind::Mux2 => 3,
+            GateKind::Dff(cfg) => 1 + usize::from(cfg.has_enable) + usize::from(cfg.has_reset),
+        }
+    }
+
+    /// True for sequential cells (flip-flops).
+    pub fn is_sequential(self) -> bool {
+        matches!(self, GateKind::Dff(_))
+    }
+
+    /// Combinational function of the cell.
+    ///
+    /// For a [`GateKind::Dff`] this returns the *current* state unchanged
+    /// (`inputs[0]` is ignored); register updates are performed by the
+    /// clocked simulation harness.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs.len() != self.num_inputs()`.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert_eq!(
+            inputs.len(),
+            self.num_inputs(),
+            "{self:?} expects {} inputs, got {}",
+            self.num_inputs(),
+            inputs.len()
+        );
+        match self {
+            GateKind::Inv => !inputs[0],
+            GateKind::Buf | GateKind::DelayBuf => inputs[0],
+            GateKind::And2 => inputs[0] & inputs[1],
+            GateKind::Nand2 => !(inputs[0] & inputs[1]),
+            GateKind::Or2 => inputs[0] | inputs[1],
+            GateKind::Nor2 => !(inputs[0] | inputs[1]),
+            GateKind::Xor2 => inputs[0] ^ inputs[1],
+            GateKind::Xnor2 => !(inputs[0] ^ inputs[1]),
+            GateKind::Mux2 => {
+                if inputs[0] {
+                    inputs[2]
+                } else {
+                    inputs[1]
+                }
+            }
+            // Registers hold their value under combinational evaluation.
+            GateKind::Dff(_) => false,
+        }
+    }
+
+    /// Compute the next state of a [`GateKind::Dff`] at a clock edge.
+    ///
+    /// `inputs` follows the pin order `[d, enable?, reset?]`.
+    pub fn dff_next(self, current: bool, inputs: &[bool]) -> bool {
+        let GateKind::Dff(cfg) = self else {
+            panic!("dff_next called on combinational cell {self:?}")
+        };
+        let mut idx = 1;
+        let enabled = if cfg.has_enable {
+            let e = inputs[idx];
+            idx += 1;
+            e
+        } else {
+            true
+        };
+        let reset = if cfg.has_reset { inputs[idx] } else { false };
+        if reset {
+            false
+        } else if enabled {
+            inputs[0]
+        } else {
+            current
+        }
+    }
+
+    /// Area weight in gate equivalents (NAND2 = 1.0).
+    pub fn area_ge(self) -> f64 {
+        match self {
+            GateKind::Inv => 0.67,
+            GateKind::Buf => 1.00,
+            // The paper sizes an ASIC DelayUnit as 120 inverters; a single
+            // DelayBuf is one inverter-pair-equivalent worth of delay cell.
+            GateKind::DelayBuf => 8.04, // 12 inverters (see `delay_unit` docs)
+            GateKind::And2 | GateKind::Or2 => 1.33,
+            GateKind::Nand2 | GateKind::Nor2 => 1.00,
+            GateKind::Xor2 | GateKind::Xnor2 => 2.33,
+            GateKind::Mux2 => 2.33,
+            GateKind::Dff(cfg) => {
+                4.67 + if cfg.has_enable { 1.33 } else { 0.0 }
+                    + if cfg.has_reset { 0.67 } else { 0.0 }
+            }
+        }
+    }
+
+    /// Nominal propagation delay in picoseconds.
+    ///
+    /// These model FPGA LUT levels plus local routing, which is why they
+    /// are much larger than raw 45 nm cell delays; relative magnitudes are
+    /// what matters for glitch behaviour.
+    pub fn nominal_delay_ps(self) -> u64 {
+        match self {
+            GateKind::Inv => 150,
+            GateKind::Buf => 175,
+            // One LUT-as-buffer including its routing detour. Ten of these
+            // form the paper's optimal DelayUnit.
+            GateKind::DelayBuf => 1150,
+            GateKind::And2 | GateKind::Nand2 => 350,
+            GateKind::Or2 | GateKind::Nor2 => 350,
+            GateKind::Xor2 | GateKind::Xnor2 => 450,
+            GateKind::Mux2 => 450,
+            // Clk-to-Q delay.
+            GateKind::Dff(_) => 225,
+        }
+    }
+}
+
+/// A gate instance inside a [`crate::Netlist`].
+#[derive(Debug, Clone)]
+pub struct Gate {
+    /// Cell type.
+    pub kind: GateKind,
+    /// Input nets in pin order.
+    pub inputs: Vec<NetId>,
+    /// Output net.
+    pub output: NetId,
+    /// Index into the netlist's module-path table (for hierarchy reports).
+    pub module: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_tables() {
+        let f = false;
+        let t = true;
+        assert!(GateKind::Inv.eval(&[f]));
+        assert!(!GateKind::Inv.eval(&[t]));
+        assert!(GateKind::Buf.eval(&[t]));
+        assert!(GateKind::DelayBuf.eval(&[t]));
+        assert!(!GateKind::DelayBuf.eval(&[f]));
+        for a in [f, t] {
+            for b in [f, t] {
+                assert_eq!(GateKind::And2.eval(&[a, b]), a & b);
+                assert_eq!(GateKind::Nand2.eval(&[a, b]), !(a & b));
+                assert_eq!(GateKind::Or2.eval(&[a, b]), a | b);
+                assert_eq!(GateKind::Nor2.eval(&[a, b]), !(a | b));
+                assert_eq!(GateKind::Xor2.eval(&[a, b]), a ^ b);
+                assert_eq!(GateKind::Xnor2.eval(&[a, b]), !(a ^ b));
+                assert_eq!(GateKind::Mux2.eval(&[f, a, b]), a);
+                assert_eq!(GateKind::Mux2.eval(&[t, a, b]), b);
+            }
+        }
+    }
+
+    #[test]
+    fn dff_pin_counts() {
+        assert_eq!(GateKind::Dff(DffConfig::default()).num_inputs(), 1);
+        assert_eq!(
+            GateKind::Dff(DffConfig { has_enable: true, has_reset: false }).num_inputs(),
+            2
+        );
+        assert_eq!(
+            GateKind::Dff(DffConfig { has_enable: true, has_reset: true }).num_inputs(),
+            3
+        );
+    }
+
+    #[test]
+    fn dff_next_state() {
+        let plain = GateKind::Dff(DffConfig::default());
+        assert!(plain.dff_next(false, &[true]));
+        assert!(!plain.dff_next(true, &[false]));
+
+        let en = GateKind::Dff(DffConfig { has_enable: true, has_reset: false });
+        // Disabled: holds.
+        assert!(en.dff_next(true, &[false, false]));
+        assert!(!en.dff_next(false, &[true, false]));
+        // Enabled: samples.
+        assert!(en.dff_next(false, &[true, true]));
+
+        let full = GateKind::Dff(DffConfig { has_enable: true, has_reset: true });
+        // Reset dominates.
+        assert!(!full.dff_next(true, &[true, true, true]));
+        assert!(full.dff_next(false, &[true, true, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 inputs")]
+    fn wrong_arity_panics() {
+        GateKind::And2.eval(&[true]);
+    }
+
+    #[test]
+    fn nand2_is_the_area_unit() {
+        assert_eq!(GateKind::Nand2.area_ge(), 1.0);
+        assert!(GateKind::Xor2.area_ge() > GateKind::And2.area_ge());
+        assert!(GateKind::Dff(DffConfig::default()).area_ge() > GateKind::Xor2.area_ge());
+    }
+}

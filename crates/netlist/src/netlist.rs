@@ -1,0 +1,465 @@
+//! The [`Netlist`] arena and its builder API.
+
+use crate::error::NetlistError;
+use crate::gate::{DffConfig, Gate, GateId, GateKind};
+
+/// Identifier of a net (wire) inside a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub u32);
+
+impl NetId {
+    /// Index into the netlist's net arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What drives a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Driver {
+    /// Nothing yet (an error if still the case at validation time).
+    None,
+    /// A primary input.
+    PrimaryInput,
+    /// The output of a gate.
+    Gate(GateId),
+    /// A constant value (tie-low / tie-high cell).
+    Constant(bool),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct NetInfo {
+    pub name: Option<String>,
+    pub driver: Driver,
+}
+
+/// A flat, hierarchically-annotated gate-level netlist.
+///
+/// Gates and nets live in arenas addressed by [`GateId`] and [`NetId`].
+/// Hierarchy is recorded as a module path string per gate (set via
+/// [`Netlist::enter_module`] / [`Netlist::exit_module`]) which feeds the
+/// per-module area report; the graph itself is flat, mirroring the
+/// "Keep Hierarchy" synthesis constraint the paper uses only for
+/// optimisation barriers.
+///
+/// # Examples
+///
+/// ```
+/// use gm_netlist::Netlist;
+///
+/// let mut n = Netlist::new("half_adder");
+/// let a = n.input("a");
+/// let b = n.input("b");
+/// let sum = n.xor2(a, b);
+/// let carry = n.and2(a, b);
+/// n.output("sum", sum);
+/// n.output("carry", carry);
+/// n.validate().unwrap();
+/// assert_eq!(n.num_gates(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: String,
+    pub(crate) nets: Vec<NetInfo>,
+    pub(crate) gates: Vec<Gate>,
+    inputs: Vec<NetId>,
+    outputs: Vec<(String, NetId)>,
+    module_paths: Vec<String>,
+    scope: Vec<String>,
+    current_module: u32,
+}
+
+impl Netlist {
+    /// Create an empty netlist. The top module path is `""`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            nets: Vec::new(),
+            gates: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            module_paths: vec![String::new()],
+            scope: Vec::new(),
+            current_module: 0,
+        }
+    }
+
+    /// Design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of gate instances.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Primary inputs in declaration order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary outputs as `(name, net)` pairs in declaration order.
+    pub fn outputs(&self) -> &[(String, NetId)] {
+        &self.outputs
+    }
+
+    /// All gates.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The gate with the given id.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// Driver of a net.
+    pub fn driver(&self, net: NetId) -> Driver {
+        self.nets[net.index()].driver
+    }
+
+    /// Name of a net, if it was given one.
+    pub fn net_name(&self, net: NetId) -> Option<&str> {
+        self.nets[net.index()].name.as_deref()
+    }
+
+    /// Module path of a gate (e.g. `"sbox0/mini2"`).
+    pub fn module_of(&self, gate: GateId) -> &str {
+        &self.module_paths[self.gates[gate.index()].module as usize]
+    }
+
+    /// All distinct module paths that appear in the design.
+    pub fn module_paths(&self) -> &[String] {
+        &self.module_paths
+    }
+
+    // ----- hierarchy -------------------------------------------------------
+
+    /// Enter a child module scope; gates created until the matching
+    /// [`Netlist::exit_module`] are attributed to it.
+    pub fn enter_module(&mut self, name: impl AsRef<str>) {
+        self.scope.push(name.as_ref().to_owned());
+        let path = self.scope.join("/");
+        self.current_module = match self.module_paths.iter().position(|p| *p == path) {
+            Some(i) => i as u32,
+            None => {
+                self.module_paths.push(path);
+                (self.module_paths.len() - 1) as u32
+            }
+        };
+    }
+
+    /// Leave the innermost module scope.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called at top level.
+    pub fn exit_module(&mut self) {
+        self.scope.pop().expect("exit_module at top level");
+        let path = self.scope.join("/");
+        self.current_module = self
+            .module_paths
+            .iter()
+            .position(|p| *p == path)
+            .expect("parent scope must exist") as u32;
+    }
+
+    /// Run `f` inside a child module scope.
+    pub fn in_module<T>(&mut self, name: impl AsRef<str>, f: impl FnOnce(&mut Self) -> T) -> T {
+        self.enter_module(name);
+        let out = f(self);
+        self.exit_module();
+        out
+    }
+
+    // ----- net/gate creation ----------------------------------------------
+
+    fn fresh_net(&mut self, name: Option<String>) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(NetInfo { name, driver: Driver::None });
+        id
+    }
+
+    /// Declare a named primary input and return its net.
+    pub fn input(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.fresh_net(Some(name.into()));
+        self.nets[id.index()].driver = Driver::PrimaryInput;
+        self.inputs.push(id);
+        id
+    }
+
+    /// Declare a named primary output driven by `net`.
+    pub fn output(&mut self, name: impl Into<String>, net: NetId) {
+        self.outputs.push((name.into(), net));
+    }
+
+    /// A constant-0 net (tie-low).
+    pub fn const0(&mut self) -> NetId {
+        let id = self.fresh_net(None);
+        self.nets[id.index()].driver = Driver::Constant(false);
+        id
+    }
+
+    /// A constant-1 net (tie-high).
+    pub fn const1(&mut self) -> NetId {
+        let id = self.fresh_net(None);
+        self.nets[id.index()].driver = Driver::Constant(true);
+        id
+    }
+
+    /// Instantiate a gate of `kind` over `inputs`, returning its output net.
+    ///
+    /// # Panics
+    ///
+    /// Panics on pin-count mismatch; structural problems that cannot be
+    /// detected locally are reported by [`Netlist::validate`].
+    pub fn add_gate(&mut self, kind: GateKind, inputs: &[NetId]) -> NetId {
+        assert_eq!(
+            inputs.len(),
+            kind.num_inputs(),
+            "{kind:?} expects {} pins, got {}",
+            kind.num_inputs(),
+            inputs.len()
+        );
+        let out = self.fresh_net(None);
+        let gid = GateId(self.gates.len() as u32);
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output: out,
+            module: self.current_module,
+        });
+        self.nets[out.index()].driver = Driver::Gate(gid);
+        out
+    }
+
+    /// Inverter.
+    pub fn inv(&mut self, a: NetId) -> NetId {
+        self.add_gate(GateKind::Inv, &[a])
+    }
+
+    /// Buffer.
+    pub fn buf(&mut self, a: NetId) -> NetId {
+        self.add_gate(GateKind::Buf, &[a])
+    }
+
+    /// A single delay element (one LUT-as-buffer / inverter-chain segment).
+    pub fn delay_buf(&mut self, a: NetId) -> NetId {
+        self.add_gate(GateKind::DelayBuf, &[a])
+    }
+
+    /// A chain of `n` delay elements — the paper's *DelayUnit* when
+    /// `n == 10` on FPGA. Returns the delayed net.
+    pub fn delay_chain(&mut self, mut a: NetId, n: usize) -> NetId {
+        for _ in 0..n {
+            a = self.delay_buf(a);
+        }
+        a
+    }
+
+    /// 2-input AND.
+    pub fn and2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.add_gate(GateKind::And2, &[a, b])
+    }
+
+    /// 2-input NAND.
+    pub fn nand2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.add_gate(GateKind::Nand2, &[a, b])
+    }
+
+    /// 2-input OR.
+    pub fn or2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.add_gate(GateKind::Or2, &[a, b])
+    }
+
+    /// 2-input NOR.
+    pub fn nor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.add_gate(GateKind::Nor2, &[a, b])
+    }
+
+    /// 2-input XOR.
+    pub fn xor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.add_gate(GateKind::Xor2, &[a, b])
+    }
+
+    /// 2-input XNOR.
+    pub fn xnor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.add_gate(GateKind::Xnor2, &[a, b])
+    }
+
+    /// 2:1 MUX returning `a` when `sel = 0`, `b` when `sel = 1`.
+    pub fn mux2(&mut self, sel: NetId, a: NetId, b: NetId) -> NetId {
+        self.add_gate(GateKind::Mux2, &[sel, a, b])
+    }
+
+    /// Plain D flip-flop.
+    pub fn dff(&mut self, d: NetId) -> NetId {
+        self.add_gate(GateKind::Dff(DffConfig::default()), &[d])
+    }
+
+    /// D flip-flop with clock enable.
+    pub fn dff_en(&mut self, d: NetId, enable: NetId) -> NetId {
+        self.add_gate(
+            GateKind::Dff(DffConfig { has_enable: true, has_reset: false }),
+            &[d, enable],
+        )
+    }
+
+    /// D flip-flop with clock enable and synchronous reset.
+    pub fn dff_en_rst(&mut self, d: NetId, enable: NetId, reset: NetId) -> NetId {
+        self.add_gate(
+            GateKind::Dff(DffConfig { has_enable: true, has_reset: true }),
+            &[d, enable, reset],
+        )
+    }
+
+    /// Re-point input pin `pin` of `gate` to `net`.
+    ///
+    /// Needed for two-phase construction of register feedback loops
+    /// (create the flip-flop on a placeholder input, build the logic that
+    /// consumes its output, then patch the `d` pin). Structural
+    /// soundness is re-checked by [`Netlist::validate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pin` is out of range for the gate.
+    pub fn set_gate_input(&mut self, gate: GateId, pin: usize, net: NetId) {
+        let g = &mut self.gates[gate.index()];
+        assert!(pin < g.inputs.len(), "pin {pin} out of range");
+        g.inputs[pin] = net;
+    }
+
+    /// Give `net` a (diagnostic) name. Later names win.
+    pub fn name_net(&mut self, net: NetId, name: impl Into<String>) {
+        self.nets[net.index()].name = Some(name.into());
+    }
+
+    /// XOR-reduce a non-empty slice of nets as a balanced tree
+    /// (logarithmic depth, as a synthesis tool would build it).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nets` is empty.
+    pub fn xor_reduce(&mut self, nets: &[NetId]) -> NetId {
+        assert!(!nets.is_empty(), "xor_reduce of empty slice");
+        let mut level = nets.to_vec();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            let mut chunks = level.chunks_exact(2);
+            for pair in &mut chunks {
+                next.push(self.xor2(pair[0], pair[1]));
+            }
+            next.extend(chunks.remainder());
+            level = next;
+        }
+        level[0]
+    }
+
+    // ----- validation ------------------------------------------------------
+
+    /// Check structural well-formedness: every used net has exactly one
+    /// driver and the combinational subgraph is acyclic.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        for g in &self.gates {
+            for &i in &g.inputs {
+                if matches!(self.nets[i.index()].driver, Driver::None) {
+                    return Err(NetlistError::UndrivenNet { net: i });
+                }
+            }
+        }
+        for (_, o) in &self.outputs {
+            if matches!(self.nets[o.index()].driver, Driver::None) {
+                return Err(NetlistError::UndrivenNet { net: *o });
+            }
+        }
+        crate::topo::combinational_order(self).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_basics() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let y = n.and2(a, b);
+        n.output("y", y);
+        assert_eq!(n.num_gates(), 1);
+        assert_eq!(n.inputs().len(), 2);
+        assert_eq!(n.outputs().len(), 1);
+        assert_eq!(n.driver(y), Driver::Gate(GateId(0)));
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn module_scoping() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        n.enter_module("outer");
+        let x = n.inv(a);
+        n.enter_module("inner");
+        let y = n.inv(x);
+        n.exit_module();
+        let z = n.inv(y);
+        n.exit_module();
+        n.output("z", z);
+        assert_eq!(n.module_of(GateId(0)), "outer");
+        assert_eq!(n.module_of(GateId(1)), "outer/inner");
+        assert_eq!(n.module_of(GateId(2)), "outer");
+    }
+
+    #[test]
+    fn undriven_net_detected() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let ghost = NetId(1); // never created through the API
+        n.nets.push(NetInfo { name: None, driver: Driver::None });
+        let y = n.and2(a, ghost);
+        n.output("y", y);
+        assert!(matches!(n.validate(), Err(NetlistError::UndrivenNet { .. })));
+    }
+
+    #[test]
+    fn delay_chain_length() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let d = n.delay_chain(a, 10);
+        n.output("d", d);
+        assert_eq!(n.num_gates(), 10);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn xor_reduce_folds_left() {
+        let mut n = Netlist::new("t");
+        let nets: Vec<_> = (0..4).map(|i| n.input(format!("i{i}"))).collect();
+        let y = n.xor_reduce(&nets);
+        n.output("y", y);
+        assert_eq!(n.num_gates(), 3);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn in_module_restores_scope() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        n.in_module("m", |n| {
+            let _ = n.inv(a);
+        });
+        let g2 = n.inv(a);
+        let out = n.buf(g2);
+        n.output("o", out);
+        assert_eq!(n.module_of(GateId(0)), "m");
+        assert_eq!(n.module_of(GateId(1)), "");
+    }
+}

@@ -1,0 +1,414 @@
+//! Netlist optimisation: constant folding, common-subexpression
+//! elimination, and dead-logic removal.
+//!
+//! **Why a masking workspace ships an optimiser**: the paper must
+//! actively *prevent* synthesis optimisation ("compile with `-exact_map`",
+//! "Keep Hierarchy on") because an optimiser that understands the logic
+//! will destroy the countermeasures — most blatantly, every
+//! [`GateKind::DelayBuf`] is a logical identity, so an unconstrained
+//! pass deletes all DelayUnits and with them the secAND2-PD security.
+//! This module makes that danger executable: run it on the PD core with
+//! [`OptOptions::preserve_delay_elements`] off and watch the DelayUnits
+//! vanish; the default keeps them opaque, like the paper's constraints.
+//!
+//! Cross-share CSE is a second, subtler hazard: merging structurally
+//! identical gates from the two share domains creates shared nets whose
+//! activity combines shares. The optimiser never *creates* new
+//! share-combining logic (it only merges gates with *identical* inputs),
+//! but the hazard is documented here because real synthesis is not so
+//! polite.
+
+use crate::gate::GateKind;
+use crate::netlist::{Driver, Netlist};
+use crate::topo::combinational_order;
+use crate::NetId;
+use std::collections::HashMap;
+
+/// Optimiser configuration.
+#[derive(Debug, Clone)]
+pub struct OptOptions {
+    /// Keep [`GateKind::DelayBuf`] cells as opaque buffers (the paper's
+    /// `-exact_map` discipline). When `false`, delay chains are folded
+    /// away like any other buffer — functionally sound, security-fatal.
+    pub preserve_delay_elements: bool,
+}
+
+impl Default for OptOptions {
+    fn default() -> Self {
+        OptOptions { preserve_delay_elements: true }
+    }
+}
+
+/// What the pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Gates in the input netlist.
+    pub gates_before: usize,
+    /// Gates in the optimised netlist.
+    pub gates_after: usize,
+    /// Gates folded to constants or aliases.
+    pub folded: usize,
+    /// Gates merged by CSE.
+    pub cse_merged: usize,
+    /// Gates removed as unreachable from outputs/registers.
+    pub dead_removed: usize,
+}
+
+/// The value a source net maps to in the optimised design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Val {
+    Const(bool),
+    Net(NetId),
+}
+
+/// Optimise `n`, returning an equivalent netlist and statistics.
+///
+/// Sequential elements are preserved (every flip-flop is treated as
+/// live); combinational logic is folded, de-duplicated, and swept.
+///
+/// # Panics
+///
+/// Panics when the input netlist does not validate.
+pub fn optimize(n: &Netlist, opts: &OptOptions) -> (Netlist, OptStats) {
+    n.validate().expect("optimize requires a valid netlist");
+    let mut stats = OptStats { gates_before: n.num_gates(), ..Default::default() };
+
+    // ---- liveness: backwards from outputs and every FF pin -------------
+    let mut live_net = vec![false; n.num_nets()];
+    let mut stack: Vec<NetId> = n.outputs().iter().map(|(_, o)| *o).collect();
+    for g in n.gates() {
+        if g.kind.is_sequential() {
+            stack.extend(g.inputs.iter().copied());
+            stack.push(g.output);
+        }
+    }
+    while let Some(net) = stack.pop() {
+        if std::mem::replace(&mut live_net[net.index()], true) {
+            continue;
+        }
+        if let Driver::Gate(g) = n.driver(net) {
+            stack.extend(n.gate(g).inputs.iter().copied());
+        }
+    }
+
+    // ---- rebuild -------------------------------------------------------
+    let mut out = Netlist::new(n.name());
+    let mut map: Vec<Option<Val>> = vec![None; n.num_nets()];
+    let mut const0 = None;
+    let mut const1 = None;
+
+    for &i in n.inputs() {
+        let new = out.input(n.net_name(i).unwrap_or(&format!("in{}", i.0)).to_owned());
+        map[i.index()] = Some(Val::Net(new));
+    }
+    for i in 0..n.num_nets() {
+        if let Driver::Constant(v) = n.driver(NetId(i as u32)) {
+            map[i] = Some(Val::Const(v));
+        }
+    }
+
+    let mut materialized_const = |out: &mut Netlist, v: bool| -> NetId {
+        let slot = if v { &mut const1 } else { &mut const0 };
+        *slot.get_or_insert_with(|| if v { out.const1() } else { out.const0() })
+    };
+    let resolve = |map: &Vec<Option<Val>>, net: NetId| -> Val {
+        map[net.index()].expect("topological order guarantees definedness")
+    };
+
+    // FFs first (their outputs are sources for combinational logic); the
+    // d-pins get patched after the combinational rebuild.
+    let mut ff_patches: Vec<(crate::GateId, Vec<NetId>)> = Vec::new();
+    for (gi, g) in n.gates().iter().enumerate() {
+        if !g.kind.is_sequential() {
+            continue;
+        }
+        let zero = materialized_const(&mut out, false);
+        let new_out = out.add_gate(g.kind, &vec![zero; g.inputs.len()]);
+        let Driver::Gate(new_gid) = out.driver(new_out) else { unreachable!() };
+        map[g.output.index()] = Some(Val::Net(new_out));
+        ff_patches.push((new_gid, g.inputs.clone()));
+        let _ = gi;
+    }
+
+    // Combinational logic in topological order.
+    let order = combinational_order(n).expect("validated");
+    let mut cse: HashMap<(GateKind, Vec<Val>), NetId> = HashMap::new();
+    for gid in order {
+        let g = n.gate(gid);
+        if !live_net[g.output.index()] {
+            stats.dead_removed += 1;
+            continue;
+        }
+        let ins: Vec<Val> = g.inputs.iter().map(|&i| resolve(&map, i)).collect();
+        let folded = fold(g.kind, &ins, opts);
+        let val = match folded {
+            Some(v) => {
+                stats.folded += 1;
+                v
+            }
+            None => {
+                // CSE key with commutative-input canonicalisation.
+                let mut key_ins = ins.clone();
+                if is_commutative(g.kind) {
+                    key_ins.sort_by_key(val_key);
+                }
+                let key = (g.kind, key_ins);
+                if let Some(&existing) = cse.get(&key) {
+                    stats.cse_merged += 1;
+                    Val::Net(existing)
+                } else {
+                    let pins: Vec<NetId> = ins
+                        .iter()
+                        .map(|v| match *v {
+                            Val::Net(id) => id,
+                            Val::Const(c) => materialized_const(&mut out, c),
+                        })
+                        .collect();
+                    let new = out.add_gate(g.kind, &pins);
+                    cse.insert(key, new);
+                    Val::Net(new)
+                }
+            }
+        };
+        map[g.output.index()] = Some(val);
+    }
+
+    // Patch FF d-pins.
+    for (new_gid, old_inputs) in ff_patches {
+        for (pin, &old) in old_inputs.iter().enumerate() {
+            let net = match resolve(&map, old) {
+                Val::Net(id) => id,
+                Val::Const(c) => materialized_const(&mut out, c),
+            };
+            out.set_gate_input(new_gid, pin, net);
+        }
+    }
+
+    // Outputs.
+    for (name, o) in n.outputs() {
+        let net = match resolve(&map, *o) {
+            Val::Net(id) => id,
+            Val::Const(c) => materialized_const(&mut out, c),
+        };
+        out.output(name.clone(), net);
+    }
+
+    out.validate().expect("optimised netlist must validate");
+    stats.gates_after = out.num_gates();
+    (out, stats)
+}
+
+fn is_commutative(k: GateKind) -> bool {
+    matches!(
+        k,
+        GateKind::And2
+            | GateKind::Nand2
+            | GateKind::Or2
+            | GateKind::Nor2
+            | GateKind::Xor2
+            | GateKind::Xnor2
+    )
+}
+
+fn val_key(v: &Val) -> (u8, u32) {
+    match *v {
+        Val::Const(c) => (0, u32::from(c)),
+        Val::Net(id) => (1, id.0),
+    }
+}
+
+/// Try to fold a gate to a constant or an alias of one of its inputs.
+fn fold(kind: GateKind, ins: &[Val], opts: &OptOptions) -> Option<Val> {
+    use GateKind::*;
+    let c = |i: usize| match ins[i] {
+        Val::Const(v) => Some(v),
+        Val::Net(_) => None,
+    };
+    match kind {
+        Buf => Some(ins[0]),
+        DelayBuf => {
+            if opts.preserve_delay_elements {
+                // Opaque: fold only when driven by a constant (a delayed
+                // constant carries no edges at all).
+                match ins[0] {
+                    Val::Const(v) => Some(Val::Const(v)),
+                    Val::Net(_) => None,
+                }
+            } else {
+                Some(ins[0]) // identity: the security-fatal fold
+            }
+        }
+        Inv => c(0).map(|v| Val::Const(!v)),
+        And2 | Nand2 | Or2 | Nor2 | Xor2 | Xnor2 => {
+            let (a, b) = (c(0), c(1));
+            match (kind, a, b) {
+                (And2, Some(false), _) | (And2, _, Some(false)) => Some(Val::Const(false)),
+                (And2, Some(true), _) => Some(ins[1]),
+                (And2, _, Some(true)) => Some(ins[0]),
+                (Nand2, Some(false), _) | (Nand2, _, Some(false)) => Some(Val::Const(true)),
+                (Or2, Some(true), _) | (Or2, _, Some(true)) => Some(Val::Const(true)),
+                (Or2, Some(false), _) => Some(ins[1]),
+                (Or2, _, Some(false)) => Some(ins[0]),
+                (Nor2, Some(true), _) | (Nor2, _, Some(true)) => Some(Val::Const(false)),
+                (Xor2, Some(false), _) => Some(ins[1]),
+                (Xor2, _, Some(false)) => Some(ins[0]),
+                (Xor2, Some(true), Some(true)) => Some(Val::Const(false)),
+                (Xnor2, Some(av), Some(bv)) => Some(Val::Const(!(av ^ bv))),
+                _ => {
+                    // Both inputs identical nets: algebraic identities.
+                    if ins[0] == ins[1] {
+                        match kind {
+                            And2 | Or2 => Some(ins[0]),
+                            Xor2 => Some(Val::Const(false)),
+                            Xnor2 => Some(Val::Const(true)),
+                            Nand2 | Nor2 => None, // INV of input: keep the gate
+                            _ => None,
+                        }
+                    } else if let (Some(av), Some(bv)) = (a, b) {
+                        Some(Val::Const(kind.eval(&[av, bv])))
+                    } else {
+                        None
+                    }
+                }
+            }
+        }
+        Mux2 => match c(0) {
+            Some(false) => Some(ins[1]),
+            Some(true) => Some(ins[2]),
+            None if ins[1] == ins[2] => Some(ins[1]),
+            None => None,
+        },
+        Dff(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Evaluator;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn equivalent_combinational(a: &Netlist, b: &Netlist, trials: u32) {
+        assert_eq!(a.inputs().len(), b.inputs().len());
+        let mut eva = Evaluator::new(a).unwrap();
+        let mut evb = Evaluator::new(b).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..trials {
+            let bits: Vec<bool> = (0..a.inputs().len()).map(|_| rng.random()).collect();
+            let oa = eva.run_combinational(
+                a,
+                &a.inputs().iter().copied().zip(bits.iter().copied()).collect::<Vec<_>>(),
+            );
+            let ob = evb.run_combinational(
+                b,
+                &b.inputs().iter().copied().zip(bits.iter().copied()).collect::<Vec<_>>(),
+            );
+            assert_eq!(oa, ob);
+        }
+    }
+
+    #[test]
+    fn constant_folding_and_dce() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let zero = n.const0();
+        let x = n.and2(a, zero); // folds to 0
+        let y = n.xor2(x, a); // folds to a
+        let dead = n.inv(a); // dead
+        let _ = dead;
+        n.output("y", y);
+        let (o, stats) = optimize(&n, &OptOptions::default());
+        assert_eq!(stats.folded, 2);
+        assert_eq!(stats.dead_removed, 1);
+        assert_eq!(o.num_gates(), 0, "everything folded away");
+        equivalent_combinational(&n, &o, 8);
+    }
+
+    #[test]
+    fn cse_merges_duplicates() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let x1 = n.and2(a, b);
+        let x2 = n.and2(b, a); // commutative duplicate
+        let y = n.xor2(x1, x2); // folds to 0 after CSE (same net twice)
+        n.output("y", y);
+        let (o, stats) = optimize(&n, &OptOptions::default());
+        assert_eq!(stats.cse_merged, 1);
+        assert!(o.num_gates() <= 1);
+        equivalent_combinational(&n, &o, 8);
+    }
+
+    /// THE security-relevant behaviour: delay chains survive by default
+    /// and are annihilated when unprotected — the paper's `-exact_map`
+    /// discipline in executable form.
+    #[test]
+    fn delay_units_survive_only_when_preserved() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let d = n.delay_chain(a, 10);
+        let b = n.input("b");
+        let y = n.xor2(d, b);
+        n.output("y", y);
+
+        let (kept, _) = optimize(&n, &OptOptions { preserve_delay_elements: true });
+        assert_eq!(
+            kept.gates().iter().filter(|g| g.kind == GateKind::DelayBuf).count(),
+            10
+        );
+        let (gone, stats) = optimize(&n, &OptOptions { preserve_delay_elements: false });
+        assert_eq!(
+            gone.gates().iter().filter(|g| g.kind == GateKind::DelayBuf).count(),
+            0,
+            "an unconstrained optimiser deletes the countermeasure"
+        );
+        assert_eq!(stats.folded, 10);
+        equivalent_combinational(&n, &gone, 8);
+    }
+
+    #[test]
+    fn sequential_designs_survive() {
+        let mut n = Netlist::new("t");
+        let d = n.input("d");
+        let en = n.input("en");
+        let q = n.dff_en(d, en);
+        let y = n.inv(q);
+        n.output("y", y);
+        let (o, _) = optimize(&n, &OptOptions::default());
+        assert_eq!(o.gates().iter().filter(|g| g.kind.is_sequential()).count(), 1);
+        // Clocked equivalence over a few cycles.
+        let mut eva = Evaluator::new(&n).unwrap();
+        let mut evb = Evaluator::new(&o).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..16 {
+            let (dv, ev): (bool, bool) = (rng.random(), rng.random());
+            for (ev_, net_d, net_en, nl) in
+                [(&mut eva, n.inputs()[0], n.inputs()[1], &n), (&mut evb, o.inputs()[0], o.inputs()[1], &o)]
+            {
+                ev_.set_input(net_d, dv);
+                ev_.set_input(net_en, ev);
+                ev_.clock(nl);
+            }
+            assert_eq!(
+                eva.value(n.outputs()[0].1),
+                evb.value(o.outputs()[0].1)
+            );
+        }
+    }
+
+    #[test]
+    fn mux_folding() {
+        let mut n = Netlist::new("t");
+        let s = n.input("s");
+        let a = n.input("a");
+        let zero = n.const0();
+        let m1 = n.mux2(zero, a, s); // sel const 0 -> a
+        let m2 = n.mux2(s, a, a); // both branches equal -> a
+        let y = n.xor2(m1, m2); // a ^ a -> 0
+        n.output("y", y);
+        let (o, _) = optimize(&n, &OptOptions::default());
+        assert_eq!(o.num_gates(), 0);
+        equivalent_combinational(&n, &o, 8);
+    }
+}

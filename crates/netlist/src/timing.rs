@@ -1,0 +1,138 @@
+//! Static timing analysis over nominal cell delays.
+//!
+//! Reproduces the role of the Xilinx ISE timing report in the paper:
+//! Table III's "Max Freq." column is read off [`TimingReport::max_freq_mhz`].
+
+use crate::netlist::{Driver, Netlist};
+use crate::topo::combinational_order;
+
+/// Result of static timing analysis of a [`Netlist`].
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    /// Latest arrival time (ps) at each net, relative to the clock edge.
+    pub arrival_ps: Vec<u64>,
+    /// Critical (longest) register-to-register / input-to-register /
+    /// register-to-output combinational path delay in ps.
+    pub critical_path_ps: u64,
+    /// Net at the endpoint of the critical path.
+    pub critical_endpoint: crate::NetId,
+}
+
+impl TimingReport {
+    /// Maximum clock frequency implied by the critical path, in MHz.
+    pub fn max_freq_mhz(&self) -> f64 {
+        if self.critical_path_ps == 0 {
+            return f64::INFINITY;
+        }
+        1.0e6 / self.critical_path_ps as f64
+    }
+}
+
+/// Run STA with the library's nominal delays.
+///
+/// Timing start points are primary inputs, constants, and flip-flop outputs
+/// (launched with the FF clk-to-Q delay); endpoints are flip-flop input pins
+/// and primary outputs.
+///
+/// # Errors
+///
+/// Fails when the combinational subgraph is cyclic.
+pub fn analyze(n: &Netlist) -> Result<TimingReport, crate::NetlistError> {
+    let order = combinational_order(n)?;
+    let mut arrival = vec![0u64; n.num_nets()];
+
+    for (i, _) in n.nets.iter().enumerate() {
+        arrival[i] = match n.driver(crate::NetId(i as u32)) {
+            Driver::Gate(g) if n.gate(g).kind.is_sequential() => {
+                n.gate(g).kind.nominal_delay_ps()
+            }
+            _ => 0,
+        };
+    }
+
+    for gid in order {
+        let g = n.gate(gid);
+        let worst_in = g.inputs.iter().map(|i| arrival[i.index()]).max().unwrap_or(0);
+        arrival[g.output.index()] = worst_in + g.kind.nominal_delay_ps();
+    }
+
+    // Endpoints: FF input pins and primary outputs.
+    let mut critical = 0u64;
+    let mut endpoint = crate::NetId(0);
+    for g in n.gates() {
+        if g.kind.is_sequential() {
+            for &pin in &g.inputs {
+                if arrival[pin.index()] >= critical {
+                    critical = arrival[pin.index()];
+                    endpoint = pin;
+                }
+            }
+        }
+    }
+    for (_, o) in n.outputs() {
+        if arrival[o.index()] >= critical {
+            critical = arrival[o.index()];
+            endpoint = *o;
+        }
+    }
+
+    Ok(TimingReport { arrival_ps: arrival, critical_path_ps: critical, critical_endpoint: endpoint })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+    use crate::netlist::Netlist;
+
+    #[test]
+    fn single_gate_path() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let y = n.and2(a, b);
+        n.output("y", y);
+        let t = analyze(&n).unwrap();
+        assert_eq!(t.critical_path_ps, GateKind::And2.nominal_delay_ps());
+    }
+
+    #[test]
+    fn chains_accumulate() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let d = n.delay_chain(a, 10);
+        let q = n.dff(d);
+        n.output("q", q);
+        let t = analyze(&n).unwrap();
+        assert_eq!(t.critical_path_ps, 10 * GateKind::DelayBuf.nominal_delay_ps());
+    }
+
+    #[test]
+    fn ff_launch_includes_clk_to_q() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let q = n.dff(a);
+        let y = n.inv(q);
+        let q2 = n.dff(y);
+        n.output("q2", q2);
+        let t = analyze(&n).unwrap();
+        let expect = GateKind::Dff(Default::default()).nominal_delay_ps()
+            + GateKind::Inv.nominal_delay_ps();
+        assert_eq!(t.critical_path_ps, expect);
+    }
+
+    #[test]
+    fn longest_of_parallel_paths_wins() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let slow = n.delay_chain(a, 5);
+        let fast = n.inv(a);
+        let y = n.xor2(slow, fast);
+        n.output("y", y);
+        let t = analyze(&n).unwrap();
+        assert_eq!(
+            t.critical_path_ps,
+            5 * GateKind::DelayBuf.nominal_delay_ps() + GateKind::Xor2.nominal_delay_ps()
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Per-instance gate delay model.
+//!
+//! Three layers, mirroring a real fabric:
+//!
+//! 1. **Nominal** delay per cell kind ([`gm_netlist::GateKind::nominal_delay_ps`]).
+//! 2. **Process/placement variation**: a per-instance factor sampled once
+//!    when the "device is manufactured" (i.e. when the model is built).
+//!    On FPGA this captures routing-detour differences between LUTs.
+//! 3. **Per-event jitter**: electrical noise, supply ripple and local
+//!    temperature, sampled for every propagation. This is what makes two
+//!    nominally-ordered edges occasionally swap — the effect that defeats
+//!    undersized DelayUnits in Fig. 15.
+
+use gm_netlist::{GateId, Netlist};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Default inertial pulse-rejection width: pulses narrower than this are
+/// annihilated rather than propagated. Physically the gate's output
+/// switching (rise/fall) time — much shorter than its propagation delay.
+pub const DEFAULT_PULSE_REJECT_PS: u64 = 200;
+
+/// Delay model for one instantiated netlist.
+#[derive(Debug, Clone)]
+pub struct DelayModel {
+    base_ps: Vec<f64>,
+    jitter_sigma_ps: f64,
+    pulse_reject_ps: u64,
+}
+
+impl DelayModel {
+    /// Nominal delays only: no variation, no jitter. Deterministic; good
+    /// for functional and directed glitch tests.
+    pub fn nominal(n: &Netlist) -> Self {
+        DelayModel {
+            base_ps: n.gates().iter().map(|g| g.kind.nominal_delay_ps() as f64).collect(),
+            jitter_sigma_ps: 0.0,
+            pulse_reject_ps: DEFAULT_PULSE_REJECT_PS,
+        }
+    }
+
+    /// Nominal delays scaled by a per-instance factor drawn uniformly from
+    /// `[1 - spread, 1 + spread]`, plus per-event Gaussian jitter with the
+    /// given sigma. `seed` fixes the "manufactured device".
+    pub fn with_variation(n: &Netlist, spread: f64, jitter_sigma_ps: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&spread), "spread must be in [0,1)");
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let base_ps = n
+            .gates()
+            .iter()
+            .map(|g| {
+                let f = 1.0 + spread * (rng.random::<f64>() * 2.0 - 1.0);
+                g.kind.nominal_delay_ps() as f64 * f
+            })
+            .collect();
+        DelayModel { base_ps, jitter_sigma_ps, pulse_reject_ps: DEFAULT_PULSE_REJECT_PS }
+    }
+
+    /// Per-event jitter sigma in ps.
+    pub fn jitter_sigma_ps(&self) -> f64 {
+        self.jitter_sigma_ps
+    }
+
+    /// Override the per-event jitter sigma.
+    pub fn set_jitter_sigma_ps(&mut self, sigma: f64) {
+        self.jitter_sigma_ps = sigma;
+    }
+
+    /// Inertial pulse-rejection width in ps (see
+    /// [`DEFAULT_PULSE_REJECT_PS`]).
+    pub fn pulse_reject_ps(&self) -> u64 {
+        self.pulse_reject_ps
+    }
+
+    /// Override the inertial pulse-rejection width (0 = pure transport).
+    pub fn set_pulse_reject_ps(&mut self, width: u64) {
+        self.pulse_reject_ps = width;
+    }
+
+    /// Base (nominal × process) delay of a gate instance in ps.
+    pub fn base_ps(&self, gate: GateId) -> f64 {
+        self.base_ps[gate.index()]
+    }
+
+    /// Sample the delay of one propagation event through `gate`.
+    /// Always at least 1 ps so causality is preserved.
+    pub fn sample_ps(&self, gate: GateId, rng: &mut SmallRng) -> u64 {
+        let mut d = self.base_ps[gate.index()];
+        if self.jitter_sigma_ps > 0.0 {
+            d += gaussian(rng) * self.jitter_sigma_ps;
+        }
+        d.max(1.0) as u64
+    }
+}
+
+/// Standard normal sample (Box–Muller; one value per call).
+pub(crate) fn gaussian(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_netlist::Netlist;
+
+    fn tiny() -> Netlist {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let y = n.and2(a, b);
+        let z = n.xor2(y, a);
+        n.output("z", z);
+        n
+    }
+
+    #[test]
+    fn nominal_matches_library() {
+        let n = tiny();
+        let m = DelayModel::nominal(&n);
+        assert_eq!(m.base_ps(GateId(0)), 350.0);
+        assert_eq!(m.base_ps(GateId(1)), 450.0);
+    }
+
+    #[test]
+    fn variation_is_bounded_and_deterministic() {
+        let n = tiny();
+        let m1 = DelayModel::with_variation(&n, 0.2, 0.0, 7);
+        let m2 = DelayModel::with_variation(&n, 0.2, 0.0, 7);
+        for g in [GateId(0), GateId(1)] {
+            assert_eq!(m1.base_ps(g), m2.base_ps(g), "same seed, same device");
+            let nom = n.gate(g).kind.nominal_delay_ps() as f64;
+            assert!(m1.base_ps(g) >= nom * 0.8 && m1.base_ps(g) <= nom * 1.2);
+        }
+        let m3 = DelayModel::with_variation(&n, 0.2, 0.0, 8);
+        assert_ne!(m1.base_ps(GateId(0)), m3.base_ps(GateId(0)), "different seed");
+    }
+
+    #[test]
+    fn jitter_spreads_samples() {
+        let n = tiny();
+        let m = DelayModel::with_variation(&n, 0.0, 50.0, 1);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let samples: Vec<u64> = (0..100).map(|_| m.sample_ps(GateId(0), &mut rng)).collect();
+        let distinct: std::collections::HashSet<_> = samples.iter().collect();
+        assert!(distinct.len() > 10, "jitter should vary the delay");
+        assert!(samples.iter().all(|&d| d >= 1));
+    }
+
+    #[test]
+    fn gaussian_has_roughly_unit_moments() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

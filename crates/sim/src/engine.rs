@@ -1,0 +1,499 @@
+//! The event engine: transport delay with inertial pulse rejection.
+//!
+//! Semantics, matching CMOS physics:
+//!
+//! * **transport**: every scheduled output change wider than the gate's
+//!   switching time is delivered — a gate whose inputs settle at clearly
+//!   different moments emits its full glitch train (this is the hazard
+//!   the paper builds on);
+//! * **inertial rejection**: a pulse narrower than the gate's switching
+//!   time ([`DelayModel::pulse_reject_ps`]) is annihilated before it can
+//!   propagate — near-simultaneous input edges do *not* produce output
+//!   energy. Without this filter a cancelled glitch would be counted as a
+//!   full double-toggle and the data-dependence of glitch energy (the
+//!   whole point of Table I) would wash out.
+
+use crate::delay::DelayModel;
+use crate::power::NullSink;
+use gm_netlist::netlist::Driver;
+use gm_netlist::{GateId, NetId, Netlist};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Receiver of net-transition (switching-activity) notifications.
+///
+/// `weight` is the capacitance proxy of the toggled net (the area of its
+/// driver cell); implementations bin it into power samples, count it, or
+/// feed crosstalk models.
+pub trait PowerSink {
+    /// Called once per *applied* net transition.
+    fn transition(&mut self, time_ps: u64, net: NetId, new_value: bool, weight: f64);
+}
+
+impl<A: PowerSink, B: PowerSink> PowerSink for (A, B) {
+    fn transition(&mut self, time_ps: u64, net: NetId, new_value: bool, weight: f64) {
+        self.0.transition(time_ps, net, new_value, weight);
+        self.1.transition(time_ps, net, new_value, weight);
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    time: u64,
+    seq: u64,
+    net: NetId,
+    value: bool,
+    /// Driver-gate schedule version; stale versions are cancelled pulses.
+    /// External events carry `u32::MAX` (never cancelled).
+    version: u32,
+}
+
+/// Event-driven simulator over one [`Netlist`] instance.
+///
+/// External edges (primary inputs, flip-flop outputs) are injected with
+/// [`Simulator::schedule`]; combinational propagation, including glitches,
+/// follows from the [`DelayModel`].
+///
+/// # Examples
+///
+/// A NAND whose two inputs rise at different times produces a 0-glitch:
+///
+/// ```
+/// use gm_netlist::Netlist;
+/// use gm_sim::{DelayModel, Simulator};
+///
+/// let mut n = Netlist::new("g");
+/// let a = n.input("a");
+/// let b = n.input("b");
+/// let inv_a = n.inv(a);           // slow path
+/// let y = n.and2(inv_a, b);       // y = !a & b
+/// n.output("y", y);
+///
+/// let delays = DelayModel::nominal(&n);
+/// let mut sim = Simulator::new(&n, &delays, 0);
+/// sim.init_all_zero();
+/// sim.set_initial(b, false);
+/// // a and b rise together: y should stay 0, but the inverter lags.
+/// sim.schedule(a, 1_000, true);
+/// sim.schedule(b, 1_000, true);
+/// let toggles = sim.run_counting(10_000);
+/// assert!(toggles >= 2, "glitch pulse on y expected, saw {toggles} toggles");
+/// ```
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    delays: &'a DelayModel,
+    values: Vec<bool>,
+    /// Last *scheduled* output value per gate (transport-delay bookkeeping).
+    out_sched: Vec<bool>,
+    /// Time of the last scheduled output event per gate: jitter must not
+    /// reorder a single driver's edges (a physical wire cannot).
+    out_last_time: Vec<u64>,
+    /// Schedule version per gate; bumping it cancels in-flight pulses.
+    out_version: Vec<u32>,
+    /// Driver gate of each net (u32::MAX for inputs/constants).
+    driver_gate: Vec<u32>,
+    /// Per-net toggle weight (driver cell area).
+    weights: Vec<f64>,
+    /// Combinational consumers of each net.
+    consumers: Vec<Vec<u32>>,
+    queue: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    time: u64,
+    rng: SmallRng,
+    pins_buf: Vec<bool>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Build a simulator. `seed` drives per-event delay jitter.
+    pub fn new(netlist: &'a Netlist, delays: &'a DelayModel, seed: u64) -> Self {
+        let mut consumers: Vec<Vec<u32>> = vec![Vec::new(); netlist.num_nets()];
+        for (gi, g) in netlist.gates().iter().enumerate() {
+            if g.kind.is_sequential() {
+                continue;
+            }
+            for &i in &g.inputs {
+                consumers[i.index()].push(gi as u32);
+            }
+        }
+        let mut weights = vec![1.0; netlist.num_nets()];
+        let mut driver_gate = vec![u32::MAX; netlist.num_nets()];
+        for i in 0..netlist.num_nets() {
+            if let Driver::Gate(g) = netlist.driver(NetId(i as u32)) {
+                weights[i] = netlist.gate(g).kind.area_ge();
+                driver_gate[i] = g.0;
+            }
+        }
+        Simulator {
+            netlist,
+            delays,
+            values: vec![false; netlist.num_nets()],
+            out_sched: vec![false; netlist.num_gates()],
+            out_last_time: vec![0; netlist.num_gates()],
+            out_version: vec![0; netlist.num_gates()],
+            driver_gate,
+            weights,
+            consumers,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            time: 0,
+            rng: SmallRng::seed_from_u64(seed ^ 0xd1b5_4a32_d192_ed03),
+            pins_buf: Vec::with_capacity(3),
+        }
+    }
+
+    /// Current simulation time (ps).
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Current value of a net.
+    pub fn value(&self, net: NetId) -> bool {
+        self.values[net.index()]
+    }
+
+    /// Set a net value *silently* (no event, no power) — initial condition.
+    pub fn set_initial(&mut self, net: NetId, value: bool) {
+        self.values[net.index()] = value;
+    }
+
+    /// Override the toggle weight (capacitance proxy) of one net. The
+    /// default is the driver cell's area; experiments targeting FPGA
+    /// power may want e.g. LUT-as-buffer delay elements at LUT weight
+    /// rather than their ASIC-area equivalent.
+    pub fn set_net_weight(&mut self, net: NetId, weight: f64) {
+        self.weights[net.index()] = weight;
+    }
+
+    /// Set the toggle weight of every net driven by a cell of `kind`.
+    pub fn set_kind_weight(&mut self, kind: gm_netlist::GateKind, weight: f64) {
+        for g in self.netlist.gates() {
+            if g.kind == kind {
+                self.weights[g.output.index()] = weight;
+            }
+        }
+    }
+
+    /// Zero every primary input and flip-flop output, then let the
+    /// combinational logic settle silently. Mirrors the paper's "reset all
+    /// registers to 0" starting condition: nets downstream of inverting
+    /// logic settle to 1, exactly as in hardware.
+    pub fn init_all_zero(&mut self) {
+        self.values.iter_mut().for_each(|v| *v = false);
+        self.queue.clear();
+        self.out_last_time.iter_mut().for_each(|t| *t = 0);
+        self.settle_silent();
+    }
+
+    /// Silently settle combinational logic from the current initial values
+    /// (zero-delay), so the first scheduled edges start from a consistent
+    /// state. Constants are also applied here.
+    pub fn settle_silent(&mut self) {
+        for i in 0..self.netlist.num_nets() {
+            if let Driver::Constant(v) = self.netlist.driver(NetId(i as u32)) {
+                self.values[i] = v;
+            }
+        }
+        let order = gm_netlist::topo::combinational_order(self.netlist)
+            .expect("netlist validated before simulation");
+        for gid in order {
+            let g = self.netlist.gate(gid);
+            self.pins_buf.clear();
+            for &i in &g.inputs {
+                self.pins_buf.push(self.values[i.index()]);
+            }
+            let v = g.kind.eval(&self.pins_buf);
+            self.values[g.output.index()] = v;
+            self.out_sched[gid.index()] = v;
+        }
+    }
+
+    /// Schedule an external edge on `net` at absolute time `time_ps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when scheduling into the past.
+    pub fn schedule(&mut self, net: NetId, time_ps: u64, value: bool) {
+        assert!(time_ps >= self.time, "cannot schedule into the past");
+        self.seq += 1;
+        self.queue
+            .push(Reverse(Event { time: time_ps, seq: self.seq, net, value, version: u32::MAX }));
+    }
+
+    /// Process all events up to and including `t_end_ps`, reporting every
+    /// applied transition to `sink`.
+    pub fn run_until(&mut self, t_end_ps: u64, sink: &mut impl PowerSink) {
+        while let Some(&Reverse(ev)) = self.queue.peek() {
+            if ev.time > t_end_ps {
+                break;
+            }
+            self.queue.pop();
+            self.time = ev.time;
+            self.apply(ev, sink);
+        }
+        self.time = self.time.max(t_end_ps);
+    }
+
+    fn apply(&mut self, ev: Event, sink: &mut impl PowerSink) {
+        let ni = ev.net.index();
+        // Stale version: this pulse was inertially annihilated after being
+        // scheduled.
+        if ev.version != u32::MAX && self.out_version[self.driver_gate[ni] as usize] != ev.version
+        {
+            return;
+        }
+        if self.values[ni] == ev.value {
+            return; // redundant edge
+        }
+        self.values[ni] = ev.value;
+        sink.transition(ev.time, ev.net, ev.value, self.weights[ni]);
+
+        // Re-evaluate combinational fan-out; schedule changed outputs.
+        for ci in 0..self.consumers[ni].len() {
+            let gi = self.consumers[ni][ci] as usize;
+            let g = &self.netlist.gates()[gi];
+            self.pins_buf.clear();
+            for &i in &g.inputs {
+                self.pins_buf.push(self.values[i.index()]);
+            }
+            let out = g.kind.eval(&self.pins_buf);
+            if out != self.out_sched[gi] {
+                let d = self.delays.sample_ps(GateId(gi as u32), &mut self.rng);
+                // A single driver's edges stay ordered even under jitter.
+                let t = (ev.time + d).max(self.out_last_time[gi] + 1);
+                let pending = self.out_last_time[gi] > ev.time;
+                if pending
+                    && t.saturating_sub(self.out_last_time[gi]) < self.delays.pulse_reject_ps()
+                {
+                    // The in-flight pulse is narrower than the switching
+                    // time: annihilate it instead of delivering both edges.
+                    self.out_version[gi] = self.out_version[gi].wrapping_add(1);
+                    self.out_sched[gi] = self.values[g.output.index()];
+                    if out != self.out_sched[gi] {
+                        self.out_sched[gi] = out;
+                        self.out_last_time[gi] = t;
+                        self.seq += 1;
+                        self.queue.push(Reverse(Event {
+                            time: t,
+                            seq: self.seq,
+                            net: g.output,
+                            value: out,
+                            version: self.out_version[gi],
+                        }));
+                    }
+                } else {
+                    self.out_sched[gi] = out;
+                    self.out_last_time[gi] = t;
+                    self.seq += 1;
+                    self.queue.push(Reverse(Event {
+                        time: t,
+                        seq: self.seq,
+                        net: g.output,
+                        value: out,
+                        version: self.out_version[gi],
+                    }));
+                }
+            }
+        }
+    }
+
+    /// Run until `t_end_ps` and return the raw number of applied transitions.
+    pub fn run_counting(&mut self, t_end_ps: u64) -> u64 {
+        let mut sink = crate::power::CountingSink::default();
+        self.run_until(t_end_ps, &mut sink);
+        sink.count
+    }
+
+    /// Drain any still-pending events (ignoring their effects) and reset
+    /// simulation time to 0, keeping current net values. Used between
+    /// independent trace acquisitions on the same "device".
+    pub fn rewind_time(&mut self) {
+        self.queue.clear();
+        self.out_last_time.iter_mut().for_each(|t| *t = 0);
+        self.time = 0;
+    }
+
+    /// Run until the event queue is empty (the circuit is quiescent).
+    pub fn run_to_quiescence(&mut self, sink: &mut impl PowerSink) {
+        while let Some(&Reverse(ev)) = self.queue.peek() {
+            let _ = ev;
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            self.time = ev.time;
+            self.apply(ev, sink);
+        }
+    }
+}
+
+impl PowerSink for NullSink {
+    fn transition(&mut self, _time_ps: u64, _net: NetId, _new_value: bool, _weight: f64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::{CountingSink, NullSink};
+
+    /// y = a & b with equal input arrival: exactly the final transitions.
+    #[test]
+    fn no_glitch_when_inputs_aligned() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let y = n.and2(a, b);
+        n.output("y", y);
+        let delays = DelayModel::nominal(&n);
+        let mut sim = Simulator::new(&n, &delays, 0);
+        sim.init_all_zero();
+        sim.schedule(a, 100, true);
+        sim.schedule(b, 100, true);
+        let mut c = CountingSink::default();
+        sim.run_until(10_000, &mut c);
+        // a, b, y — three transitions, no glitches.
+        assert_eq!(c.count, 3);
+        assert!(sim.value(y));
+    }
+
+    /// Static-1 hazard on an AND-OR pair: xor of skewed inputs glitches.
+    #[test]
+    fn skewed_inputs_glitch() {
+        // y = (a & b) ^ (a | b); with a=b=1 -> 1^1 = 0, steady state 0->0,
+        // but the AND path is faster/slower than the OR path via an extra buf.
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let p = n.and2(a, b);
+        let q0 = n.or2(a, b);
+        let q1 = n.buf(q0); // two buffers: skew > pulse-reject width
+        let q = n.buf(q1);
+        let y = n.xor2(p, q);
+        n.output("y", y);
+        let delays = DelayModel::nominal(&n);
+        let mut sim = Simulator::new(&n, &delays, 0);
+        sim.init_all_zero();
+        sim.schedule(a, 100, true);
+        sim.schedule(b, 100, true);
+        let mut c = CountingSink::default();
+        sim.run_until(20_000, &mut c);
+        assert!(!sim.value(y), "steady state of 1&1 ^ 1|1 is 0");
+        // y must have pulsed: transitions strictly exceed the glitch-free
+        // count (a, b, p, q0, q1, q = 6).
+        assert!(c.count > 6, "expected a glitch pulse, got {} transitions", c.count);
+    }
+
+    /// Final values always match zero-delay evaluation, glitches or not.
+    #[test]
+    fn settles_to_functional_value() {
+        use rand::{RngExt, SeedableRng};
+        let mut n = Netlist::new("t");
+        let ins: Vec<_> = (0..4).map(|i| n.input(format!("i{i}"))).collect();
+        let x0 = n.and2(ins[0], ins[1]);
+        let x1 = n.or2(ins[2], ins[3]);
+        let x2 = n.xor2(x0, x1);
+        let x3 = n.mux2(ins[0], x2, x1);
+        let inv = n.inv(x3);
+        n.output("o", inv);
+        n.validate().unwrap();
+
+        let delays = DelayModel::with_variation(&n, 0.3, 40.0, 5);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        for trial in 0..50 {
+            let mut sim = Simulator::new(&n, &delays, trial);
+            sim.init_all_zero();
+            let bits: Vec<bool> = (0..4).map(|_| rng.random()).collect();
+            for (k, &net) in ins.iter().enumerate() {
+                // staggered arrivals to invite glitches
+                sim.schedule(net, 100 + 137 * k as u64, bits[k]);
+            }
+            sim.run_until(1_000_000, &mut NullSink);
+
+            let mut ev = gm_netlist::Evaluator::new(&n).unwrap();
+            let want =
+                ev.run_combinational(&n, &ins.iter().copied().zip(bits).collect::<Vec<_>>())[0];
+            assert_eq!(sim.value(inv), want, "trial {trial}");
+        }
+    }
+
+    /// Pulses narrower than the switching time are inertially rejected;
+    /// wide pulses are transported in full.
+    #[test]
+    fn inertial_rejects_narrow_transports_wide() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let chain = n.delay_chain(a, 2);
+        n.output("o", chain);
+        let delays = DelayModel::nominal(&n);
+
+        // 10 ps pulse (<< pulse_reject_ps): dies at the first buffer.
+        let mut sim = Simulator::new(&n, &delays, 0);
+        sim.init_all_zero();
+        sim.schedule(a, 100, true);
+        sim.schedule(a, 110, false);
+        let mut c = CountingSink::default();
+        sim.run_until(100_000, &mut c);
+        assert_eq!(c.count, 2, "only the input edges themselves");
+
+        // 5 ns pulse (>> pulse_reject_ps): both chain nets pulse fully.
+        let mut sim = Simulator::new(&n, &delays, 0);
+        sim.init_all_zero();
+        sim.schedule(a, 100, true);
+        sim.schedule(a, 5_100, false);
+        let mut c = CountingSink::default();
+        sim.run_until(100_000, &mut c);
+        assert_eq!(c.count, 6, "a up/down + 2 nets up/down");
+    }
+
+    /// run_to_quiescence drains everything regardless of horizon.
+    #[test]
+    fn run_to_quiescence_settles() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let chain = n.delay_chain(a, 5);
+        n.output("o", chain);
+        let delays = DelayModel::nominal(&n);
+        let mut sim = Simulator::new(&n, &delays, 0);
+        sim.init_all_zero();
+        sim.schedule(a, 1, true);
+        sim.run_to_quiescence(&mut NullSink);
+        assert!(sim.value(chain), "edge must have traversed all 5 stages");
+        assert!(sim.time() >= 5 * 1150);
+    }
+
+    /// An annihilated pulse leaves no residue: after the cancel, a later
+    /// genuine edge still propagates with a fresh version.
+    #[test]
+    fn cancelled_pulse_then_real_edge() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let buf = n.delay_buf(a);
+        n.output("o", buf);
+        let delays = DelayModel::nominal(&n);
+        let mut sim = Simulator::new(&n, &delays, 0);
+        sim.init_all_zero();
+        // 10 ps pulse: annihilated inside the DelayBuf.
+        sim.schedule(a, 100, true);
+        sim.schedule(a, 110, false);
+        // Much later, a real edge.
+        sim.schedule(a, 50_000, true);
+        let mut c = CountingSink::default();
+        sim.run_until(100_000, &mut c);
+        assert!(sim.value(buf), "the real edge must arrive");
+        // a: up/down/up (3) + buf: up (1).
+        assert_eq!(c.count, 4);
+    }
+
+    #[test]
+    fn redundant_edges_are_ignored() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let y = n.buf(a);
+        n.output("y", y);
+        let delays = DelayModel::nominal(&n);
+        let mut sim = Simulator::new(&n, &delays, 0);
+        sim.init_all_zero();
+        sim.schedule(a, 100, false); // no-op: already 0
+        let mut c = CountingSink::default();
+        sim.run_until(10_000, &mut c);
+        assert_eq!(c.count, 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Measurement-chain model: amplifier gain, additive Gaussian noise, and
+//! ADC quantisation — turning ideal toggle-count traces into something that
+//! looks like the "raw oscilloscope ADC output" of Fig. 13/16.
+//!
+//! The noise sigma is the lever that maps the paper's trace counts onto
+//! tractable simulated campaigns: TVLA detection thresholds scale with
+//! `noise² / N`, so dividing sigma by √k divides the traces-to-detection by
+//! k. EXPERIMENTS.md records the scaling used for each figure.
+
+use crate::delay::gaussian;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Measurement chain applied to an ideal power trace.
+#[derive(Debug, Clone)]
+pub struct MeasurementModel {
+    /// Multiplicative gain (ADC counts per unit of weighted toggle).
+    pub gain: f64,
+    /// Additive Gaussian noise sigma, in ADC counts, applied per sample.
+    pub noise_sigma: f64,
+    /// ADC resolution in bits; samples clamp to the signed full-scale range.
+    pub adc_bits: u32,
+    rng: SmallRng,
+}
+
+impl MeasurementModel {
+    /// Build a measurement model with its own noise RNG.
+    pub fn new(gain: f64, noise_sigma: f64, adc_bits: u32, seed: u64) -> Self {
+        assert!(adc_bits >= 2 && adc_bits <= 24, "unrealistic ADC width");
+        MeasurementModel {
+            gain,
+            noise_sigma,
+            adc_bits,
+            rng: SmallRng::seed_from_u64(seed ^ 0x853c_49e6_748f_ea9b),
+        }
+    }
+
+    /// Noise-free unquantised chain (for calibration and debugging).
+    pub fn ideal() -> Self {
+        MeasurementModel::new(1.0, 0.0, 24, 0)
+    }
+
+    /// ADC full scale (half range, signed).
+    pub fn full_scale(&self) -> f64 {
+        f64::from(1u32 << (self.adc_bits - 1))
+    }
+
+    /// Apply gain, noise, and quantisation to one sample.
+    pub fn sample(&mut self, ideal: f64) -> f64 {
+        let mut v = ideal * self.gain;
+        if self.noise_sigma > 0.0 {
+            v += gaussian(&mut self.rng) * self.noise_sigma;
+        }
+        let fs = self.full_scale();
+        v.round().clamp(-fs, fs - 1.0)
+    }
+
+    /// Apply the chain to a whole trace in place.
+    pub fn apply(&mut self, trace: &mut [f64]) {
+        for s in trace {
+            *s = self.sample(*s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_chain_rounds_only() {
+        let mut m = MeasurementModel::ideal();
+        assert_eq!(m.sample(3.4), 3.0);
+        assert_eq!(m.sample(3.6), 4.0);
+    }
+
+    #[test]
+    fn clamps_to_adc_range() {
+        let mut m = MeasurementModel::new(1.0, 0.0, 8, 0);
+        assert_eq!(m.sample(1e9), 127.0);
+        assert_eq!(m.sample(-1e9), -128.0);
+    }
+
+    #[test]
+    fn noise_statistics() {
+        let mut m = MeasurementModel::new(1.0, 10.0, 16, 1);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| m.sample(100.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 0.5, "mean {mean}");
+        // Quantisation adds 1/12 variance.
+        assert!((var - 100.0).abs() < 5.0, "var {var}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = MeasurementModel::new(1.0, 5.0, 12, 9);
+        let mut b = MeasurementModel::new(1.0, 5.0, 12, 9);
+        for _ in 0..100 {
+            assert_eq!(a.sample(7.0), b.sample(7.0));
+        }
+    }
+}

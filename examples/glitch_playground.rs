@@ -1,0 +1,80 @@
+//! Watch glitches happen: drive a single `secAND2` through the
+//! event-driven simulator with different share arrival orders and see
+//! why "x last" leaks — the mechanism behind Table I.
+//!
+//! ```sh
+//! cargo run --release --example glitch_playground
+//! ```
+
+use glitchmask::masking::gadgets::sec_and2::build_sec_and2;
+use glitchmask::masking::gadgets::AndInputs;
+use glitchmask::masking::schedule::{all_sequences, predicted_leaky, InputShare};
+use glitchmask::masking::{MaskRng, MaskedBit};
+use glitchmask::netlist::Netlist;
+use glitchmask::sim::power::CountingSink;
+use glitchmask::sim::{DelayModel, Simulator};
+
+fn main() {
+    let mut n = Netlist::new("secand2");
+    let io = AndInputs {
+        x0: n.input("x0"),
+        x1: n.input("x1"),
+        y0: n.input("y0"),
+        y1: n.input("y1"),
+    };
+    let out = build_sec_and2(&mut n, io);
+    n.output("z0", out.z0);
+    n.output("z1", out.z1);
+    n.validate().unwrap();
+
+    let delays = DelayModel::with_variation(&n, 0.15, 40.0, 1);
+    let net_of = |s: InputShare| match s {
+        InputShare::X0 => io.x0,
+        InputShare::X1 => io.x1,
+        InputShare::Y0 => io.y0,
+        InputShare::Y1 => io.y1,
+    };
+
+    // For each arrival order, measure how the *expected toggle count*
+    // varies with the unshared y — that variation is the leak.
+    println!("secAND2 toggle statistics per arrival order (10k runs each):");
+    println!("  order                E[toggles|y=0]  E[toggles|y=1]   Δ     Table I");
+    let mut rng = MaskRng::new(5);
+    for seq in all_sequences().into_iter().step_by(4) {
+        let mut sums = [0.0f64; 2];
+        let mut counts = [0u32; 2];
+        for trial in 0..10_000u64 {
+            let x = rng.bit();
+            let y = rng.bit();
+            let mx = MaskedBit::mask(x, &mut rng);
+            let my = MaskedBit::mask(y, &mut rng);
+            let share_val = |s: InputShare| match s {
+                InputShare::X0 => mx.s0,
+                InputShare::X1 => mx.s1,
+                InputShare::Y0 => my.s0,
+                InputShare::Y1 => my.s1,
+            };
+            let mut sim = Simulator::new(&n, &delays, trial);
+            sim.init_all_zero();
+            for (cycle, &s) in seq.iter().enumerate() {
+                sim.schedule(net_of(s), 10_000 + 50_000 * cycle as u64, share_val(s));
+            }
+            let mut c = CountingSink::default();
+            sim.run_until(300_000, &mut c);
+            sums[usize::from(y)] += c.count as f64;
+            counts[usize::from(y)] += 1;
+        }
+        let e0 = sums[0] / f64::from(counts[0]);
+        let e1 = sums[1] / f64::from(counts[1]);
+        let seq_str: Vec<String> = seq.iter().map(|s| s.to_string()).collect();
+        println!(
+            "  {}   {e0:>14.3}  {e1:>14.3}  {:>5.2}  {}",
+            seq_str.join(" "),
+            (e0 - e1).abs(),
+            if predicted_leaky(&seq) { "leaks" } else { "safe" }
+        );
+    }
+    println!();
+    println!("Δ ≫ 0 exactly for the orders Table I marks as leaking: a glitch on");
+    println!("the output XOR exposes y₀ ⊕ y₁ = y whenever an x share arrives last.");
+}

@@ -1,0 +1,95 @@
+//! Cross-crate integration: the leakage-assessment pipeline produces
+//! the paper's qualitative results at smoke-test scale.
+
+use glitchmask::des::tvla_src::{CoreVariant, CycleModelSource, SourceConfig};
+use glitchmask::leakage::detect::first_detection;
+use glitchmask::leakage::{Campaign, THRESHOLD};
+
+#[test]
+fn prng_off_flags_within_hundreds_of_traces() {
+    let mut cfg = SourceConfig::new(CoreVariant::Ff);
+    cfg.prng_on = false;
+    let det = first_detection(
+        &Campaign::sequential(2_000, 11),
+        &CycleModelSource::new(cfg),
+        16,
+    );
+    assert!(
+        det.traces.is_some_and(|n| n <= 512),
+        "PRNG off must be detected quickly: {:?}",
+        det.traces
+    );
+}
+
+#[test]
+fn ff_core_first_order_clean_at_smoke_scale() {
+    let src = CycleModelSource::new(SourceConfig::new(CoreVariant::Ff));
+    let r = Campaign::sequential(6_000, 12).run(&src);
+    assert!(
+        r.max_abs_t1() < 5.5,
+        "protected FF core should not flag: {}",
+        r.max_abs_t1()
+    );
+}
+
+#[test]
+fn ff_core_second_order_grows() {
+    // Second-order leakage is fundamental to 2-share masking: it must
+    // grow with the trace count.
+    let src = CycleModelSource::new(SourceConfig::new(CoreVariant::Ff));
+    let small = Campaign::sequential(2_000, 13).run(&src);
+    let big = Campaign::sequential(16_000, 13).run(&src);
+    let m = |r: &glitchmask::leakage::TvlaResult| {
+        r.t2().iter().fold(0.0f64, |m, t| m.max(t.abs()))
+    };
+    assert!(
+        m(&big) > m(&small),
+        "t2 must grow with traces: {} -> {}",
+        m(&small),
+        m(&big)
+    );
+    assert!(m(&big) > THRESHOLD, "t2 must flag by 16k traces: {}", m(&big));
+}
+
+#[test]
+fn undersized_delay_unit_leaks_first_order() {
+    let src = CycleModelSource::new(SourceConfig::new(CoreVariant::Pd { unit_luts: 1 }));
+    let r = Campaign::sequential(2_000, 14).run(&src);
+    assert!(
+        r.max_abs_t1() > THRESHOLD,
+        "1-LUT DelayUnit must leak: {}",
+        r.max_abs_t1()
+    );
+}
+
+#[test]
+fn delay_unit_sweep_is_monotone() {
+    let budget = 2_000;
+    let max_t1 = |unit: usize| {
+        let src =
+            CycleModelSource::new(SourceConfig::new(CoreVariant::Pd { unit_luts: unit }));
+        Campaign::sequential(budget, 15).run(&src).max_abs_t1()
+    };
+    let (t1, t5, t10) = (max_t1(1), max_t1(5), max_t1(10));
+    assert!(t1 > t5, "leakage must fall with DelayUnit size: {t1} vs {t5}");
+    assert!(t1 > 2.0 * t10, "1 LUT vs 10 LUTs: {t1} vs {t10}");
+}
+
+#[test]
+fn pd_detects_later_than_undersized_and_ff_not_at_all() {
+    let budget = 30_000;
+    let detect_at = |variant: CoreVariant, prng: bool| {
+        let mut cfg = SourceConfig::new(variant);
+        cfg.prng_on = prng;
+        first_detection(
+            &Campaign::sequential(budget, 16),
+            &CycleModelSource::new(cfg),
+            64,
+        )
+        .traces
+    };
+    let small = detect_at(CoreVariant::Pd { unit_luts: 1 }, true);
+    let ff = detect_at(CoreVariant::Ff, true);
+    assert!(small.is_some_and(|n| n < 2_000), "unit 1 detects early: {small:?}");
+    assert!(ff.is_none(), "FF core must survive the smoke budget: {ff:?}");
+}
