@@ -1,0 +1,171 @@
+//! Offline compatibility shim for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups, `black_box`) with a simple adaptive timing loop:
+//! each benchmark is warmed up briefly, then timed over enough iterations
+//! to fill the measurement window, and the mean time per iteration is
+//! printed. No statistics, plots, or saved baselines — the point is that
+//! `cargo bench` runs and prints comparable numbers without network
+//! access.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (stable-Rust best effort, as upstream's default).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark driver. One per `criterion_group!` function.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { warm_up: Duration::from_millis(300), measurement: Duration::from_millis(1200) }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { warm_up: self.warm_up, measurement: self.measurement, result: None };
+        f(&mut b);
+        report(name.as_ref(), &b);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_owned() }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's timing loop is
+    /// adaptive, so the nominal sample count is ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one named benchmark within the group.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        let mut b = Bencher {
+            warm_up: self.parent.warm_up,
+            measurement: self.parent.measurement,
+            result: None,
+        };
+        f(&mut b);
+        report(&full, &b);
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Time `routine`, adaptively choosing the iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+        let target = (self.measurement.as_nanos() / per_iter.as_nanos().max(1)) as u64;
+        let iters = target.clamp(1, 1_000_000_000);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    match b.result {
+        Some((iters, total)) => {
+            let ns = total.as_nanos() as f64 / iters as f64;
+            let (val, unit) = if ns < 1e3 {
+                (ns, "ns")
+            } else if ns < 1e6 {
+                (ns / 1e3, "µs")
+            } else {
+                (ns / 1e6, "ms")
+            };
+            println!("bench {name:<40} {val:>10.2} {unit}/iter  ({iters} iters)");
+        }
+        None => println!("bench {name:<40} (no measurement — iter() not called)"),
+    }
+}
+
+/// Group benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_loop_runs() {
+        let mut c =
+            Criterion { warm_up: Duration::from_millis(5), measurement: Duration::from_millis(10) };
+        let mut count = 0u64;
+        c.bench_function("noop", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_function("inner", |b| b.iter(|| black_box(3 * 7)));
+        g.finish();
+    }
+}

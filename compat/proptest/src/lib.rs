@@ -1,0 +1,360 @@
+//! Offline compatibility shim for `proptest`.
+//!
+//! The build environment has no crates-io access, so this vendors the
+//! subset of the proptest API the workspace's property tests use:
+//! the [`proptest!`] macro, [`Strategy`] with `prop_map`, [`any`],
+//! range strategies, tuple strategies, [`collection::vec`],
+//! [`prop_oneof!`], and the `prop_assert*` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **no shrinking** — a failing case reports its inputs (every strategy
+//!   value is `Debug`-printed by the assert message) but is not minimised;
+//! * **deterministic cases** — case `i` of every test derives its RNG from
+//!   a fixed seed and `i`, so failures reproduce without a persistence
+//!   file.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies. Public so the [`proptest!`] expansion can
+/// construct it; not part of the mimicked API.
+#[derive(Debug)]
+pub struct TestRng(pub SmallRng);
+
+impl TestRng {
+    /// RNG for case `case` of a deterministic run.
+    pub fn for_case(case: u64) -> Self {
+        TestRng(SmallRng::seed_from_u64(
+            0x7072_6f70_7465_7374u64 ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        ))
+    }
+}
+
+/// A generator of random values of an associated type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: std::fmt::Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O: std::fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase this strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: std::fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: std::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy yielding a single fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "uniform over the whole domain" strategy.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_prim {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.0.random::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_prim!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+/// Marker returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The canonical strategy for `T`: uniform over its whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.0.random::<u64>() % span) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_range_incl_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64 + 1;
+                lo + (rng.0.random::<u64>() % span) as $t
+            }
+        }
+    )*};
+}
+impl_range_incl_strategy_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.0.random::<f64>() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+/// Uniform choice among equally-weighted boxed alternatives
+/// (the engine behind [`prop_oneof!`]).
+pub struct OneOf<T> {
+    choices: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: std::fmt::Debug> OneOf<T> {
+    /// Choose uniformly among `choices`.
+    pub fn new(choices: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one choice");
+        OneOf { choices }
+    }
+}
+
+impl<T: std::fmt::Debug> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = (rng.0.random::<u64>() % self.choices.len() as u64) as usize;
+        self.choices[i].generate(rng)
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Range, Strategy, TestRng};
+    use rand::RngExt;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec` of values from `element`, length uniform in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + (rng.0.random::<u64>() % span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `prop::` module path used inside `proptest!` bodies.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Commonly imported names.
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
+        Any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Define property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg) $($rest)*);
+    };
+    (@expand ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..u64::from(cfg.cases) {
+                    let mut __rng = $crate::TestRng::for_case(__case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assert a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::for_case(0);
+        for _ in 0..1000 {
+            let v = (3u8..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (-2.0f64..3.0).generate(&mut rng);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_choice() {
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = crate::TestRng::for_case(1);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(&seen[1..], &[true, true, true]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro wires strategies to arguments.
+        #[test]
+        fn macro_smoke(x in any::<u64>(), v in prop::collection::vec(0u8..4, 1..5)) {
+            prop_assert!(v.len() < 5 && !v.is_empty());
+            prop_assert_eq!(x, x);
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+    }
+}

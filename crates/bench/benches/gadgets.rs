@@ -20,15 +20,11 @@ fn bench_and_gadgets(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("and_gadgets");
     g.bench_function("sec_and2", |b| b.iter(|| sec_and2(black_box(x), black_box(y))));
-    g.bench_function("trichina", |b| {
-        b.iter(|| trichina_and(black_box(x), black_box(y), &mut rng))
-    });
+    g.bench_function("trichina", |b| b.iter(|| trichina_and(black_box(x), black_box(y), &mut rng)));
     g.bench_function("dom_indep", |b| {
         b.iter(|| DomIndep::and(black_box(x), black_box(y), &mut rng))
     });
-    g.bench_function("dom_dep", |b| {
-        b.iter(|| dom_dep_and(black_box(x), black_box(y), &mut rng))
-    });
+    g.bench_function("dom_dep", |b| b.iter(|| dom_dep_and(black_box(x), black_box(y), &mut rng)));
     g.bench_function("ti_3share", |b| b.iter(|| ti_and(black_box(x3), black_box(y3))));
     g.finish();
 }
@@ -37,8 +33,7 @@ fn bench_products(c: &mut Criterion) {
     let mut rng = MaskRng::new(2);
     let mut g = c.benchmark_group("products");
     for k in [2usize, 3, 4, 8] {
-        let bits: Vec<MaskedBit> =
-            (0..k).map(|_| MaskedBit::mask(true, &mut rng)).collect();
+        let bits: Vec<MaskedBit> = (0..k).map(|_| MaskedBit::mask(true, &mut rng)).collect();
         g.bench_function(format!("product_{k}"), |b| b.iter(|| product(black_box(&bits))));
     }
     g.finish();

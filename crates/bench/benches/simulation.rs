@@ -4,21 +4,17 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gm_core::gadgets::sec_and2::build_sec_and2;
 use gm_core::gadgets::AndInputs;
+use gm_core::MaskRng;
 use gm_des::netlist_gen::driver::EncryptionInputs;
 use gm_des::netlist_gen::{build_des_core, DesCoreDriver, SboxStyle};
-use gm_core::MaskRng;
 use gm_netlist::{timing, Netlist};
 use gm_sim::power::NullSink;
 use gm_sim::{DelayModel, PowerTrace, Simulator};
 
 fn bench_gadget_sim(c: &mut Criterion) {
     let mut n = Netlist::new("g");
-    let io = AndInputs {
-        x0: n.input("x0"),
-        x1: n.input("x1"),
-        y0: n.input("y0"),
-        y1: n.input("y1"),
-    };
+    let io =
+        AndInputs { x0: n.input("x0"), x1: n.input("x1"), y0: n.input("y0"), y1: n.input("y1") };
     let out = build_sec_and2(&mut n, io);
     n.output("z0", out.z0);
     n.output("z1", out.z1);
@@ -51,8 +47,7 @@ fn bench_full_core_trace(c: &mut Criterion) {
         let cycles = drv.total_cycles();
         let mut trace = PowerTrace::new(0, period, cycles);
         b.iter(|| {
-            let inputs =
-                EncryptionInputs::draw(black_box(1), 0x133457799BBCDFF1, &mut rng);
+            let inputs = EncryptionInputs::draw(black_box(1), 0x133457799BBCDFF1, &mut rng);
             trace.clear();
             drv.encrypt(&inputs, &mut trace)
         })
@@ -64,5 +59,22 @@ fn bench_full_core_trace(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_gadget_sim, bench_full_core_trace);
+fn bench_glitch_sampling(c: &mut Criterion) {
+    use gm_des::power::binomial;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut g = c.benchmark_group("binomial");
+    // Exact-inversion regime (n·q ≤ 10): typical per-cycle glitch draw.
+    g.bench_function("inversion_n40_p005", |b| {
+        b.iter(|| binomial(&mut rng, black_box(40), black_box(0.05)))
+    });
+    // Gaussian regime: the worst-case busy cycle.
+    g.bench_function("gaussian_n400_p03", |b| {
+        b.iter(|| binomial(&mut rng, black_box(400), black_box(0.3)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gadget_sim, bench_full_core_trace, bench_glitch_sampling);
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! accumulator must sustain millions of samples per second.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use gm_leakage::moments::TraceMoments;
+use gm_leakage::moments::{BlockScratch, TraceMoments};
 use gm_leakage::ttest::{t_first_order, t_second_order, t_third_order};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
@@ -23,6 +23,15 @@ fn bench_accumulate(c: &mut Criterion) {
             m.add(black_box(&data[i % data.len()]));
             i += 1;
         })
+    });
+    // Same 256 traces accumulated through the blocked path: one
+    // `add_block` call replaces 256 scalar `add` calls, so divide the
+    // reported time by 256 to compare per-trace cost with the entry above.
+    g.bench_function("add_block_115x256", |b| {
+        let flat: Vec<f64> = data.iter().flatten().copied().collect();
+        let mut m = TraceMoments::new(115);
+        let mut scratch = BlockScratch::new(115);
+        b.iter(|| m.add_block(black_box(&flat), &mut scratch))
     });
     g.bench_function("merge_115_samples", |b| {
         let mut a = TraceMoments::new(115);

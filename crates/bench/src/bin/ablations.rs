@@ -164,12 +164,8 @@ fn ablation_reset(trials: u64, seed: u64) {
     // settles; then the second operation's a0 arrives BEFORE the fresh b
     // shares. Without reset, a0's edge can toggle z0 by HD = n0 ⊕ n1 = n.
     let mut n = Netlist::new("g");
-    let io = AndInputs {
-        x0: n.input("x0"),
-        x1: n.input("x1"),
-        y0: n.input("y0"),
-        y1: n.input("y1"),
-    };
+    let io =
+        AndInputs { x0: n.input("x0"), x1: n.input("x1"), y0: n.input("y0"), y1: n.input("y1") };
     let out = build_sec_and2(&mut n, io);
     n.output("z0", out.z0);
     n.output("z1", out.z1);

@@ -1,0 +1,68 @@
+//! Campaign-throughput harness: times a fig14-style TVLA campaign
+//! (cycle-model backend, secAND2-FF core, PRNG on) and appends the
+//! result to `BENCH_tvla.json`, so successive PRs accumulate a
+//! performance trajectory instead of one-off numbers.
+//!
+//! ```text
+//! cargo run --release -p gm-bench --bin bench_tvla -- \
+//!     --traces 100000 --threads 8 --label blocked
+//! ```
+//!
+//! The JSON file is a flat array of run records; this binary appends
+//! without disturbing earlier entries.
+
+use gm_bench::Args;
+use gm_des::tvla_src::{CoreVariant, CycleModelSource, SourceConfig};
+use gm_leakage::Campaign;
+use std::io::Write as _;
+use std::time::Instant;
+
+const BENCH_FILE: &str = "BENCH_tvla.json";
+
+fn main() {
+    let args = Args::parse();
+    let traces = args.trace_count(10_000, 100_000);
+    let threads = args.threads.unwrap_or(8);
+    let label = args.label.clone().unwrap_or_else(|| "unlabelled".to_owned());
+
+    let mut cfg = SourceConfig::new(CoreVariant::Ff);
+    cfg.seed = args.seed;
+    let src = CycleModelSource::new(cfg);
+
+    println!("bench_tvla: fig14-style campaign, {traces} traces, {threads} threads");
+    let campaign = Campaign { traces, threads, seed: args.seed };
+    let start = Instant::now();
+    let result = campaign.run(&src);
+    let seconds = start.elapsed().as_secs_f64();
+    let tps = traces as f64 / seconds;
+    let max_t1 = result.max_abs_t(1);
+
+    println!("  {seconds:.3} s -> {tps:.0} traces/s  (max|t1| = {max_t1:.2})");
+
+    let record = format!(
+        "  {{\"label\": \"{label}\", \"campaign\": \"fig14-ff-cycle-model\", \
+         \"traces\": {traces}, \"threads\": {threads}, \
+         \"seconds\": {seconds:.3}, \"traces_per_sec\": {tps:.1}, \
+         \"max_abs_t1\": {max_t1:.3}}}"
+    );
+    append_record(BENCH_FILE, &record).expect("write BENCH_tvla.json");
+    println!("  recorded as \"{label}\" in {BENCH_FILE}");
+}
+
+/// Append a record to a JSON array file, creating the file on first use.
+fn append_record(path: &str, record: &str) -> std::io::Result<()> {
+    let body = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            let inner = trimmed
+                .strip_suffix(']')
+                .unwrap_or_else(|| panic!("{path} is not a JSON array"))
+                .trim_end();
+            let sep = if inner.ends_with('[') { "\n" } else { ",\n" };
+            format!("{inner}{sep}{record}\n]\n")
+        }
+        Err(_) => format!("[\n{record}\n]\n"),
+    };
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(body.as_bytes())
+}

@@ -20,19 +20,31 @@ fn main() {
     let t1m = r.max_abs_t1();
     let t2m = r.t2().iter().fold(0.0f64, |m, t| m.max(t.abs()));
     let t3m = r.t3().iter().fold(0.0f64, |m, t| m.max(t.abs()));
-    println!("FF prng-on  n={n} sigma={sigma}: t1={t1m:.2} t2={t2m:.2} t3={t3m:.2} ({:.0} traces/s)", n as f64/dt.as_secs_f64());
+    println!(
+        "FF prng-on  n={n} sigma={sigma}: t1={t1m:.2} t2={t2m:.2} t3={t3m:.2} ({:.0} traces/s)",
+        n as f64 / dt.as_secs_f64()
+    );
     let t1 = r.t1();
     let mut idx: Vec<usize> = (0..t1.len()).collect();
     idx.sort_by(|&a, &b| t1[b].abs().partial_cmp(&t1[a].abs()).unwrap());
     for &i in idx.iter().take(6) {
-        let phase = if i < 3 { format!("lead-in {i}") } else { format!("round {} cyc {}", (i-3)/7, (i-3)%7) };
+        let phase = if i < 3 {
+            format!("lead-in {i}")
+        } else {
+            format!("round {} cyc {}", (i - 3) / 7, (i - 3) % 7)
+        };
         println!("   sample {i} ({phase}): t1={:.2}", t1[i]);
     }
 
     let mut cfg_off = cfg.clone();
     cfg_off.prng_on = false;
-    let d = gm_leakage::first_detection(&Campaign::parallel(n, 2), &CycleModelSource::new(cfg_off), 32);
-    println!("FF prng-off detection at {:?} (history {:?})", d.traces, &d.history[..d.history.len().min(6)]);
+    let d =
+        gm_leakage::first_detection(&Campaign::parallel(n, 2), &CycleModelSource::new(cfg_off), 32);
+    println!(
+        "FF prng-off detection at {:?} (history {:?})",
+        d.traces,
+        &d.history[..d.history.len().min(6)]
+    );
 
     {
         // PD(10) with coupling disabled must stay clean (fig17 ablation).
@@ -51,6 +63,9 @@ fn main() {
         let src = CycleModelSource::new(c);
         let d = gm_leakage::first_detection(&Campaign::parallel(n, 3), &src, 256);
         let last = d.history.last().unwrap();
-        println!("PD unit={unit:2}: detect={:?} final max|t1|={:.2} at n={}", d.traces, last.1, last.0);
+        println!(
+            "PD unit={unit:2}: detect={:?} final max|t1|={:.2} at n={}",
+            d.traces, last.1, last.0
+        );
     }
 }

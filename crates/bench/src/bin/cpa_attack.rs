@@ -38,10 +38,8 @@ fn prediction(pt: u64, s: usize, k: u8) -> f64 {
     let expanded = permute(r0, 32, &E);
     let six = ((expanded >> (42 - 6 * s)) & 0x3F) as u8 ^ k;
     // Replay the masked S-box with the degenerate (PRNG-off) sharing.
-    let bits: [MaskedBit; 6] = std::array::from_fn(|i| MaskedBit {
-        s0: false,
-        s1: (six >> (5 - i)) & 1 == 1,
-    });
+    let bits: [MaskedBit; 6] =
+        std::array::from_fn(|i| MaskedBit { s0: false, s1: (six >> (5 - i)) & 1 == 1 });
     let out = masked_sbox(s, &bits, &SboxRandomness::default());
     out.iter().map(|b| f64::from(u8::from(b.s0) + u8::from(b.s1))).sum()
 }
@@ -169,8 +167,7 @@ fn main() {
     // Attack 2: PRNG on, many more traces.
     let n_on = 4 * n_off;
     let (guesses_on, peaks_on) = attack(key, true, n_on, 6.0, args.seed ^ 1);
-    let correct_on =
-        (0..8).filter(|&s| guesses_on[s] == true_chunks[s]).count();
+    let correct_on = (0..8).filter(|&s| guesses_on[s] == true_chunks[s]).count();
     let max_peak = peaks_on.iter().cloned().fold(0.0f64, f64::max);
     println!("--- PRNG ON (masked), {n_on} traces ---");
     println!("recovered {correct_on}/8 subkey chunks; best peak rho = {max_peak:+.3}");

@@ -45,9 +45,11 @@ fn main() {
         })
         .collect();
     let mean = round_energy.iter().sum::<f64>() / 16.0;
-    println!("\nper-round energy (16 rounds): mean {mean:.0}, min {:.0}, max {:.0}",
+    println!(
+        "\nper-round energy (16 rounds): mean {mean:.0}, min {:.0}, max {:.0}",
         round_energy.iter().cloned().fold(f64::MAX, f64::min),
-        round_energy.iter().cloned().fold(f64::MIN, f64::max));
+        round_energy.iter().cloned().fold(f64::MIN, f64::max)
+    );
 }
 
 /// Oscilloscope-style ASCII rendering (positive-only amplitude rows).

@@ -45,16 +45,20 @@ fn main() {
     let big = per_version * 10;
     let mut cfg = SourceConfig::new(CoreVariant::Pd { unit_luts: 7 });
     cfg.seed = args.seed ^ 0xf;
-    let det = first_detection(&Campaign::parallel(big, args.seed ^ 0x15f), &CycleModelSource::new(cfg), 256);
+    let det = first_detection(
+        &Campaign::parallel(big, args.seed ^ 0x15f),
+        &CycleModelSource::new(cfg),
+        256,
+    );
     println!();
     match det.traces {
         Some(n) => println!(
             "panel (f): 7 LUTs re-assessed with {big} traces — first-order leakage \
              appears after ~{n} traces (paper: visible at 5M after clean 500k)"
         ),
-        None => println!(
-            "panel (f): 7 LUTs stayed clean for {big} traces (paper found leakage at 5M)"
-        ),
+        None => {
+            println!("panel (f): 7 LUTs stayed clean for {big} traces (paper found leakage at 5M)")
+        }
     }
 
     // Shape assertions, reported.
@@ -62,8 +66,10 @@ fn main() {
     let leak_small: Vec<usize> =
         results.iter().filter(|&&(_, m)| m > THRESHOLD).map(|&(u, _)| u).collect();
     println!("versions leaking within the 500k-equivalent budget: {leak_small:?}");
-    println!("monotone decrease of first-order leakage with DelayUnit size: {}",
-        results.windows(2).all(|w| w[0].1 >= w[1].1 * 0.7));
+    println!(
+        "monotone decrease of first-order leakage with DelayUnit size: {}",
+        results.windows(2).all(|w| w[0].1 >= w[1].1 * 0.7)
+    );
     println!("paper: pronounced leakage at 1 LUT, decreasing with size; clean at");
     println!("10 LUTs (within this budget) — sizes beyond 10 add only cost.");
 

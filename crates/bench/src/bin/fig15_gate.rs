@@ -28,12 +28,8 @@ struct Gadget {
 
 fn build_gadget(unit_luts: usize) -> Gadget {
     let mut n = Netlist::new("pd");
-    let io = AndInputs {
-        x0: n.input("x0"),
-        x1: n.input("x1"),
-        y0: n.input("y0"),
-        y1: n.input("y1"),
-    };
+    let io =
+        AndInputs { x0: n.input("x0"), x1: n.input("x1"), y0: n.input("y0"), y1: n.input("y1") };
     let out = build_sec_and2_pd(&mut n, io, PdConfig { unit_luts });
     n.output("z0", out.z0);
     n.output("z1", out.z1);
@@ -41,7 +37,6 @@ fn build_gadget(unit_luts: usize) -> Gadget {
     let window_ps = (2 * unit_luts as u64 * 1_150) * 3 + 30_000;
     Gadget { netlist: n, io, window_ps }
 }
-
 
 /// Directly measured first-order exposure of one placement: the
 /// difference in expected switching energy of the *gadget core* between
@@ -77,8 +72,7 @@ fn placement_bias(gadget: &Gadget, delays: &DelayModel, trials: u64, seed: u64) 
         }
         sink.clear();
         sim.run_until(gadget.window_ps, &mut sink);
-        let power: f64 =
-            sink.counts.iter().zip(&weights).map(|(&c, w)| f64::from(c) * w).sum();
+        let power: f64 = sink.counts.iter().zip(&weights).map(|(&c, w)| f64::from(c) * w).sum();
         sums[usize::from(y)] += power;
         cnt[usize::from(y)] += 1;
     }
@@ -90,7 +84,9 @@ fn main() {
     let trials = args.trace_count(8_000, 20_000);
     let placements = if args.quick { 15 } else { 30 };
     println!("FIG. 15 (gate level) — per-placement first-order exposure of secAND2-PD");
-    println!("(±85% routing spread, 400 ps jitter; {placements} placements × {trials} runs each)\n");
+    println!(
+        "(±85% routing spread, 400 ps jitter; {placements} placements × {trials} runs each)\n"
+    );
     println!("  LUTs/unit  worst |bias|  mean |bias|   placements > 0.1");
     println!("  ---------  ------------  -----------   ----------------");
 
@@ -100,8 +96,7 @@ fn main() {
         let mut biases = Vec::new();
         for p in 0..placements {
             let device_seed = args.seed ^ (unit as u64) << 8 ^ p as u64;
-            let delays =
-                DelayModel::with_variation(&gadget.netlist, 0.85, 400.0, device_seed);
+            let delays = DelayModel::with_variation(&gadget.netlist, 0.85, 400.0, device_seed);
             biases.push(placement_bias(&gadget, &delays, trials, device_seed));
         }
         let worst = biases.iter().cloned().fold(0.0f64, f64::max);

@@ -17,8 +17,7 @@ use gm_des::tvla_src::{CoreVariant, CycleModelSource, SourceConfig};
 use gm_leakage::detect::{consistent_leaks, first_detection};
 use gm_leakage::Campaign;
 
-const FIXED_PLAINTEXTS: [u64; 3] =
-    [0x0123456789ABCDEF, 0xDA39A3EE5E6B4B0D, 0x0000000000000000];
+const FIXED_PLAINTEXTS: [u64; 3] = [0x0123456789ABCDEF, 0xDA39A3EE5E6B4B0D, 0x0000000000000000];
 
 fn main() {
     let args = Args::parse();

@@ -14,8 +14,8 @@ use gm_core::gadgets::AndInputs;
 use gm_core::{MaskRng, MaskedBit};
 use gm_leakage::Snr;
 use gm_netlist::{NetId, Netlist};
-use gm_sim::{DelayModel, MeasurementModel, Simulator};
 use gm_sim::power::PowerTrace;
+use gm_sim::{DelayModel, MeasurementModel, Simulator};
 
 fn build_bank(replicas: usize) -> (Netlist, [NetId; 4]) {
     let mut n = Netlist::new("bank");

@@ -1,15 +1,14 @@
 //! Quick speed probe: gate-level masked DES traces per second.
-use gm_des::netlist_gen::{build_des_core, DesCoreDriver, SboxStyle};
-use gm_des::netlist_gen::driver::EncryptionInputs;
 use gm_core::MaskRng;
+use gm_des::netlist_gen::driver::EncryptionInputs;
+use gm_des::netlist_gen::{build_des_core, DesCoreDriver, SboxStyle};
 use gm_sim::{DelayModel, PowerTrace};
 use std::time::Instant;
 
 fn main() {
-    for (name, style, period) in [
-        ("FF", SboxStyle::Ff, 20_000u64),
-        ("PD(10)", SboxStyle::Pd { unit_luts: 10 }, 120_000),
-    ] {
+    for (name, style, period) in
+        [("FF", SboxStyle::Ff, 20_000u64), ("PD(10)", SboxStyle::Pd { unit_luts: 10 }, 120_000)]
+    {
         let core = build_des_core(style);
         println!("{name}: {} gates, {} nets", core.netlist.num_gates(), core.netlist.num_nets());
         let t = gm_netlist::timing::analyze(&core.netlist).unwrap();
@@ -28,6 +27,11 @@ fn main() {
             let _ = ct;
         }
         let dt = start.elapsed();
-        println!("  {} traces in {:?} -> {:.1} traces/s/thread", n, dt, n as f64 / dt.as_secs_f64());
+        println!(
+            "  {} traces in {:?} -> {:.1} traces/s/thread",
+            n,
+            dt,
+            n as f64 / dt.as_secs_f64()
+        );
     }
 }

@@ -199,7 +199,11 @@ fn main() {
     let max_ts: Vec<f64> = rows.iter().map(|r| r.1).collect();
     let measured: Vec<f64> = rows.iter().map(|r| f64::from(r.2 as u8)).collect();
     let predicted: Vec<f64> = rows.iter().map(|r| f64::from(r.3 as u8)).collect();
-    report::write_csv(&path, &["seq", "max_t1", "leaks", "predicted"], &[&max_ts, &measured, &predicted])
-        .expect("write CSV");
+    report::write_csv(
+        &path,
+        &["seq", "max_t1", "leaks", "predicted"],
+        &[&max_ts, &measured, &predicted],
+    )
+    .expect("write CSV");
     println!("CSV written to {path}");
 }

@@ -35,9 +35,8 @@ struct ChainBank {
 /// Table I shows to leak.
 fn build_chain_bank(k: usize, sabotage: bool) -> ChainBank {
     let mut n = Netlist::new("chain_bank");
-    let vars: Vec<(NetId, NetId)> = (0..k)
-        .map(|i| (n.input(format!("v{i}s0")), n.input(format!("v{i}s1"))))
-        .collect();
+    let vars: Vec<(NetId, NetId)> =
+        (0..k).map(|i| (n.input(format!("v{i}s0")), n.input(format!("v{i}s1")))).collect();
     let schedule: Vec<ShareDelay> = if sabotage {
         chain_delay_schedule(k)
             .into_iter()
@@ -132,11 +131,7 @@ fn schedule_row(k: usize) -> String {
         .map(|d| (d.units, format!("{}{}", names[d.var], d.share)))
         .collect();
     entries.sort();
-    entries
-        .iter()
-        .map(|(u, n)| format!("{n}@{u}"))
-        .collect::<Vec<_>>()
-        .join(" → ")
+    entries.iter().map(|(u, n)| format!("{n}@{u}")).collect::<Vec<_>>().join(" → ")
 }
 
 fn main() {

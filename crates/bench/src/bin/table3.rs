@@ -119,22 +119,14 @@ fn main() {
     println!("FF-core area by module (GE):");
     let mut mods: Vec<(String, f64)> = area::by_module(&ff.netlist).into_iter().collect();
     mods.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    let key_ge: f64 = mods
-        .iter()
-        .filter(|(m, _)| m.starts_with("key_schedule"))
-        .map(|(_, g)| g)
-        .sum();
+    let key_ge: f64 =
+        mods.iter().filter(|(m, _)| m.starts_with("key_schedule")).map(|(_, g)| g).sum();
     for (m, g) in mods.iter().take(6) {
         println!("  {:<28} {:>8.0}", if m.is_empty() { "(top)" } else { m }, g);
     }
     println!("  masked key schedule total: {key_ge:.0} GE (paper: ~900 GE overhead)");
 
     // --- delay element sanity --------------------------------------------
-    let ff_delay_gates = ff
-        .netlist
-        .gates()
-        .iter()
-        .filter(|g| g.kind == GateKind::DelayBuf)
-        .count();
+    let ff_delay_gates = ff.netlist.gates().iter().filter(|g| g.kind == GateKind::DelayBuf).count();
     assert_eq!(ff_delay_gates, 0, "the FF core has no delay elements");
 }

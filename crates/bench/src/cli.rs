@@ -14,6 +14,11 @@ pub struct Args {
     pub out_dir: String,
     /// `--quick`: reduced trace counts for CI smoke runs.
     pub quick: bool,
+    /// `--threads N`: worker threads for campaign binaries that honour it.
+    pub threads: Option<usize>,
+    /// `--label S`: free-form label attached to recorded results
+    /// (used by `bench_tvla` to tag BENCH_tvla.json entries).
+    pub label: Option<String>,
 }
 
 impl Default for Args {
@@ -24,6 +29,8 @@ impl Default for Args {
             panel: None,
             out_dir: "target/experiments".to_owned(),
             quick: false,
+            threads: None,
+            label: None,
         }
     }
 }
@@ -32,25 +39,28 @@ impl Args {
     /// Parse `std::env::args()`, panicking with a usage message on
     /// unknown flags.
     pub fn parse() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::parse_from(std::env::args().skip(1))
     }
 
     /// Parse from an explicit iterator (testable).
-    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+    pub fn parse_from<I: IntoIterator<Item = String>>(iter: I) -> Self {
         let mut args = Args::default();
         let mut it = iter.into_iter();
         while let Some(flag) = it.next() {
-            let grab = &mut || {
-                it.next().unwrap_or_else(|| panic!("flag {flag} needs a value"))
-            };
+            let grab = &mut || it.next().unwrap_or_else(|| panic!("flag {flag} needs a value"));
             match flag.as_str() {
                 "--traces" => args.traces = Some(grab().parse().expect("--traces takes a number")),
                 "--seed" => args.seed = grab().parse().expect("--seed takes a number"),
                 "--panel" => args.panel = Some(grab()),
                 "--out" => args.out_dir = grab(),
                 "--quick" => args.quick = true,
+                "--threads" => {
+                    args.threads = Some(grab().parse().expect("--threads takes a number"))
+                }
+                "--label" => args.label = Some(grab()),
                 other => panic!(
-                    "unknown flag {other}; supported: --traces N --seed S --panel X --out DIR --quick"
+                    "unknown flag {other}; supported: --traces N --seed S --panel X --out DIR \
+                     --quick --threads N --label S"
                 ),
             }
         }
@@ -68,7 +78,7 @@ mod tests {
     use super::*;
 
     fn parse(s: &str) -> Args {
-        Args::from_iter(s.split_whitespace().map(str::to_owned))
+        Args::parse_from(s.split_whitespace().map(str::to_owned))
     }
 
     #[test]
@@ -82,12 +92,15 @@ mod tests {
 
     #[test]
     fn flags() {
-        let a = parse("--traces 5000 --seed 7 --panel d --out /tmp/x --quick");
+        let a =
+            parse("--traces 5000 --seed 7 --panel d --out /tmp/x --quick --threads 8 --label s");
         assert_eq!(a.traces, Some(5000));
         assert_eq!(a.seed, 7);
         assert_eq!(a.panel.as_deref(), Some("d"));
         assert_eq!(a.out_dir, "/tmp/x");
         assert_eq!(a.trace_count(10, 100), 5000);
+        assert_eq!(a.threads, Some(8));
+        assert_eq!(a.label.as_deref(), Some("s"));
     }
 
     #[test]

@@ -23,8 +23,7 @@ pub fn print_panel(title: &str, result: &TvlaResult, out_dir: &str, file_stem: &
         println!("{}", report::ascii_curve(t, 72));
     }
     let path = Path::new(out_dir).join(format!("{file_stem}.csv"));
-    report::write_csv(&path, &["sample", "t1", "t2", "t3"], &[&t1, &t2, &t3])
-        .expect("write CSV");
+    report::write_csv(&path, &["sample", "t1", "t2", "t3"], &[&t1, &t2, &t3]).expect("write CSV");
     println!("CSV written to {}\n", path.display());
 }
 

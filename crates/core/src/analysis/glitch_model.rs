@@ -103,8 +103,7 @@ pub fn glitch_probe(
     let mut max_bias = 0.0;
     let mut worst_net = NetId(0);
     for net in 0..num_nets {
-        let overall: f64 =
-            sums.iter().map(|s| s[net]).sum::<f64>() / total as f64;
+        let overall: f64 = sums.iter().map(|s| s[net]).sum::<f64>() / total as f64;
         let mut bias = 0.0f64;
         for c in 0..num_classes {
             if counts[c] == 0 {
@@ -171,10 +170,22 @@ mod tests {
         let safe = [InputShare::X0, InputShare::X1, InputShare::Y0, InputShare::Y1];
         assert!(predicted_leaky(&leaky) && !predicted_leaky(&safe));
 
-        let r_leaky = glitch_probe(&n, &[(io.x0, io.x1), (io.y0, io.y1)],
-            &schedule_for(io, &leaky), 3_000, 60.0, 7);
-        let r_safe = glitch_probe(&n, &[(io.x0, io.x1), (io.y0, io.y1)],
-            &schedule_for(io, &safe), 3_000, 60.0, 7);
+        let r_leaky = glitch_probe(
+            &n,
+            &[(io.x0, io.x1), (io.y0, io.y1)],
+            &schedule_for(io, &leaky),
+            3_000,
+            60.0,
+            7,
+        );
+        let r_safe = glitch_probe(
+            &n,
+            &[(io.x0, io.x1), (io.y0, io.y1)],
+            &schedule_for(io, &safe),
+            3_000,
+            60.0,
+            7,
+        );
         assert!(
             r_leaky.max_bias > 4.0 * r_safe.max_bias.max(0.02),
             "leaky {} vs safe {}",

@@ -64,14 +64,17 @@ pub fn probe_check(n: &Netlist, vars: &[SharePair], fresh: &[NetId]) -> ProbeRep
                 }
                 ev.settle(n);
                 totals[vals] += 1;
-                for net in 0..num_nets {
-                    ones[vals][net] += ev.value(NetId(net as u32)) as u32;
+                for (net, one) in ones[vals].iter_mut().enumerate() {
+                    *one += ev.value(NetId(net as u32)) as u32;
                 }
             }
         }
     }
 
     let mut violations = Vec::new();
+    // `net` strides the *inner* dimension of `ones` (a transposed walk);
+    // no iterator form is clearer here.
+    #[allow(clippy::needless_range_loop)]
     for net in 0..num_nets {
         let probs: Vec<f64> =
             (0..num_vals).map(|v| ones[v][net] as f64 / totals[v] as f64).collect();

@@ -87,8 +87,7 @@ pub fn check_gadget2(
             let mut tv = 0.0f64;
             for (share_vec, &m_count) in &marginal {
                 let p_marg = m_count as f64 / total as f64;
-                let p_cond =
-                    cond.get(share_vec).copied().unwrap_or(0) as f64 / per_sharing as f64;
+                let p_cond = cond.get(share_vec).copied().unwrap_or(0) as f64 / per_sharing as f64;
                 tv += (p_cond - p_marg).abs();
             }
             sharing_dependence = sharing_dependence.max(tv / 2.0);
@@ -174,7 +173,7 @@ mod tests {
         let rep = check_gadget2(gadget::sec_and2, 0);
         for vals in 0..4usize {
             let want = (vals & 1 == 1) & (vals & 2 == 2);
-            for (&(z0, z1), _) in &rep.histograms[vals] {
+            for &(z0, z1) in rep.histograms[vals].keys() {
                 assert_eq!(z0 ^ z1, want, "vals {vals:02b}");
             }
         }

@@ -159,15 +159,10 @@ pub fn build_product_chain_pd_with_schedule(
     // variable the y operand of the next gadget.
     let mut acc = delayed[0];
     for &(y0, y1) in &delayed[1..] {
-        let out =
-            build_sec_and2(n, AndInputs { x0: acc.0, x1: acc.1, y0, y1 });
+        let out = build_sec_and2(n, AndInputs { x0: acc.0, x1: acc.1, y0, y1 });
         acc = (out.z0, out.z1);
     }
-    PdChain {
-        out: AndOutputs { z0: acc.0, z1: acc.1 },
-        gadgets: k - 1,
-        delay_bufs,
-    }
+    PdChain { out: AndOutputs { z0: acc.0, z1: acc.1 }, gadgets: k - 1, delay_bufs }
 }
 
 #[cfg(test)]
@@ -200,9 +195,8 @@ mod tests {
 
     fn drive_ff_tree(k: usize) {
         let mut n = Netlist::new("tree");
-        let vars: Vec<(NetId, NetId)> = (0..k)
-            .map(|i| (n.input(format!("v{i}s0")), n.input(format!("v{i}s1"))))
-            .collect();
+        let vars: Vec<(NetId, NetId)> =
+            (0..k).map(|i| (n.input(format!("v{i}s0")), n.input(format!("v{i}s1")))).collect();
         let tree = build_product_tree_ff(&mut n, &vars);
         n.output("z0", tree.out.z0);
         n.output("z1", tree.out.z1);
@@ -213,8 +207,7 @@ mod tests {
         let mut rng = MaskRng::new(83);
         for _ in 0..16 {
             let vals: Vec<bool> = (0..k).map(|_| rng.bit()).collect();
-            let bits: Vec<MaskedBit> =
-                vals.iter().map(|&v| MaskedBit::mask(v, &mut rng)).collect();
+            let bits: Vec<MaskedBit> = vals.iter().map(|&v| MaskedBit::mask(v, &mut rng)).collect();
             ev.reset();
             // Cycle 1: all inputs arrive, no layer enabled.
             for (i, b) in bits.iter().enumerate() {
@@ -251,17 +244,15 @@ mod tests {
     fn pd_chain_functional_and_sized() {
         for k in 2..=4usize {
             let mut n = Netlist::new("chain");
-            let vars: Vec<(NetId, NetId)> = (0..k)
-                .map(|i| (n.input(format!("v{i}s0")), n.input(format!("v{i}s1"))))
-                .collect();
+            let vars: Vec<(NetId, NetId)> =
+                (0..k).map(|i| (n.input(format!("v{i}s0")), n.input(format!("v{i}s1")))).collect();
             let chain = build_product_chain_pd(&mut n, &vars, 2);
             n.output("z0", chain.out.z0);
             n.output("z1", chain.out.z1);
             n.validate().unwrap();
             assert_eq!(chain.gadgets, k - 1);
             // Total units = sum of schedule units × unit_luts.
-            let total_units: usize =
-                chain_delay_schedule(k).iter().map(|d| d.units).sum();
+            let total_units: usize = chain_delay_schedule(k).iter().map(|d| d.units).sum();
             assert_eq!(chain.delay_bufs, 2 * total_units);
 
             let mut ev = Evaluator::new(&n).unwrap();

@@ -81,14 +81,8 @@ mod tests {
         }
         let p_raw = count_raw as f64 / n as f64;
         let p_ref = count_refreshed as f64 / n as f64;
-        assert!(
-            (p_ref - 0.5).abs() < 0.02,
-            "refreshed share must be uniform, got {p_ref}"
-        );
-        assert!(
-            (p_raw - 0.5).abs() > 0.05,
-            "unrefreshed share expected to be biased, got {p_raw}"
-        );
+        assert!((p_ref - 0.5).abs() < 0.02, "refreshed share must be uniform, got {p_ref}");
+        assert!((p_raw - 0.5).abs() > 0.05, "unrefreshed share expected to be biased, got {p_raw}");
     }
 
     #[test]

@@ -56,10 +56,7 @@ pub fn build_sec_and2(n: &mut Netlist, io: AndInputs) -> AndOutputs {
 /// depends on the **unshared** `y`. Kept as a negative control for the
 /// probing checker and the leakage experiments.
 pub fn insecure_and2(x: MaskedBit, y: MaskedBit) -> MaskedBit {
-    MaskedBit {
-        s0: (x.s0 & y.s0) ^ (x.s0 & y.s1),
-        s1: (x.s1 & y.s0) ^ (x.s1 & y.s1),
-    }
+    MaskedBit { s0: (x.s0 & y.s0) ^ (x.s0 & y.s1), s1: (x.s1 & y.s0) ^ (x.s1 & y.s1) }
 }
 
 /// Netlist for [`insecure_and2`] (negative control).
@@ -84,11 +81,7 @@ mod tests {
         for bits in 0..16u8 {
             let x = MaskedBit { s0: bits & 1 != 0, s1: bits & 2 != 0 };
             let y = MaskedBit { s0: bits & 4 != 0, s1: bits & 8 != 0 };
-            assert_eq!(
-                sec_and2(x, y).unmask(),
-                x.unmask() & y.unmask(),
-                "sharing {bits:04b}"
-            );
+            assert_eq!(sec_and2(x, y).unmask(), x.unmask() & y.unmask(), "sharing {bits:04b}");
             assert_eq!(insecure_and2(x, y).unmask(), x.unmask() & y.unmask());
         }
     }

@@ -58,8 +58,7 @@ impl SecAnd2Ff {
     pub fn and(&mut self, x: MaskedBit, y: MaskedBit) -> MaskedBit {
         self.reset();
         self.load_y1(y.s1);
-        let z = self.eval(x, y.s0);
-        z
+        self.eval(x, y.s0)
     }
 }
 
@@ -68,16 +67,9 @@ impl SecAnd2Ff {
 /// `enable` gates the internal `y₁` flip-flop: composition circuits pulse
 /// it on the cycle where `y₁` may arrive (Fig. 4's FSM control). Returns
 /// the output shares; the internal FF is the only sequential element.
-pub fn build_sec_and2_ff(
-    n: &mut Netlist,
-    io: AndInputs,
-    enable: NetId,
-) -> AndOutputs {
+pub fn build_sec_and2_ff(n: &mut Netlist, io: AndInputs, enable: NetId) -> AndOutputs {
     let y1_q = n.dff_en(io.y1, enable);
-    super::sec_and2::build_sec_and2(
-        n,
-        AndInputs { x0: io.x0, x1: io.x1, y0: io.y0, y1: y1_q },
-    )
+    super::sec_and2::build_sec_and2(n, AndInputs { x0: io.x0, x1: io.x1, y0: io.y0, y1: y1_q })
 }
 
 #[cfg(test)]

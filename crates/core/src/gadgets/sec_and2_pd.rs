@@ -55,10 +55,7 @@ pub fn build_sec_and2_pd(n: &mut Netlist, io: AndInputs, cfg: PdConfig) -> AndOu
     let x0d = n.delay_chain(io.x0, cfg.unit_luts);
     let x1d = n.delay_chain(io.x1, cfg.unit_luts);
     let y1d = n.delay_chain(io.y1, 2 * cfg.unit_luts);
-    super::sec_and2::build_sec_and2(
-        n,
-        AndInputs { x0: x0d, x1: x1d, y0: io.y0, y1: y1d },
-    )
+    super::sec_and2::build_sec_and2(n, AndInputs { x0: x0d, x1: x1d, y0: io.y0, y1: y1d })
 }
 
 #[cfg(test)]
@@ -66,8 +63,8 @@ mod tests {
     use super::*;
     use crate::rng::MaskRng;
     use gm_netlist::{Evaluator, GateKind};
-    use gm_sim::{DelayModel, Simulator};
     use gm_sim::power::NullSink;
+    use gm_sim::{DelayModel, Simulator};
 
     #[test]
     fn functional_equivalence_with_sec_and2() {
@@ -114,8 +111,7 @@ mod tests {
     #[test]
     fn delay_unit_sizes_reflected_in_netlist() {
         let (n, _, _) = build(PdConfig { unit_luts: 3 });
-        let delay_bufs =
-            n.gates().iter().filter(|g| g.kind == GateKind::DelayBuf).count();
+        let delay_bufs = n.gates().iter().filter(|g| g.kind == GateKind::DelayBuf).count();
         // x0: 3, x1: 3, y1: 6 = 12 delay buffers.
         assert_eq!(delay_bufs, 12);
     }

@@ -54,11 +54,7 @@ pub fn ti_and(x: Shared3, y: Shared3) -> Shared3 {
 
 /// Netlist generator: three non-complete component functions, each
 /// followed by the TI register stage (glitch barrier).
-pub fn build_ti_and(
-    n: &mut Netlist,
-    x: [NetId; 3],
-    y: [NetId; 3],
-) -> [NetId; 3] {
+pub fn build_ti_and(n: &mut Netlist, x: [NetId; 3], y: [NetId; 3]) -> [NetId; 3] {
     let mut outs = [NetId(0); 3];
     for (i, out) in outs.iter_mut().enumerate() {
         // Component i uses share indices (i+1, i+2) mod 3 per the classic

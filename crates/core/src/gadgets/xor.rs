@@ -21,11 +21,7 @@ pub fn masked_not(x: MaskedBit) -> MaskedBit {
 
 /// Netlist generator for a masked XOR: two independent XOR2 cells, one
 /// per share domain.
-pub fn build_masked_xor(
-    n: &mut Netlist,
-    x: (NetId, NetId),
-    y: (NetId, NetId),
-) -> (NetId, NetId) {
+pub fn build_masked_xor(n: &mut Netlist, x: (NetId, NetId), y: (NetId, NetId)) -> (NetId, NetId) {
     (n.xor2(x.0, y.0), n.xor2(x.1, y.1))
 }
 

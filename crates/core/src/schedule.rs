@@ -20,7 +20,8 @@ pub enum InputShare {
 
 impl InputShare {
     /// All four shares in canonical order.
-    pub const ALL: [InputShare; 4] = [InputShare::X0, InputShare::X1, InputShare::Y0, InputShare::Y1];
+    pub const ALL: [InputShare; 4] =
+        [InputShare::X0, InputShare::X1, InputShare::Y0, InputShare::Y1];
 
     /// True for `x₀`/`x₁`.
     pub fn is_x(self) -> bool {

@@ -43,6 +43,9 @@ impl MaskedBit {
     }
 
     /// Masked NOT (flips one share).
+    // Named after the gate, not the trait; `MaskedBit` deliberately does
+    // not implement `std::ops::Not` (no operator sugar on shares).
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Self {
         self.xor_const(true)
     }
@@ -125,10 +128,7 @@ impl MaskedWord {
     pub fn permute(self, table: &[u32], out_width: u32) -> Self {
         assert_eq!(table.len() as u32, out_width, "table length must equal output width");
         let pick = |s: u64| -> u64 {
-            table
-                .iter()
-                .enumerate()
-                .fold(0u64, |acc, (i, &src)| acc | (((s >> src) & 1) << i))
+            table.iter().enumerate().fold(0u64, |acc, (i, &src)| acc | (((s >> src) & 1) << i))
         };
         MaskedWord { s0: pick(self.s0), s1: pick(self.s1), width: out_width }
     }

@@ -21,7 +21,7 @@
 //! safe arrival order, so its records never carry glitch exposure.
 
 use super::datapath::{
-    expand_and_mix, final_permutation, initial_permutation, permute_p, sbox_layer_traced,
+    expand_and_mix, final_permutation, initial_permutation, permute_p, sbox_layer_into,
 };
 use super::key_schedule::MaskedKeySchedule;
 use crate::sbox::masked::SboxTrace;
@@ -103,7 +103,21 @@ impl MaskedDesFf {
         plaintext: u64,
         rng: &mut MaskRng,
     ) -> (u64, Vec<CycleRecord>) {
-        self.crypt_with_cycles(plaintext, rng, false)
+        let mut cycles = Vec::with_capacity(Self::TOTAL_CYCLES);
+        let ct = self.encrypt_with_cycles_into(plaintext, rng, &mut cycles);
+        (ct, cycles)
+    }
+
+    /// As [`Self::encrypt_with_cycles`], reusing a caller-provided cycle
+    /// buffer (cleared first) — the allocation-free path large TVLA
+    /// campaigns run per trace.
+    pub fn encrypt_with_cycles_into(
+        &self,
+        plaintext: u64,
+        rng: &mut MaskRng,
+        cycles: &mut Vec<CycleRecord>,
+    ) -> u64 {
+        self.crypt_with_cycles(plaintext, rng, false, cycles)
     }
 
     /// Decrypt one block in the masked domain (reverse key schedule —
@@ -113,7 +127,9 @@ impl MaskedDesFf {
         ciphertext: u64,
         rng: &mut MaskRng,
     ) -> (u64, Vec<CycleRecord>) {
-        self.crypt_with_cycles(ciphertext, rng, true)
+        let mut cycles = Vec::with_capacity(Self::TOTAL_CYCLES);
+        let pt = self.crypt_with_cycles(ciphertext, rng, true, &mut cycles);
+        (pt, cycles)
     }
 
     fn crypt_with_cycles(
@@ -121,8 +137,10 @@ impl MaskedDesFf {
         plaintext: u64,
         rng: &mut MaskRng,
         decrypt: bool,
-    ) -> (u64, Vec<CycleRecord>) {
-        let mut cycles = Vec::with_capacity(Self::TOTAL_CYCLES);
+        cycles: &mut Vec<CycleRecord>,
+    ) -> u64 {
+        cycles.clear();
+        cycles.reserve(Self::TOTAL_CYCLES);
 
         // Lead-in cycle 0: key masking + key register load.
         let mut ks = MaskedKeySchedule::new(self.key, rng);
@@ -138,15 +156,13 @@ impl MaskedDesFf {
 
         // Lead-in cycle 2: initial L/R load.
         let (mut l, mut r) = initial_permutation(pt);
-        cycles.push(CycleRecord {
-            reg_toggles: share_hw(l) + share_hw(r),
-            ..Default::default()
-        });
+        cycles.push(CycleRecord { reg_toggles: share_hw(l) + share_hw(r), ..Default::default() });
 
         // Architectural registers that persist across rounds.
         let mut ir = MaskedWord::constant(0, 48); // S-box input register
-        let mut sel_regs: Vec<MaskedBit> = vec![MaskedBit::constant(false); 32];
+        let mut sel_regs = [MaskedBit::constant(false); 32];
         let mut sbox_out_reg = MaskedWord::constant(0, 32);
+        let mut traces = [SboxTrace::default(); 8];
 
         for _round in 0..16 {
             let (c_old, d_old) = ks.state();
@@ -168,7 +184,7 @@ impl MaskedDesFf {
             } else {
                 SboxRandomness::default()
             };
-            let (traces, sout_raw) = sbox_layer_traced(ir, &[pool]);
+            let sout_raw = sbox_layer_into(ir, &[pool], &mut traces);
 
             // Cycle 1: AND stage layer 1 (the six pair products).
             cycles.push(CycleRecord {
@@ -181,19 +197,19 @@ impl MaskedDesFf {
             });
 
             // Cycle 2: AND stage layer 2 (triples) + MUX stage-1 register.
-            let sel_new: Vec<MaskedBit> =
-                traces.iter().flat_map(|t| t.sel.iter().copied()).collect();
-            let sel_hd: u32 = sel_regs
-                .iter()
-                .zip(&sel_new)
-                .map(|(a, b)| u32::from(a.s0 != b.s0) + u32::from(a.s1 != b.s1))
-                .sum();
+            let mut sel_hd = 0u32;
+            for (s, t) in traces.iter().enumerate() {
+                for (j, b) in t.sel.iter().enumerate() {
+                    let old = &mut sel_regs[4 * s + j];
+                    sel_hd += u32::from(old.s0 != b.s0) + u32::from(old.s1 != b.s1);
+                    *old = *b;
+                }
+            }
             cycles.push(CycleRecord {
                 reg_toggles: sel_hd,
                 comb_toggles: traces_product_hw(&traces, 6..10),
                 ..Default::default()
             });
-            sel_regs = sel_new;
 
             // Cycle 3: AND-stage settle (y1 FF captures).
             cycles.push(CycleRecord {
@@ -202,10 +218,8 @@ impl MaskedDesFf {
             });
 
             // Cycle 4: XOR stage (mini S-box outputs).
-            let mini_hw: u32 = traces
-                .iter()
-                .map(|t| t.mini_out.iter().map(|row| bit_hw(row)).sum::<u32>())
-                .sum();
+            let mini_hw: u32 =
+                traces.iter().map(|t| t.mini_out.iter().map(|row| bit_hw(row)).sum::<u32>()).sum();
             cycles.push(CycleRecord { comb_toggles: mini_hw, ..Default::default() });
 
             // Cycle 5: MUX stages 2/3 + S-box output register. The FF
@@ -232,7 +246,7 @@ impl MaskedDesFf {
         }
 
         debug_assert_eq!(cycles.len(), Self::TOTAL_CYCLES);
-        (final_permutation(l, r).unmask(), cycles)
+        final_permutation(l, r).unmask()
     }
 }
 

@@ -15,11 +15,12 @@
 //! coupling exposure of all eight S-boxes — the handles for the Fig. 15
 //! sweep and the Fig. 17 residual-coupling leakage.
 
-use super::core_ff::{bit_hw, share_hd, share_hw, traces_exposures, traces_product_hw, CycleRecord};
+use super::core_ff::{share_hd, share_hw, traces_exposures, traces_product_hw, CycleRecord};
 use super::datapath::{
-    expand_and_mix, final_permutation, initial_permutation, permute_p, sbox_layer_traced,
+    expand_and_mix, final_permutation, initial_permutation, permute_p, sbox_layer_into,
 };
 use super::key_schedule::MaskedKeySchedule;
+use crate::sbox::masked::SboxTrace;
 use crate::sbox::SboxRandomness;
 use gm_core::{MaskRng, MaskedWord};
 
@@ -58,7 +59,21 @@ impl MaskedDesPd {
         plaintext: u64,
         rng: &mut MaskRng,
     ) -> (u64, Vec<CycleRecord>) {
-        self.crypt_with_cycles(plaintext, rng, false)
+        let mut cycles = Vec::with_capacity(Self::TOTAL_CYCLES);
+        let ct = self.encrypt_with_cycles_into(plaintext, rng, &mut cycles);
+        (ct, cycles)
+    }
+
+    /// As [`Self::encrypt_with_cycles`], reusing a caller-provided cycle
+    /// buffer (cleared first) — the allocation-free path large TVLA
+    /// campaigns run per trace.
+    pub fn encrypt_with_cycles_into(
+        &self,
+        plaintext: u64,
+        rng: &mut MaskRng,
+        cycles: &mut Vec<CycleRecord>,
+    ) -> u64 {
+        self.crypt_with_cycles(plaintext, rng, false, cycles)
     }
 
     /// Decrypt one block in the masked domain (reverse key schedule).
@@ -67,7 +82,9 @@ impl MaskedDesPd {
         ciphertext: u64,
         rng: &mut MaskRng,
     ) -> (u64, Vec<CycleRecord>) {
-        self.crypt_with_cycles(ciphertext, rng, true)
+        let mut cycles = Vec::with_capacity(Self::TOTAL_CYCLES);
+        let pt = self.crypt_with_cycles(ciphertext, rng, true, &mut cycles);
+        (pt, cycles)
     }
 
     fn crypt_with_cycles(
@@ -75,8 +92,10 @@ impl MaskedDesPd {
         plaintext: u64,
         rng: &mut MaskRng,
         decrypt: bool,
-    ) -> (u64, Vec<CycleRecord>) {
-        let mut cycles = Vec::with_capacity(Self::TOTAL_CYCLES);
+        cycles: &mut Vec<CycleRecord>,
+    ) -> u64 {
+        cycles.clear();
+        cycles.reserve(Self::TOTAL_CYCLES);
 
         // Lead-in cycle 0: key masking + load.
         let mut ks = MaskedKeySchedule::new(self.key, rng);
@@ -98,8 +117,8 @@ impl MaskedDesPd {
         let mut ir = MaskedWord::constant(0, 48);
         // Previous mid-register contents (4 selects + 16 mini outputs per
         // S-box) for an exact share-wise Hamming distance.
-        let mut mid_prev: Vec<gm_core::MaskedBit> =
-            vec![gm_core::MaskedBit::constant(false); 8 * 20];
+        let mut mid_prev = [gm_core::MaskedBit::constant(false); 8 * 20];
+        let mut traces = [SboxTrace::default(); 8];
 
         for _round in 0..16 {
             let rk = if decrypt { ks.next_round_key_decrypt() } else { ks.next_round_key() };
@@ -113,30 +132,25 @@ impl MaskedDesPd {
             let mixed = expand_and_mix(r, rk);
             let ir_hd = share_hd(ir, mixed);
             ir = mixed;
-            let (traces, sout_raw) = sbox_layer_traced(ir, &[pool]);
+            let sout_raw = sbox_layer_into(ir, &[pool], &mut traces);
             let (glitch_units, coupling_units) = traces_exposures(&traces);
-            let mid_new: Vec<gm_core::MaskedBit> = traces
-                .iter()
-                .flat_map(|t| {
-                    t.sel
-                        .iter()
-                        .copied()
-                        .chain(t.mini_out.iter().flat_map(|row| row.iter().copied()))
-                })
-                .collect();
-            let mid_hd: u32 = mid_prev
-                .iter()
-                .zip(&mid_new)
-                .map(|(a, b)| u32::from(a.s0 != b.s0) + u32::from(a.s1 != b.s1))
-                .sum();
-            let mid_hw: u32 = bit_hw(&mid_new);
+            let mut mid_hd = 0u32;
+            let mut mid_hw = 0u32;
+            for (s, t) in traces.iter().enumerate() {
+                let mids = t.sel.iter().chain(t.mini_out.iter().flatten());
+                for (j, b) in mids.enumerate() {
+                    let old = &mut mid_prev[20 * s + j];
+                    mid_hd += u32::from(old.s0 != b.s0) + u32::from(old.s1 != b.s1);
+                    mid_hw += u32::from(b.s0) + u32::from(b.s1);
+                    *old = *b;
+                }
+            }
             cycles.push(CycleRecord {
                 reg_toggles: ir_hd + mid_hd,
                 comb_toggles: traces_product_hw(&traces, 0..10) + mid_hw,
                 glitch_units,
                 coupling_units,
             });
-            mid_prev = mid_new;
 
             // Cycle 1: MUX stage 2/3, P, combine; state + key registers.
             let (c_old, d_old) = ks.state();
@@ -154,7 +168,7 @@ impl MaskedDesPd {
         }
 
         debug_assert_eq!(cycles.len(), Self::TOTAL_CYCLES);
-        (final_permutation(l, r).unmask(), cycles)
+        final_permutation(l, r).unmask()
     }
 }
 

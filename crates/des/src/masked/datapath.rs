@@ -25,25 +25,35 @@ pub struct MaskedDes {
 pub fn expand_and_mix(r: MaskedWord, round_key: MaskedWord) -> MaskedWord {
     assert_eq!(r.width, 32);
     assert_eq!(round_key.width, 48);
-    let expanded = MaskedWord {
-        s0: permute(r.s0, 32, &E),
-        s1: permute(r.s1, 32, &E),
-        width: 48,
-    };
+    let expanded = MaskedWord { s0: permute(r.s0, 32, &E), s1: permute(r.s1, 32, &E), width: 48 };
     expanded.xor(round_key)
 }
 
 /// The masked S-box layer on a mixed 48-bit word, returning all eight
 /// [`SboxTrace`]s and the assembled 32-bit output (before P).
-pub fn sbox_layer_traced(mixed: MaskedWord, rnd: &[SboxRandomness]) -> (Vec<SboxTrace>, MaskedWord) {
+pub fn sbox_layer_traced(
+    mixed: MaskedWord,
+    rnd: &[SboxRandomness],
+) -> (Vec<SboxTrace>, MaskedWord) {
+    let mut traces = [SboxTrace::default(); 8];
+    let out = sbox_layer_into(mixed, rnd, &mut traces);
+    (traces.to_vec(), out)
+}
+
+/// As [`sbox_layer_traced`], writing the eight traces into a
+/// caller-provided buffer — the allocation-free path the cycle-accurate
+/// cores run per round.
+pub fn sbox_layer_into(
+    mixed: MaskedWord,
+    rnd: &[SboxRandomness],
+    traces: &mut [SboxTrace; 8],
+) -> MaskedWord {
     assert_eq!(mixed.width, 48);
     assert!(rnd.len() == 1 || rnd.len() == 8, "one shared pool or one per S-box");
-    let mut traces = Vec::with_capacity(8);
     let mut out = MaskedWord::constant(0, 32);
     for s in 0..8 {
         // Six input bits of S-box s, MSB-first.
-        let bits: [MaskedBit; 6] =
-            std::array::from_fn(|i| mixed.bit(47 - (6 * s + i) as u32));
+        let bits: [MaskedBit; 6] = std::array::from_fn(|i| mixed.bit(47 - (6 * s + i) as u32));
         let pool = if rnd.len() == 1 { &rnd[0] } else { &rnd[s] };
         let t = masked_sbox_trace(s, &bits, pool);
         for (j, b) in t.out.iter().enumerate() {
@@ -51,9 +61,9 @@ pub fn sbox_layer_traced(mixed: MaskedWord, rnd: &[SboxRandomness]) -> (Vec<Sbox
             out.s0 |= (b.s0 as u64) << pos;
             out.s1 |= (b.s1 as u64) << pos;
         }
-        traces.push(t);
+        traces[s] = t;
     }
-    (traces, out)
+    out
 }
 
 /// The round permutation P applied per share.
@@ -225,8 +235,7 @@ mod tests {
         let k: u64 = 0x0123_4567_89AB & ((1 << 48) - 1);
         let mr = MaskedWord::mask(u64::from(r), 32, &mut rng);
         let mk = MaskedWord::mask(k, 48, &mut rng);
-        let pools: Vec<_> =
-            (0..8).map(|_| crate::sbox::SboxRandomness::draw(&mut rng)).collect();
+        let pools: Vec<_> = (0..8).map(|_| crate::sbox::SboxRandomness::draw(&mut rng)).collect();
         assert_eq!(masked_f(mr, mk, &pools).unmask() as u32, f(r, k));
     }
 

@@ -31,11 +31,7 @@ impl MaskedKeySchedule {
         let pc1_1 = permute(key.s1, 64, &PC1);
         MaskedKeySchedule {
             c: MaskedWord { s0: pc1_0 >> 28, s1: pc1_1 >> 28, width: 28 },
-            d: MaskedWord {
-                s0: pc1_0 & 0x0FFF_FFFF,
-                s1: pc1_1 & 0x0FFF_FFFF,
-                width: 28,
-            },
+            d: MaskedWord { s0: pc1_0 & 0x0FFF_FFFF, s1: pc1_1 & 0x0FFF_FFFF, width: 28 },
             round: 0,
         }
     }
@@ -58,16 +54,8 @@ impl MaskedKeySchedule {
     pub fn next_round_key(&mut self) -> MaskedWord {
         assert!(self.round < 16, "DES has 16 rounds");
         let s = u32::from(SHIFTS[self.round]);
-        self.c = MaskedWord {
-            s0: rotl(self.c.s0, 28, s),
-            s1: rotl(self.c.s1, 28, s),
-            width: 28,
-        };
-        self.d = MaskedWord {
-            s0: rotl(self.d.s0, 28, s),
-            s1: rotl(self.d.s1, 28, s),
-            width: 28,
-        };
+        self.c = MaskedWord { s0: rotl(self.c.s0, 28, s), s1: rotl(self.c.s1, 28, s), width: 28 };
+        self.d = MaskedWord { s0: rotl(self.d.s0, 28, s), s1: rotl(self.d.s1, 28, s), width: 28 };
         self.round += 1;
         self.emit()
     }
@@ -85,16 +73,10 @@ impl MaskedKeySchedule {
         assert!(self.round < 16, "DES has 16 rounds");
         if self.round > 0 {
             let s = u32::from(SHIFTS[16 - self.round]);
-            self.c = MaskedWord {
-                s0: rotr(self.c.s0, 28, s),
-                s1: rotr(self.c.s1, 28, s),
-                width: 28,
-            };
-            self.d = MaskedWord {
-                s0: rotr(self.d.s0, 28, s),
-                s1: rotr(self.d.s1, 28, s),
-                width: 28,
-            };
+            self.c =
+                MaskedWord { s0: rotr(self.c.s0, 28, s), s1: rotr(self.c.s1, 28, s), width: 28 };
+            self.d =
+                MaskedWord { s0: rotr(self.d.s0, 28, s), s1: rotr(self.d.s1, 28, s), width: 28 };
         }
         self.round += 1;
         self.emit()
@@ -103,11 +85,7 @@ impl MaskedKeySchedule {
     fn emit(&self) -> MaskedWord {
         let cd0 = (self.c.s0 << 28) | self.d.s0;
         let cd1 = (self.c.s1 << 28) | self.d.s1;
-        MaskedWord {
-            s0: permute(cd0, 56, &PC2),
-            s1: permute(cd1, 56, &PC2),
-            width: 48,
-        }
+        MaskedWord { s0: permute(cd0, 56, &PC2), s1: permute(cd1, 56, &PC2), width: 48 }
     }
 }
 
@@ -137,11 +115,7 @@ mod tests {
         let fwd = round_keys(key);
         let mut ks = MaskedKeySchedule::new(key, &mut rng);
         for r in 0..16 {
-            assert_eq!(
-                ks.next_round_key_decrypt().unmask(),
-                fwd[15 - r],
-                "decrypt round {r}"
-            );
+            assert_eq!(ks.next_round_key_decrypt().unmask(), fwd[15 - r], "decrypt round {r}");
         }
     }
 

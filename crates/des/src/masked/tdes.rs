@@ -113,8 +113,7 @@ mod tests {
         let mut seeds = SmallRng::seed_from_u64(0x7de5);
         let mut rng = MaskRng::new(201);
         for _ in 0..6 {
-            let (k1, k2, k3): (u64, u64, u64) =
-                (seeds.random(), seeds.random(), seeds.random());
+            let (k1, k2, k3): (u64, u64, u64) = (seeds.random(), seeds.random(), seeds.random());
             let pt: u64 = seeds.random();
             let want = Tdes::new(k1, k2, k3).encrypt_block(pt);
             let ff = MaskedTdesFf::new(k1, k2, k3);

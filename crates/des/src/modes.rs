@@ -96,7 +96,7 @@ pub fn pad_pkcs7(data: &[u8]) -> Vec<u8> {
 /// Strip PKCS#7 padding; `None` when malformed.
 pub fn unpad_pkcs7(data: &[u8]) -> Option<Vec<u8>> {
     let &pad = data.last()?;
-    if pad == 0 || pad > 8 || data.len() < pad as usize || data.len() % 8 != 0 {
+    if pad == 0 || pad > 8 || data.len() < pad as usize || !data.len().is_multiple_of(8) {
         return None;
     }
     let (body, tail) = data.split_at(data.len() - pad as usize);
@@ -113,7 +113,7 @@ pub fn ecb_encrypt(cipher: &mut impl BlockCipher64, data: &[u8]) -> Vec<u8> {
 
 /// ECB-decrypt and unpad; `None` on malformed padding.
 pub fn ecb_decrypt(cipher: &mut impl BlockCipher64, data: &[u8]) -> Option<Vec<u8>> {
-    if data.len() % 8 != 0 {
+    if !data.len().is_multiple_of(8) {
         return None;
     }
     let plain: Vec<u8> = data
@@ -137,7 +137,7 @@ pub fn cbc_encrypt(cipher: &mut impl BlockCipher64, iv: u64, data: &[u8]) -> Vec
 
 /// CBC-decrypt and unpad; `None` on malformed input.
 pub fn cbc_decrypt(cipher: &mut impl BlockCipher64, iv: u64, data: &[u8]) -> Option<Vec<u8>> {
-    if data.len() % 8 != 0 {
+    if !data.len().is_multiple_of(8) {
         return None;
     }
     let mut prev = iv;

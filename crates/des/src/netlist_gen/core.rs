@@ -101,12 +101,12 @@ pub fn build_des_core(style: SboxStyle) -> DesCoreNetlist {
     // ---- key schedule ------------------------------------------------
     n.enter_module("key_schedule");
     let pc1 = key.permute(&PC1); // 56 bits: C (28) ++ D (28)
-    // C/D registers with a rotate-1/rotate-2 mux and a load mux. The
-    // rotation mux output doubles as the *current round key* source so
-    // the S-box input register and the key registers can update on the
-    // same edge. Register feedback is built in two phases: create the
-    // DFFs on a placeholder input, build the mux tree from their
-    // outputs, then patch the d-pins.
+                                 // C/D registers with a rotate-1/rotate-2 mux and a load mux. The
+                                 // rotation mux output doubles as the *current round key* source so
+                                 // the S-box input register and the key registers can update on the
+                                 // same edge. Register feedback is built in two phases: create the
+                                 // DFFs on a placeholder input, build the mux tree from their
+                                 // outputs, then patch the d-pins.
     let (c_regs, d_regs, rk);
     {
         // Phase 1: create the DFF gates with dummy inputs (const0), then
@@ -273,8 +273,7 @@ mod tests {
     #[test]
     fn ff_core_register_budget() {
         let core = build_des_core(SboxStyle::Ff);
-        let ffs =
-            core.netlist.gates().iter().filter(|g| g.kind.is_sequential()).count();
+        let ffs = core.netlist.gates().iter().filter(|g| g.kind.is_sequential()).count();
         // 112 key + 128 state + 96 IR + 64 sout + 8×38 sbox = 704.
         assert_eq!(ffs, 112 + 128 + 96 + 64 + 8 * 38);
     }

@@ -52,10 +52,10 @@ pub fn schedule(style: SboxStyle) -> Vec<CycleCtl> {
     s.push(CycleCtl { load: true, load_key: true, ..Default::default() });
     match style {
         SboxStyle::Ff => {
-            for r in 0..16 {
+            for (r, &shift) in SHIFTS.iter().enumerate() {
                 s.push(CycleCtl {
                     ir_en: true,
-                    shift2: SHIFTS[r] == 2,
+                    shift2: shift == 2,
                     masks_for_round: Some(r),
                     ..Default::default()
                 });
@@ -102,7 +102,9 @@ pub fn total_cycles(style: SboxStyle) -> usize {
     schedule(style).len() + 1
 }
 
-fn control_nets(core: &DesCoreNetlist) -> [(NetId, fn(&CycleCtl) -> bool); 11] {
+type CtlNet = (NetId, fn(&CycleCtl) -> bool);
+
+fn control_nets(core: &DesCoreNetlist) -> [CtlNet; 11] {
     let c = &core.ctl;
     [
         (c.load, |x: &CycleCtl| x.load),

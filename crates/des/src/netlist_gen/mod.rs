@@ -111,9 +111,7 @@ impl MaskedWire {
     /// Rotate the bus left by `by` positions (wiring only).
     pub fn rotl(&self, by: usize) -> Self {
         let w = self.width();
-        let rot = |v: &Vec<NetId>| -> Vec<NetId> {
-            (0..w).map(|i| v[(i + by) % w]).collect()
-        };
+        let rot = |v: &Vec<NetId>| -> Vec<NetId> { (0..w).map(|i| v[(i + by) % w]).collect() };
         MaskedWire { s0: rot(&self.s0), s1: rot(&self.s1) }
     }
 }

@@ -125,8 +125,7 @@ pub(crate) fn mux_stage1(
     std::array::from_fn(|r| {
         let hi = if r & 0b10 != 0 { b0 } else { nb0 };
         let lo = if r & 0b01 != 0 { b5 } else { nb5 };
-        let (z0, z1) =
-            build_and(n, AndInputs { x0: hi.0, x1: hi.1, y0: lo.0, y1: lo.1 });
+        let (z0, z1) = build_and(n, AndInputs { x0: hi.0, x1: hi.1, y0: lo.0, y1: lo.1 });
         (n.xor2(z0, mux_masks[r]), n.xor2(z1, mux_masks[r]))
     })
 }
@@ -169,6 +168,8 @@ pub fn build_sbox_ff(
     // Stage 2: select AND, with the mini outputs as y operands.
     let mut out_s0 = Vec::with_capacity(4);
     let mut out_s1 = Vec::with_capacity(4);
+    // `j` walks the inner (bit) dimension of the row-major mini outputs.
+    #[allow(clippy::needless_range_loop)]
     for j in 0..4 {
         let mut terms0 = Vec::with_capacity(4);
         let mut terms1 = Vec::with_capacity(4);
@@ -259,6 +260,7 @@ mod tests {
 
     /// Exhaustive functional check of the gate-level FF S-box against the
     /// reference lookup, across all boxes.
+    #[allow(clippy::needless_range_loop)]
     #[test]
     fn matches_reference() {
         let mut rng = MaskRng::new(151);
@@ -269,8 +271,7 @@ mod tests {
                 drive(&n, &mut ev, &bits, &masks, &ctl, six, &mut rng);
                 let mut got = 0u8;
                 for j in 0..4 {
-                    got = (got << 1)
-                        | u8::from(ev.value(out.s0[j]) ^ ev.value(out.s1[j]));
+                    got = (got << 1) | u8::from(ev.value(out.s0[j]) ^ ev.value(out.s1[j]));
                 }
                 assert_eq!(got, sbox_lookup(&SBOXES[sbox], six), "S{sbox} in {six:06b}");
             }

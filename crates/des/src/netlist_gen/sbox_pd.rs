@@ -121,8 +121,7 @@ pub fn build_sbox_pd(
     let mut products: Vec<Pair> = Vec::with_capacity(10);
     for &mask in TEN_PRODUCTS.iter() {
         // Variables of this product, descending.
-        let vars: Vec<usize> =
-            (0..4usize).rev().filter(|k| mask & (1 << k) != 0).collect();
+        let vars: Vec<usize> = (0..4usize).rev().filter(|k| mask & (1 << k) != 0).collect();
         let out = match vars.as_slice() {
             [h, l] => {
                 let x = lines.at(n, *h, (1, 1), unit_luts, &mut art);
@@ -176,9 +175,7 @@ pub fn build_sbox_pd(
     let sel_reg: [Pair; 4] =
         std::array::from_fn(|r| (n.dff_en(sel[r].0, mid_en), n.dff_en(sel[r].1, mid_en)));
     let mini_reg: [[Pair; 4]; 4] = std::array::from_fn(|r| {
-        std::array::from_fn(|j| {
-            (n.dff_en(mini[r][j].0, mid_en), n.dff_en(mini[r][j].1, mid_en))
-        })
+        std::array::from_fn(|j| (n.dff_en(mini[r][j].0, mid_en), n.dff_en(mini[r][j].1, mid_en)))
     });
 
     // Stage 2: delayed selects (1,1) shared across output bits; mini
@@ -193,6 +190,8 @@ pub fn build_sbox_pd(
     });
     let mut out_s0 = Vec::with_capacity(4);
     let mut out_s1 = Vec::with_capacity(4);
+    // `j` walks the inner (bit) dimension of the row-major mini outputs.
+    #[allow(clippy::needless_range_loop)]
     for j in 0..4 {
         let mut terms0 = Vec::with_capacity(4);
         let mut terms1 = Vec::with_capacity(4);
@@ -202,12 +201,7 @@ pub fn build_sbox_pd(
             art.delay_units += 2;
             let o = build_sec_and2(
                 n,
-                AndInputs {
-                    x0: sel_delayed[r].0,
-                    x1: sel_delayed[r].1,
-                    y0: mini_reg[r][j].0,
-                    y1,
-                },
+                AndInputs { x0: sel_delayed[r].0, x1: sel_delayed[r].1, y0: mini_reg[r][j].0, y1 },
             );
             terms0.push(o.z0);
             terms1.push(o.z1);
@@ -254,6 +248,7 @@ mod tests {
 
     /// Functional check across all 8 S-boxes: two evaluation cycles
     /// (mid-register capture, then stage 2).
+    #[allow(clippy::needless_range_loop)]
     #[test]
     fn matches_reference() {
         let mut rng = MaskRng::new(161);

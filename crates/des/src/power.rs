@@ -80,6 +80,74 @@ pub fn order_violation_prob(unit_luts: usize) -> f64 {
     0.5 * (-(unit_luts as f64) / LAMBDA).exp()
 }
 
+/// Mean (`n·p`) below which [`binomial`] uses exact CDF inversion.
+///
+/// Inversion walks the CDF from 0, so its expected cost is `O(n·p)` draws
+/// of the probability recurrence — bounded by this constant. Above it the
+/// Gaussian approximation is used; at `n·p ≥ 10` (with `p ≤ ½` after the
+/// symmetry flip) the normal approximation's total-variation error is
+/// below ~1%, far under the measurement noise it feeds into.
+const BINV_MAX_MEAN: f64 = 10.0;
+
+/// Draw `Binomial(n, p)` in O(1) expected time.
+///
+/// Replaces per-unit thinning (one uniform per glitch unit) on the
+/// campaign hot path: exact CDF inversion while `n·p ≤` a documented
+/// threshold ([`BINV_MAX_MEAN`]), Gaussian-tail approximation above it.
+/// `p` is clamped to `[0, 1]`; `p ≥ 1` returns `n` exactly (the
+/// deterministic case tests rely on).
+pub fn binomial(rng: &mut SmallRng, n: u32, p: f64) -> u32 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    // Sample the rarer outcome and mirror, keeping q ≤ ½ so both branches
+    // stay in their accurate/cheap regime.
+    let flip = p > 0.5;
+    let q = if flip { 1.0 - p } else { p };
+    let x = if f64::from(n) * q <= BINV_MAX_MEAN {
+        binomial_inversion(rng, n, q)
+    } else {
+        binomial_gaussian(rng, n, q)
+    };
+    if flip {
+        n - x
+    } else {
+        x
+    }
+}
+
+/// Exact inversion (the classic BINV walk): subtract pmf terms from one
+/// uniform until it is exhausted. Expected iterations = `n·q`.
+fn binomial_inversion(rng: &mut SmallRng, n: u32, q: f64) -> u32 {
+    let s = q / (1.0 - q);
+    let mut pr = (1.0 - q).powi(n as i32);
+    let mut u: f64 = rng.random();
+    let mut x = 0u32;
+    while u > pr {
+        u -= pr;
+        x += 1;
+        if x > n {
+            // Float round-off past the end of the support.
+            return n;
+        }
+        pr *= s * f64::from(n - x + 1) / f64::from(x);
+    }
+    x
+}
+
+/// Gaussian approximation with continuity correction, clamped to `[0, n]`.
+fn binomial_gaussian(rng: &mut SmallRng, n: u32, q: f64) -> u32 {
+    let mean = f64::from(n) * q;
+    let sd = (mean * (1.0 - q)).sqrt();
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    let g = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (mean + sd * g + 0.5).floor().clamp(0.0, f64::from(n)) as u32
+}
+
 /// Converts per-cycle [`CycleRecord`]s into a noisy power trace.
 #[derive(Debug)]
 pub struct PowerModel {
@@ -113,28 +181,33 @@ impl PowerModel {
     /// Convert one encryption's cycle records into a power trace
     /// (one sample per cycle).
     pub fn trace(&mut self, cycles: &[CycleRecord]) -> Vec<f64> {
-        cycles
-            .iter()
-            .map(|c| {
-                let mut p = self.reg_weight * f64::from(c.reg_toggles)
-                    + self.comb_weight * f64::from(c.comb_toggles);
-                if let Some(pd) = self.pd {
-                    // Binomial thinning: each exposed-y gadget violates
-                    // its arrival order independently.
-                    if pd.order_violation_prob > 0.0 {
-                        let mut violated = 0u32;
-                        for _ in 0..c.glitch_units {
-                            if self.rng.random::<f64>() < pd.order_violation_prob {
-                                violated += 1;
-                            }
-                        }
-                        p += pd.glitch_gain * f64::from(violated);
-                    }
-                    p += pd.coupling_eps * f64::from(c.coupling_units);
+        let mut out = vec![0.0; cycles.len()];
+        self.trace_into(cycles, &mut out);
+        out
+    }
+
+    /// As [`Self::trace`], filling a caller-provided buffer — the
+    /// allocation-free path TVLA campaigns run per trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != cycles.len()`.
+    pub fn trace_into(&mut self, cycles: &[CycleRecord], out: &mut [f64]) {
+        assert_eq!(cycles.len(), out.len(), "trace buffer length mismatch");
+        for (o, c) in out.iter_mut().zip(cycles) {
+            let mut p = self.reg_weight * f64::from(c.reg_toggles)
+                + self.comb_weight * f64::from(c.comb_toggles);
+            if let Some(pd) = self.pd {
+                // Binomial thinning: each exposed-y gadget violates its
+                // arrival order independently — drawn in one shot.
+                if pd.order_violation_prob > 0.0 {
+                    let violated = binomial(&mut self.rng, c.glitch_units, pd.order_violation_prob);
+                    p += pd.glitch_gain * f64::from(violated);
                 }
-                self.measurement.sample(p)
-            })
-            .collect()
+                p += pd.coupling_eps * f64::from(c.coupling_units);
+            }
+            *o = self.measurement.sample(p);
+        }
     }
 }
 
@@ -161,6 +234,65 @@ mod tests {
         let busy = CycleRecord { reg_toggles: 10, comb_toggles: 20, ..Default::default() };
         let t = m.trace(&[quiet, busy]);
         assert!(t[1] > t[0] + 10.0);
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(binomial(&mut rng, 10, 0.0), 0);
+        assert_eq!(binomial(&mut rng, 10, 1.0), 10);
+        for _ in 0..100 {
+            assert!(binomial(&mut rng, 5, 0.5) <= 5);
+        }
+    }
+
+    /// χ² goodness-of-fit for the exact-inversion regime (n·q ≤ 10):
+    /// the sampled histogram must match the exact binomial pmf.
+    #[test]
+    fn binomial_inversion_chi_squared() {
+        let (n, p) = (12u32, 0.3f64);
+        let draws = 50_000usize;
+        let mut rng = SmallRng::seed_from_u64(0x0b10_0b1e);
+        let mut counts = [0u64; 13];
+        for _ in 0..draws {
+            counts[binomial(&mut rng, n, p) as usize] += 1;
+        }
+        // Exact pmf via the ratio recurrence.
+        let mut pmf = [0.0f64; 13];
+        pmf[0] = (1.0 - p).powi(n as i32);
+        for k in 0..12usize {
+            pmf[k + 1] = pmf[k] * ((n - k as u32) as f64) / ((k + 1) as f64) * p / (1.0 - p);
+        }
+        // Bins with expectation ≥ 5 (k = 0..=10 here, 10 dof);
+        // χ²(10, 0.9999) ≈ 35.6 — anything near that flags a broken sampler.
+        let mut chi2 = 0.0;
+        for k in 0..13usize {
+            let expect = pmf[k] * draws as f64;
+            if expect >= 5.0 {
+                let d = counts[k] as f64 - expect;
+                chi2 += d * d / expect;
+            }
+        }
+        assert!(chi2 < 40.0, "chi2 = {chi2}");
+    }
+
+    /// Gaussian-approximation regime (n·q > 10): mean and variance must
+    /// track n·p and n·p·(1−p), and the p > 0.5 symmetry flip must hold.
+    #[test]
+    fn binomial_gaussian_moments() {
+        let draws = 40_000usize;
+        for p in [0.3f64, 0.7] {
+            let n = 500u32;
+            let mut rng = SmallRng::seed_from_u64(0x6a55_1a4d);
+            let xs: Vec<f64> = (0..draws).map(|_| f64::from(binomial(&mut rng, n, p))).collect();
+            let mean = xs.iter().sum::<f64>() / draws as f64;
+            let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / draws as f64;
+            let (want_mean, want_var) = (f64::from(n) * p, f64::from(n) * p * (1.0 - p));
+            assert!((mean - want_mean).abs() < 0.5, "p={p}: mean {mean} vs {want_mean}");
+            assert!((var / want_var - 1.0).abs() < 0.1, "p={p}: var {var} vs {want_var}");
+            assert!(xs.iter().all(|&x| (0.0..=f64::from(n)).contains(&x)));
+        }
     }
 
     #[test]

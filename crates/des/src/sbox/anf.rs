@@ -114,10 +114,8 @@ mod tests {
     #[test]
     fn xor_is_degree_one() {
         // f = v0 ⊕ v1 ⊕ v2 ⊕ v3.
-        let tt = (0..16u8).fold(0u16, |tt, x| {
-            tt | (((x.count_ones() & 1) as u16) << x)
-        });
-        let anf = Anf4::from_truth_table(tt as u16);
+        let tt = (0..16u8).fold(0u16, |tt, x| tt | (((x.count_ones() & 1) as u16) << x));
+        let anf = Anf4::from_truth_table(tt);
         assert_eq!(anf.degree(), 1);
         assert_eq!(anf.monomials_of_degree(1).len(), 4);
     }

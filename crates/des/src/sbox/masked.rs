@@ -52,9 +52,53 @@ fn anfs() -> &'static Vec<[MiniSboxAnf; 4]> {
     CACHE.get_or_init(mini_sbox_anfs)
 }
 
+/// Precompiled XOR-stage recipe for one mini S-box output bit: the ANF
+/// collapsed to a constant, a mask over the four linear variables, and a
+/// mask over the ten shared products. Evaluating through this instead of
+/// re-walking the ANF keeps the hot path allocation-free (the ANF walk
+/// builds a `Vec` per monomial query, which dominated campaign cost).
+#[derive(Debug, Clone, Copy, Default)]
+struct XorPlan {
+    /// ANF constant term.
+    constant: bool,
+    /// Bit `k` set ⇔ variable `v_k` appears linearly.
+    lin: u8,
+    /// Bit `i` set ⇔ product `TEN_PRODUCTS[i]` appears.
+    prods: u16,
+}
+
+/// `xor_plans()[sbox][row][output bit]`.
+fn xor_plans() -> &'static [[[XorPlan; 4]; 4]; 8] {
+    static CACHE: OnceLock<[[[XorPlan; 4]; 4]; 8]> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let mut plans = [[[XorPlan::default(); 4]; 4]; 8];
+        for (s, rows) in anfs().iter().enumerate() {
+            for (r, anf) in rows.iter().enumerate() {
+                for (j, out_anf) in anf.outputs.iter().enumerate() {
+                    let mut plan = XorPlan { constant: out_anf.constant(), ..XorPlan::default() };
+                    for m in out_anf.monomials_of_degree(1) {
+                        plan.lin |= m;
+                    }
+                    for d in 2..=3u32 {
+                        for m in out_anf.monomials_of_degree(d) {
+                            let idx = TEN_PRODUCTS
+                                .iter()
+                                .position(|&t| t == m)
+                                .expect("all monomials covered by the ten products");
+                            plan.prods |= 1 << idx;
+                        }
+                    }
+                    plans[s][r][j] = plan;
+                }
+            }
+        }
+        plans
+    })
+}
+
 /// All intermediate masked values of one S-box evaluation — the
 /// cycle-accurate cores and the fast power model consume these.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct SboxTrace {
     /// The ten AND-stage products, already refreshed.
     pub products: [MaskedBit; 10],
@@ -75,23 +119,29 @@ pub struct SboxTrace {
     pub coupling_x_units: u32,
 }
 
+impl Default for SboxTrace {
+    fn default() -> Self {
+        let z = MaskedBit::constant(false);
+        SboxTrace {
+            products: [z; 10],
+            sel: [z; 4],
+            mini_out: [[z; 4]; 4],
+            out: [z; 4],
+            glitch_y_units: 0,
+            coupling_x_units: 0,
+        }
+    }
+}
+
 /// Evaluate DES S-box `sbox` (0-based) on six masked input bits
 /// (`bits[0]` = MSB) with the given fresh randomness. Returns the four
 /// masked output bits, MSB-first.
-pub fn masked_sbox(
-    sbox: usize,
-    bits: &[MaskedBit; 6],
-    rnd: &SboxRandomness,
-) -> [MaskedBit; 4] {
+pub fn masked_sbox(sbox: usize, bits: &[MaskedBit; 6], rnd: &SboxRandomness) -> [MaskedBit; 4] {
     masked_sbox_trace(sbox, bits, rnd).out
 }
 
 /// As [`masked_sbox`], exposing all intermediates (see [`SboxTrace`]).
-pub fn masked_sbox_trace(
-    sbox: usize,
-    bits: &[MaskedBit; 6],
-    rnd: &SboxRandomness,
-) -> SboxTrace {
+pub fn masked_sbox_trace(sbox: usize, bits: &[MaskedBit; 6], rnd: &SboxRandomness) -> SboxTrace {
     // ANF variables over the column index: v_k = bit k (little-endian),
     // so v0 = b4, v1 = b3, v2 = b2, v3 = b1.
     let v = [bits[4], bits[3], bits[2], bits[1]];
@@ -121,23 +171,21 @@ pub fn masked_sbox_trace(
         products[i] = p.refresh_with(rnd.product_masks[i]);
     }
 
-    // XOR stage: the four mini S-box outputs per row.
-    let rows = &anfs()[sbox];
+    // XOR stage: the four mini S-box outputs per row, via the precompiled
+    // per-output recipes (constant ⊕ linear vars ⊕ shared products).
+    let rows = &xor_plans()[sbox];
     let mut mini_out = [[MaskedBit::constant(false); 4]; 4];
-    for (r, anf) in rows.iter().enumerate() {
-        for (j, out_anf) in anf.outputs.iter().enumerate() {
-            let mut acc = MaskedBit::constant(out_anf.constant());
-            for m in out_anf.monomials_of_degree(1) {
-                let k = m.trailing_zeros() as usize;
-                acc = acc.xor(v[k]);
+    for (r, plans) in rows.iter().enumerate() {
+        for (j, plan) in plans.iter().enumerate() {
+            let mut acc = MaskedBit::constant(plan.constant);
+            for (k, &var) in v.iter().enumerate() {
+                if plan.lin & (1 << k) != 0 {
+                    acc = acc.xor(var);
+                }
             }
-            for d in 2..=3u32 {
-                for m in out_anf.monomials_of_degree(d) {
-                    let idx = TEN_PRODUCTS
-                        .iter()
-                        .position(|&t| t == m)
-                        .expect("all monomials covered by the ten products");
-                    acc = acc.xor(products[idx]);
+            for (idx, &p) in products.iter().enumerate() {
+                if plan.prods & (1 << idx) != 0 {
+                    acc = acc.xor(p);
                 }
             }
             mini_out[r][j] = acc;
@@ -173,9 +221,8 @@ mod tests {
     use crate::tables::SBOXES;
 
     fn run_sbox(sbox: usize, six: u8, rng: &mut MaskRng) -> u8 {
-        let bits: [MaskedBit; 6] = std::array::from_fn(|i| {
-            MaskedBit::mask((six >> (5 - i)) & 1 == 1, rng)
-        });
+        let bits: [MaskedBit; 6] =
+            std::array::from_fn(|i| MaskedBit::mask((six >> (5 - i)) & 1 == 1, rng));
         let rnd = SboxRandomness::draw(rng);
         let out = masked_sbox(sbox, &bits, &rnd);
         out.iter().fold(0u8, |acc, b| (acc << 1) | u8::from(b.unmask()))
@@ -183,6 +230,7 @@ mod tests {
 
     /// Exhaustive functional correctness: all 8 S-boxes × 64 inputs, with
     /// several random sharings each.
+    #[allow(clippy::needless_range_loop)]
     #[test]
     fn matches_reference_lookup() {
         let mut rng = MaskRng::new(101);
@@ -201,6 +249,7 @@ mod tests {
 
     /// Still correct with the PRNG off (shares degenerate but the value
     /// pipeline must hold) — the paper's sanity-check mode.
+    #[allow(clippy::needless_range_loop)]
     #[test]
     fn correct_with_prng_off() {
         let mut rng = MaskRng::disabled();

@@ -23,9 +23,9 @@ pub fn mini_truth_tables(sbox: usize, row: usize) -> MiniTruthTables {
     let table = &SBOXES[sbox][row];
     let mut tts = [0u16; 4];
     for (col, &val) in table.iter().enumerate() {
-        for j in 0..4 {
+        for (j, tt) in tts.iter_mut().enumerate() {
             let bit = (val >> (3 - j)) & 1;
-            tts[j] |= u16::from(bit) << col;
+            *tt |= u16::from(bit) << col;
         }
     }
     tts
@@ -64,9 +64,7 @@ impl MiniSboxAnf {
 
 /// ANFs of all 32 mini S-boxes, indexed `[sbox][row]`.
 pub fn mini_sbox_anfs() -> Vec<[MiniSboxAnf; 4]> {
-    (0..8)
-        .map(|s| [0, 1, 2, 3].map(|r| MiniSboxAnf::new(s, r)))
-        .collect()
+    (0..8).map(|s| [0, 1, 2, 3].map(|r| MiniSboxAnf::new(s, r))).collect()
 }
 
 /// The ten canonical product-term monomials of the masked AND stage:
@@ -83,6 +81,7 @@ mod tests {
     use crate::reference::sbox_lookup;
 
     /// ANFs evaluate back to the original tables for every mini S-box.
+    #[allow(clippy::needless_range_loop)]
     #[test]
     fn anf_matches_tables() {
         for s in 0..8 {
@@ -125,6 +124,7 @@ mod tests {
     }
 
     /// Mini S-box + row selection reproduces the full S-box lookup.
+    #[allow(clippy::needless_range_loop)]
     #[test]
     fn row_column_decomposition() {
         for s in 0..8 {
@@ -151,12 +151,26 @@ mod tests {
             let mask: u8 = xs.iter().map(|&x| 1u8 << (4 - x)).sum();
             1u16 << mask
         };
-        let y1 = 1 | m(&[1]) | m(&[2]) | m(&[1, 2]) | m(&[2, 3]) | m(&[1, 2, 3])
-            | m(&[4]) | m(&[2, 3, 4]);
-        let y2 = 1 | m(&[1]) | m(&[2]) | m(&[1, 3]) | m(&[2, 4]) | m(&[3, 4])
-            | m(&[1, 3, 4]);
-        let y3 = 1 | m(&[1, 2]) | m(&[3]) | m(&[1, 3]) | m(&[2, 3]) | m(&[1, 2, 3])
-            | m(&[4]) | m(&[1, 4]) | m(&[2, 4]) | m(&[1, 2, 4]) | m(&[3, 4]);
+        let y1 = 1
+            | m(&[1])
+            | m(&[2])
+            | m(&[1, 2])
+            | m(&[2, 3])
+            | m(&[1, 2, 3])
+            | m(&[4])
+            | m(&[2, 3, 4]);
+        let y2 = 1 | m(&[1]) | m(&[2]) | m(&[1, 3]) | m(&[2, 4]) | m(&[3, 4]) | m(&[1, 3, 4]);
+        let y3 = 1
+            | m(&[1, 2])
+            | m(&[3])
+            | m(&[1, 3])
+            | m(&[2, 3])
+            | m(&[1, 2, 3])
+            | m(&[4])
+            | m(&[1, 4])
+            | m(&[2, 4])
+            | m(&[1, 2, 4])
+            | m(&[3, 4]);
         let y4 = m(&[1]) | m(&[3]) | m(&[1, 4]) | m(&[2, 4]) | m(&[1, 3, 4]);
         let anf = MiniSboxAnf::new(0, 0);
         assert_eq!(anf.outputs[0].coeffs, y1, "Eq. 3 y1");
@@ -170,16 +184,10 @@ mod tests {
     fn per_minibox_term_counts() {
         for rows in mini_sbox_anfs() {
             for anf in rows {
-                let deg2: std::collections::BTreeSet<u8> = anf
-                    .outputs
-                    .iter()
-                    .flat_map(|o| o.monomials_of_degree(2))
-                    .collect();
-                let deg3: std::collections::BTreeSet<u8> = anf
-                    .outputs
-                    .iter()
-                    .flat_map(|o| o.monomials_of_degree(3))
-                    .collect();
+                let deg2: std::collections::BTreeSet<u8> =
+                    anf.outputs.iter().flat_map(|o| o.monomials_of_degree(2)).collect();
+                let deg3: std::collections::BTreeSet<u8> =
+                    anf.outputs.iter().flat_map(|o| o.monomials_of_degree(3)).collect();
                 assert!(deg2.len() <= 6);
                 assert!(deg3.len() <= 4);
             }

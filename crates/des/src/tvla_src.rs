@@ -96,6 +96,9 @@ pub struct CycleModelSource {
     mask_rng: MaskRng,
     pt_rng: SmallRng,
     num_samples: usize,
+    /// Reused per-trace cycle buffer (the acquisition path allocates
+    /// nothing per trace).
+    cycles_buf: Vec<crate::masked::core_ff::CycleRecord>,
 }
 
 impl CycleModelSource {
@@ -136,6 +139,7 @@ impl CycleModelSource {
             pd,
             power,
             num_samples,
+            cycles_buf: Vec::with_capacity(num_samples),
         }
     }
 }
@@ -153,13 +157,16 @@ impl TraceSource for CycleModelSource {
 
     fn trace(&mut self, class: Class, out: &mut [f64]) {
         let pt = draw_pt(&self.cfg, class, &mut self.pt_rng);
-        let cycles = if let Some(ff) = &self.ff {
-            ff.encrypt_with_cycles(pt, &mut self.mask_rng).1
+        if let Some(ff) = &self.ff {
+            ff.encrypt_with_cycles_into(pt, &mut self.mask_rng, &mut self.cycles_buf);
         } else {
-            self.pd.as_ref().expect("one core set").encrypt_with_cycles(pt, &mut self.mask_rng).1
-        };
-        let t = self.power.trace(&cycles);
-        out.copy_from_slice(&t);
+            self.pd.as_ref().expect("one core set").encrypt_with_cycles_into(
+                pt,
+                &mut self.mask_rng,
+                &mut self.cycles_buf,
+            );
+        }
+        self.power.trace_into(&self.cycles_buf, out);
     }
 }
 
@@ -194,8 +201,7 @@ impl GateLevelSource {
         let timing = gm_netlist::timing::analyze(&core.netlist).expect("core validates");
         // 20% clock margin over the critical path.
         let period_ps = timing.critical_path_ps * 6 / 5;
-        let delays =
-            DelayModel::with_variation(&core.netlist, 0.15, 40.0, cfg.seed ^ 0xdead);
+        let delays = DelayModel::with_variation(&core.netlist, 0.15, 40.0, cfg.seed ^ 0xdead);
         let coupling = (coupling_k > 0.0 && !core.coupled_pairs.is_empty()).then(|| {
             let mut cm = CouplingModel::new(600);
             for &(a, b) in &core.coupled_pairs {
@@ -302,11 +308,7 @@ mod tests {
         cfg.prng_on = false;
         let src = CycleModelSource::new(cfg);
         let r = Campaign::sequential(3_000, 2).run(&src);
-        assert!(
-            r.max_abs_t1() > 4.5,
-            "PRNG off must flag quickly: max|t1| = {}",
-            r.max_abs_t1()
-        );
+        assert!(r.max_abs_t1() > 4.5, "PRNG off must flag quickly: max|t1| = {}", r.max_abs_t1());
     }
 
     #[test]

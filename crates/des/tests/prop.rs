@@ -2,11 +2,11 @@
 //! arbitrary keys/plaintexts, table structure, and masked-domain
 //! equivalence.
 
+use gm_core::MaskRng;
 use gm_des::masked::{MaskedDes, MaskedDesFf, MaskedDesPd};
 use gm_des::reference::{round_keys, Des, Tdes};
 use gm_des::sbox::anf::Anf4;
 use gm_des::tables::{permute, rotl, E, FP, IP, P, PC1};
-use gm_core::MaskRng;
 use proptest::prelude::*;
 
 proptest! {

@@ -52,10 +52,7 @@ fn rotation_amounts_follow_the_standard() {
 #[test]
 fn masks_presented_before_every_round() {
     for style in [SboxStyle::Ff, SboxStyle::Pd { unit_luts: 10 }] {
-        let rounds: Vec<usize> = schedule(style)
-            .iter()
-            .filter_map(|c| c.masks_for_round)
-            .collect();
+        let rounds: Vec<usize> = schedule(style).iter().filter_map(|c| c.masks_for_round).collect();
         assert_eq!(rounds, (0..16).collect::<Vec<_>>(), "{style:?}");
     }
 }
@@ -65,10 +62,8 @@ fn at_most_one_capture_control_group_per_cycle() {
     // Controls that capture different pipeline stages never overlap in
     // the FF core (its whole point is sequencing the arrival order).
     for c in schedule(SboxStyle::Ff) {
-        let stages = [c.and1, c.and2, c.sel, c.mux2, c.sout, c.state_en]
-            .iter()
-            .filter(|&&b| b)
-            .count();
+        let stages =
+            [c.and1, c.and2, c.sel, c.mux2, c.sout, c.state_en].iter().filter(|&&b| b).count();
         assert!(stages <= 1, "FF stages are strictly sequenced: {c:?}");
     }
 }

@@ -62,11 +62,8 @@ impl Chi2 {
     /// (the standard validity rule).
     pub fn statistic(&self, i: usize) -> (f64, usize) {
         // Union of bins.
-        let mut bins: Vec<i64> = self.hist[0][i]
-            .keys()
-            .chain(self.hist[1][i].keys())
-            .copied()
-            .collect();
+        let mut bins: Vec<i64> =
+            self.hist[0][i].keys().chain(self.hist[1][i].keys()).copied().collect();
         bins.sort_unstable();
         bins.dedup();
         let n0 = self.counts[0] as f64;
@@ -142,6 +139,9 @@ pub fn chi2_sf(x: f64, dof: usize) -> f64 {
     }
 }
 
+// The coefficients are the published Lanczos (g = 7) values verbatim;
+// keep them exactly as tabulated rather than to clippy's taste.
+#[allow(clippy::excessive_precision, clippy::inconsistent_digit_grouping)]
 fn ln_gamma(z: f64) -> f64 {
     // Lanczos, g = 7.
     const C: [f64; 9] = [
@@ -262,7 +262,11 @@ mod tests {
         for i in 0..30_000 {
             let v = if i % 2 == 0 {
                 // Class 0: ±1 coin flip (mean 0, var 1).
-                if rng.random::<bool>() { 1.0 } else { -1.0 }
+                if rng.random::<bool>() {
+                    1.0
+                } else {
+                    -1.0
+                }
             } else {
                 // Class 1: {-sqrt2, 0, +sqrt2} with probs ¼,½,¼
                 // (mean 0, var 1, same skew 0 — different shape).

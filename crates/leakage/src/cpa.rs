@@ -96,11 +96,7 @@ impl Cpa {
     /// [`Cpa::peak_abs_per_hypothesis`] and expect that ambiguity.
     pub fn peak_per_hypothesis(&self) -> Vec<f64> {
         (0..self.num_hypotheses)
-            .map(|k| {
-                (0..self.num_samples)
-                    .map(|i| self.correlation(k, i))
-                    .fold(f64::MIN, f64::max)
-            })
+            .map(|k| (0..self.num_samples).map(|i| self.correlation(k, i)).fold(f64::MIN, f64::max))
             .collect()
     }
 
@@ -108,9 +104,7 @@ impl Cpa {
     pub fn peak_abs_per_hypothesis(&self) -> Vec<f64> {
         (0..self.num_hypotheses)
             .map(|k| {
-                (0..self.num_samples)
-                    .map(|i| self.correlation(k, i).abs())
-                    .fold(0.0, f64::max)
+                (0..self.num_samples).map(|i| self.correlation(k, i).abs()).fold(0.0, f64::max)
             })
             .collect()
     }
@@ -157,8 +151,7 @@ mod tests {
             let leak = f64::from((x ^ k_star).count_ones());
             let noise = rng.random::<f64>() * 2.0;
             let trace = [rng.random::<f64>(), leak + noise, rng.random::<f64>()];
-            let preds: Vec<f64> =
-                (0..64).map(|k| f64::from((x ^ k as u8).count_ones())).collect();
+            let preds: Vec<f64> = (0..64).map(|k| f64::from((x ^ k as u8).count_ones())).collect();
             cpa.add(&preds, &trace);
         }
         let (best, peak) = cpa.best();
@@ -178,8 +171,7 @@ mod tests {
         for _ in 0..4_000 {
             let x: u8 = rng.random::<u8>() & 0xF;
             let trace = [rng.random::<f64>(), rng.random::<f64>()];
-            let preds: Vec<f64> =
-                (0..16).map(|k| f64::from((x ^ k as u8).count_ones())).collect();
+            let preds: Vec<f64> = (0..16).map(|k| f64::from((x ^ k as u8).count_ones())).collect();
             cpa.add(&preds, &trace);
         }
         let (_, peak) = cpa.best();

@@ -24,9 +24,7 @@ pub fn consistent_leaks(t_curves: &[Vec<f64>]) -> Vec<usize> {
     let Some(first) = t_curves.first() else {
         return Vec::new();
     };
-    (0..first.len())
-        .filter(|&i| t_curves.iter().all(|t| t[i].abs() > THRESHOLD))
-        .collect()
+    (0..first.len()).filter(|&i| t_curves.iter().all(|t| t[i].abs() > THRESHOLD)).collect()
 }
 
 /// Outcome of a traces-to-detection estimation.
@@ -116,16 +114,10 @@ mod tests {
     #[test]
     fn weaker_leaks_need_more_traces() {
         let campaign = Campaign::sequential(200_000, 7);
-        let strong = first_detection(
-            &campaign,
-            &Toy { rng: SmallRng::seed_from_u64(0), leak: 0.3 },
-            64,
-        );
-        let weak = first_detection(
-            &campaign,
-            &Toy { rng: SmallRng::seed_from_u64(0), leak: 0.03 },
-            64,
-        );
+        let strong =
+            first_detection(&campaign, &Toy { rng: SmallRng::seed_from_u64(0), leak: 0.3 }, 64);
+        let weak =
+            first_detection(&campaign, &Toy { rng: SmallRng::seed_from_u64(0), leak: 0.03 }, 64);
         let s = strong.traces.expect("strong leak detected");
         let w = weak.traces.expect("weak leak detected");
         assert!(s < w, "strong {s} should detect before weak {w}");
@@ -134,11 +126,7 @@ mod tests {
     #[test]
     fn clean_source_never_detects() {
         let campaign = Campaign::sequential(20_000, 9);
-        let d = first_detection(
-            &campaign,
-            &Toy { rng: SmallRng::seed_from_u64(0), leak: 0.0 },
-            64,
-        );
+        let d = first_detection(&campaign, &Toy { rng: SmallRng::seed_from_u64(0), leak: 0.0 }, 64);
         assert_eq!(d.traces, None);
         assert_eq!(d.history.last().unwrap().0, 20_000);
     }

@@ -45,11 +45,7 @@ pub struct TraceMoments {
 impl TraceMoments {
     /// Accumulator for traces of `len` samples.
     pub fn new(len: usize) -> Self {
-        TraceMoments {
-            n: 0,
-            mean: vec![0.0; len],
-            m: std::array::from_fn(|_| vec![0.0; len]),
-        }
+        TraceMoments { n: 0, mean: vec![0.0; len], m: std::array::from_fn(|_| vec![0.0; len]) }
     }
 
     /// Number of traces accumulated.
@@ -96,6 +92,9 @@ impl TraceMoments {
     /// # Panics
     ///
     /// Panics when `trace.len() != self.len()`.
+    // Index loops: `i` strides four parallel arrays and `k` walks a
+    // triangular slice of BINOM — iterator chains obscure the recurrence.
+    #[allow(clippy::needless_range_loop)]
     pub fn add(&mut self, trace: &[f64]) {
         assert_eq!(trace.len(), self.len(), "trace length mismatch");
         self.n += 1;
@@ -137,29 +136,40 @@ impl TraceMoments {
     /// Panics on trace-length mismatch.
     pub fn merge(&mut self, other: &TraceMoments) {
         assert_eq!(self.len(), other.len(), "trace length mismatch");
-        if other.n == 0 {
+        self.merge_parts(other.n, &other.mean, &other.m);
+    }
+
+    /// The Pébay two-set combination over raw parts: fold a set of `nb`
+    /// traces with per-sample means `mean_b` and central sums `m_b` into
+    /// `self`. Shared by [`Self::merge`] and [`Self::add_block`].
+    fn merge_parts(&mut self, nb_traces: u64, mean_b: &[f64], m_b: &[Vec<f64>; 5]) {
+        if nb_traces == 0 {
             return;
         }
         if self.n == 0 {
-            *self = other.clone();
+            self.n = nb_traces;
+            self.mean.copy_from_slice(mean_b);
+            for (dst, src) in self.m.iter_mut().zip(m_b) {
+                dst.copy_from_slice(src);
+            }
             return;
         }
         let na = self.n as f64;
-        let nb = other.n as f64;
+        let nb = nb_traces as f64;
         let n = na + nb;
         for i in 0..self.len() {
-            let delta = other.mean[i] - self.mean[i];
+            let delta = mean_b[i] - self.mean[i];
             // General two-set combination, orders high to low.
             let mut new_m = [0.0f64; 5];
             for p in 2..=6usize {
-                let mut acc = self.m[p - 2][i] + other.m[p - 2][i];
+                let mut acc = self.m[p - 2][i] + m_b[p - 2][i];
                 let mut term_a = 1.0; // (-nb*delta/n)^k
                 let mut term_b = 1.0; // ( na*delta/n)^k
                 for k in 1..=(p - 2) {
                     term_a *= -nb * delta / n;
                     term_b *= na * delta / n;
-                    acc += BINOM[p][k]
-                        * (term_a * self.m[p - k - 2][i] + term_b * other.m[p - k - 2][i]);
+                    acc +=
+                        BINOM[p][k] * (term_a * self.m[p - k - 2][i] + term_b * m_b[p - k - 2][i]);
                 }
                 let lead = (na * nb * delta / n).powi(p as i32);
                 let tail = lead * (1.0 / nb.powi(p as i32 - 1) - (-1.0 / na).powi(p as i32 - 1));
@@ -168,7 +178,86 @@ impl TraceMoments {
             self.m.iter_mut().zip(new_m).for_each(|(m, v)| m[i] = v);
             self.mean[i] += nb * delta / n;
         }
-        self.n += other.n;
+        self.n += nb_traces;
+    }
+
+    /// Accumulate a block of traces stored contiguously (`block.len()`
+    /// must be a multiple of [`Self::len`]).
+    ///
+    /// Two plain passes over the block — per-sample means, then central
+    /// power sums around the block mean — followed by one Pébay two-set
+    /// fold ([`Self::merge`]'s math). Unlike per-trace [`Self::add`],
+    /// whose order-2–6 update chains through every trace, the block
+    /// passes carry no loop dependency across samples and auto-vectorise;
+    /// `scratch` makes the path allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `block.len()` is not a multiple of the trace length or
+    /// the scratch was built for a different trace length.
+    pub fn add_block(&mut self, block: &[f64], scratch: &mut BlockScratch) {
+        let len = self.len();
+        assert_eq!(scratch.mean.len(), len, "scratch length mismatch");
+        assert_eq!(block.len() % len.max(1), 0, "block is not whole traces");
+        if len == 0 || block.is_empty() {
+            return;
+        }
+        let k = block.len() / len;
+        if k == 1 {
+            // A single trace has zero central sums around its own mean.
+            scratch.mean.copy_from_slice(block);
+            for m in &mut scratch.m {
+                m.fill(0.0);
+            }
+            self.merge_parts(1, &scratch.mean, &scratch.m);
+            return;
+        }
+
+        // Pass 1: per-sample block means.
+        scratch.mean.fill(0.0);
+        for row in block.chunks_exact(len) {
+            for (acc, &x) in scratch.mean.iter_mut().zip(row) {
+                *acc += x;
+            }
+        }
+        let inv_k = 1.0 / k as f64;
+        for acc in &mut scratch.mean {
+            *acc *= inv_k;
+        }
+
+        // Pass 2: plain central power sums around the block mean.
+        for m in &mut scratch.m {
+            m.fill(0.0);
+        }
+        let [m2, m3, m4, m5, m6] = &mut scratch.m;
+        for row in block.chunks_exact(len) {
+            for i in 0..len {
+                let d = row[i] - scratch.mean[i];
+                let d2 = d * d;
+                let d3 = d2 * d;
+                m2[i] += d2;
+                m3[i] += d3;
+                m4[i] += d2 * d2;
+                m5[i] += d2 * d3;
+                m6[i] += d3 * d3;
+            }
+        }
+        self.merge_parts(k as u64, &scratch.mean, &scratch.m);
+    }
+}
+
+/// Reusable per-block workspace for [`TraceMoments::add_block`]: the
+/// block's per-sample means and central power sums.
+#[derive(Debug, Clone)]
+pub struct BlockScratch {
+    mean: Vec<f64>,
+    m: [Vec<f64>; 5],
+}
+
+impl BlockScratch {
+    /// Workspace for traces of `len` samples.
+    pub fn new(len: usize) -> Self {
+        BlockScratch { mean: vec![0.0; len], m: std::array::from_fn(|_| vec![0.0; len]) }
     }
 }
 
@@ -193,10 +282,7 @@ mod tests {
             let got = m.central_sum(p, 0);
             let want = sums[p - 2];
             let scale = want.abs().max(1.0);
-            assert!(
-                (got - want).abs() / scale < tol,
-                "order {p}: streaming {got} vs naive {want}"
-            );
+            assert!((got - want).abs() / scale < tol, "order {p}: streaming {got} vs naive {want}");
         }
     }
 
@@ -250,5 +336,82 @@ mod tests {
     fn length_mismatch_panics() {
         let mut m = TraceMoments::new(2);
         m.add(&[1.0]);
+    }
+
+    /// Deterministic pseudo-random trace block (no RNG dependency).
+    fn toy_block(traces: usize, len: usize, salt: u64) -> Vec<f64> {
+        (0..traces * len)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(salt);
+                (x >> 11) as f64 / (1u64 << 53) as f64 * 20.0 - 10.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn add_block_matches_scalar_adds() {
+        let len = 7;
+        for traces in [1usize, 2, 5, 64, 257] {
+            let block = toy_block(traces, len, 3);
+            let mut scalar = TraceMoments::new(len);
+            for row in block.chunks_exact(len) {
+                scalar.add(row);
+            }
+            let mut blocked = TraceMoments::new(len);
+            let mut scratch = BlockScratch::new(len);
+            blocked.add_block(&block, &mut scratch);
+            assert_eq!(blocked.count(), scalar.count());
+            for i in 0..len {
+                assert!((blocked.mean()[i] - scalar.mean()[i]).abs() < 1e-9);
+                for p in 2..=6 {
+                    let (a, b) = (blocked.central_sum(p, i), scalar.central_sum(p, i));
+                    let scale = b.abs().max(1.0);
+                    assert!(
+                        ((a - b) / scale).abs() < 1e-9,
+                        "{traces} traces, order {p}, sample {i}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_block_folds_into_running_state() {
+        let len = 3;
+        let block = toy_block(40, len, 9);
+        let (head, tail) = block.split_at(15 * len);
+        let mut scalar = TraceMoments::new(len);
+        for row in block.chunks_exact(len) {
+            scalar.add(row);
+        }
+        // Mixed scalar + blocked accumulation over the same traces.
+        let mut mixed = TraceMoments::new(len);
+        let mut scratch = BlockScratch::new(len);
+        for row in head.chunks_exact(len) {
+            mixed.add(row);
+        }
+        mixed.add_block(tail, &mut scratch);
+        for i in 0..len {
+            for p in 2..=6 {
+                let (a, b) = (mixed.central_sum(p, i), scalar.central_sum(p, i));
+                assert!(((a - b) / b.abs().max(1.0)).abs() < 1e-9, "order {p} sample {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_block_empty_is_noop() {
+        let mut m = TraceMoments::new(4);
+        let mut scratch = BlockScratch::new(4);
+        m.add_block(&[], &mut scratch);
+        assert_eq!(m.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole traces")]
+    fn add_block_partial_trace_panics() {
+        let mut m = TraceMoments::new(4);
+        let mut scratch = BlockScratch::new(4);
+        m.add_block(&[1.0; 6], &mut scratch);
     }
 }

@@ -29,8 +29,7 @@ pub fn ascii_curve(t: &[f64], width: usize) -> String {
     let mut out = String::new();
     for row in (-(ROWS / 2)..=ROWS / 2).rev() {
         let row_t = row as f64 / scale;
-        let is_threshold_row =
-            (row_t.abs() - 4.5).abs() < 0.5 / scale && row != 0;
+        let is_threshold_row = (row_t.abs() - 4.5).abs() < 0.5 / scale && row != 0;
         let _ = write!(out, "{:>8.1} |", row_t);
         for &p in &peaks {
             let bucket = (p * scale).round() as i64;
@@ -54,11 +53,7 @@ pub fn ascii_curve(t: &[f64], width: usize) -> String {
 
 /// Write `(sample_index, series...)` rows to a CSV file, creating parent
 /// directories as needed.
-pub fn write_csv(
-    path: impl AsRef<Path>,
-    headers: &[&str],
-    series: &[&[f64]],
-) -> io::Result<()> {
+pub fn write_csv(path: impl AsRef<Path>, headers: &[&str], series: &[&[f64]]) -> io::Result<()> {
     assert_eq!(headers.len(), series.len() + 1, "one header per column incl. index");
     let path = path.as_ref();
     if let Some(dir) = path.parent() {

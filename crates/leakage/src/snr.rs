@@ -58,8 +58,7 @@ impl Snr {
                     })
                     .sum::<f64>()
                     / g;
-                let mean_of_vars =
-                    qualified.iter().map(|m| m.variance(i)).sum::<f64>() / g;
+                let mean_of_vars = qualified.iter().map(|m| m.variance(i)).sum::<f64>() / g;
                 if mean_of_vars == 0.0 {
                     if var_of_means == 0.0 {
                         0.0

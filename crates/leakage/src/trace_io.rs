@@ -111,10 +111,8 @@ impl TraceSet {
                     ))
                 }
             };
-            let samples: Result<Vec<f64>, _> =
-                parts.map(|p| p.trim().parse::<f64>()).collect();
-            let samples = samples
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            let samples: Result<Vec<f64>, _> = parts.map(|p| p.trim().parse::<f64>()).collect();
+            let samples = samples.map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
             let set = set.get_or_insert_with(|| TraceSet::new(samples.len()));
             if samples.len() != set.num_samples {
                 return Err(io::Error::new(io::ErrorKind::InvalidData, "ragged row"));

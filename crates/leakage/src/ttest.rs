@@ -23,6 +23,36 @@ fn welch(mean_a: f64, var_a: f64, na: f64, mean_b: f64, var_b: f64, nb: f64) -> 
     (mean_a - mean_b) / denom
 }
 
+/// First-order Welch t-statistic at one sample point.
+///
+/// Used by [`t_first_order`] and by non-allocating scans such as
+/// `TvlaResult::max_abs_t`; callers must have checked the accumulators
+/// via the whole-curve entry points (same length, ≥ 2 traces each).
+pub fn t_first_order_at(a: &TraceMoments, b: &TraceMoments, i: usize) -> f64 {
+    welch(
+        a.mean()[i],
+        a.variance(i),
+        a.count() as f64,
+        b.mean()[i],
+        b.variance(i),
+        b.count() as f64,
+    )
+}
+
+/// Second-order univariate t-statistic at one sample point.
+pub fn t_second_order_at(a: &TraceMoments, b: &TraceMoments, i: usize) -> f64 {
+    let (ma, va) = centered_square_stats(a, i);
+    let (mb, vb) = centered_square_stats(b, i);
+    welch(ma, va, a.count() as f64, mb, vb, b.count() as f64)
+}
+
+/// Third-order univariate t-statistic at one sample point.
+pub fn t_third_order_at(a: &TraceMoments, b: &TraceMoments, i: usize) -> f64 {
+    let (ma, va) = standardized_cube_stats(a, i);
+    let (mb, vb) = standardized_cube_stats(b, i);
+    welch(ma, va, a.count() as f64, mb, vb, b.count() as f64)
+}
+
 /// First-order Welch t-statistic per sample point.
 ///
 /// # Panics
@@ -31,36 +61,23 @@ fn welch(mean_a: f64, var_a: f64, na: f64, mean_b: f64, var_b: f64, nb: f64) -> 
 /// traces each.
 pub fn t_first_order(a: &TraceMoments, b: &TraceMoments) -> Vec<f64> {
     check(a, b);
-    let (na, nb) = (a.count() as f64, b.count() as f64);
-    (0..a.len())
-        .map(|i| welch(a.mean()[i], a.variance(i), na, b.mean()[i], b.variance(i), nb))
-        .collect()
+    (0..a.len()).map(|i| t_first_order_at(a, b, i)).collect()
 }
 
 /// Second-order univariate t-statistic (centred squares) per sample point.
 pub fn t_second_order(a: &TraceMoments, b: &TraceMoments) -> Vec<f64> {
     check(a, b);
-    let (na, nb) = (a.count() as f64, b.count() as f64);
-    (0..a.len())
-        .map(|i| {
-            let (ma, va) = centered_square_stats(a, i);
-            let (mb, vb) = centered_square_stats(b, i);
-            welch(ma, va, na, mb, vb, nb)
-        })
-        .collect()
+    (0..a.len()).map(|i| t_second_order_at(a, b, i)).collect()
 }
 
 /// Third-order univariate t-statistic (standardised cubes) per sample point.
 pub fn t_third_order(a: &TraceMoments, b: &TraceMoments) -> Vec<f64> {
     check(a, b);
-    let (na, nb) = (a.count() as f64, b.count() as f64);
-    (0..a.len())
-        .map(|i| {
-            let (ma, va) = standardized_cube_stats(a, i);
-            let (mb, vb) = standardized_cube_stats(b, i);
-            welch(ma, va, na, mb, vb, nb)
-        })
-        .collect()
+    (0..a.len()).map(|i| t_third_order_at(a, b, i)).collect()
+}
+
+pub(crate) fn check_pair(a: &TraceMoments, b: &TraceMoments) {
+    check(a, b);
 }
 
 /// Mean and variance of the preprocessed trace `(x − μ)²` at sample `i`.

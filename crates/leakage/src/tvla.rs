@@ -7,10 +7,11 @@
 //! [`TraceSource`] (its own simulated "device" RNG streams) and the
 //! per-class moment accumulators merge at synchronisation points.
 
-use crate::moments::TraceMoments;
+use crate::moments::{BlockScratch, TraceMoments};
 use crate::ttest::{t_first_order, t_second_order, t_third_order};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
+use std::sync::mpsc;
 
 /// TVLA trace class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,9 +77,27 @@ impl TvlaResult {
         t_third_order(&self.fixed, &self.random)
     }
 
+    /// Largest |t| of the order-`order` curve (1, 2, or 3), computed
+    /// sample-by-sample without materialising the curve. Detection
+    /// checkpoints call this on every chunk, so it must not allocate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `order` is not 1–3 or either class has < 2 traces.
+    pub fn max_abs_t(&self, order: usize) -> f64 {
+        crate::ttest::check_pair(&self.fixed, &self.random);
+        let t_at = match order {
+            1 => crate::ttest::t_first_order_at,
+            2 => crate::ttest::t_second_order_at,
+            3 => crate::ttest::t_third_order_at,
+            _ => panic!("t-test orders 1-3 supported, got {order}"),
+        };
+        (0..self.fixed.len()).fold(0.0f64, |m, i| m.max(t_at(&self.fixed, &self.random, i).abs()))
+    }
+
     /// Largest |t| of the first-order curve.
     pub fn max_abs_t1(&self) -> f64 {
-        self.t1().iter().fold(0.0, |m, t| m.max(t.abs()))
+        self.max_abs_t(1)
     }
 
     /// Merge a partial result (from a worker).
@@ -120,6 +139,81 @@ pub struct Campaign {
     pub seed: u64,
 }
 
+/// Traces acquired per accumulation block: large enough that the blocked
+/// moment passes amortise and auto-vectorise, small enough that the two
+/// per-class block buffers stay cache-resident for typical trace lengths.
+const BLOCK_TRACES: usize = 256;
+
+/// Seeded per-worker campaign RNG (class labels), stream `w`.
+fn worker_rng(seed: u64, w: usize) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ 0xa076_1d64_78bd_642fu64.wrapping_mul(w as u64 + 1))
+}
+
+/// Per-worker acquisition workspace: the class-label block, the two
+/// contiguous per-class `BLOCK_TRACES × num_samples` buffers, and the
+/// blocked-moments scratch. Allocated once per worker; the steady-state
+/// acquisition loop allocates nothing.
+struct AcquireBufs {
+    labels: Vec<Class>,
+    fixed: Vec<f64>,
+    random: Vec<f64>,
+    scratch: BlockScratch,
+}
+
+impl AcquireBufs {
+    fn new(num_samples: usize) -> Self {
+        AcquireBufs {
+            labels: Vec::with_capacity(BLOCK_TRACES),
+            fixed: vec![0.0; BLOCK_TRACES * num_samples],
+            random: vec![0.0; BLOCK_TRACES * num_samples],
+            scratch: BlockScratch::new(num_samples),
+        }
+    }
+}
+
+/// Draw `n` class labels, one PRNG word per 64 labels.
+fn draw_labels(rng: &mut SmallRng, n: usize, labels: &mut Vec<Class>) {
+    labels.clear();
+    while labels.len() < n {
+        let mut word: u64 = rng.random();
+        for _ in 0..(n - labels.len()).min(64) {
+            labels.push(if word & 1 == 1 { Class::Fixed } else { Class::Random });
+            word >>= 1;
+        }
+    }
+}
+
+/// Acquire `quota` traces block-wise: draw a block of labels, acquire the
+/// traces in label order into the per-class buffers, then fold each class
+/// buffer into `local` with one blocked-moments update per class.
+fn acquire_quota<S: TraceSource>(
+    src: &mut S,
+    rng: &mut SmallRng,
+    quota: u64,
+    num_samples: usize,
+    bufs: &mut AcquireBufs,
+    local: &mut TvlaResult,
+) {
+    let mut remaining = quota;
+    while remaining > 0 {
+        let n = remaining.min(BLOCK_TRACES as u64) as usize;
+        draw_labels(rng, n, &mut bufs.labels);
+        let (mut nf, mut nr) = (0usize, 0usize);
+        for &class in &bufs.labels {
+            let (buf, row) = match class {
+                Class::Fixed => (&mut bufs.fixed, &mut nf),
+                Class::Random => (&mut bufs.random, &mut nr),
+            };
+            let start = *row * num_samples;
+            src.trace(class, &mut buf[start..start + num_samples]);
+            *row += 1;
+        }
+        local.fixed.add_block(&bufs.fixed[..nf * num_samples], &mut bufs.scratch);
+        local.random.add_block(&bufs.random[..nr * num_samples], &mut bufs.scratch);
+        remaining -= n as u64;
+    }
+}
+
 impl Campaign {
     /// A single-threaded campaign (deterministic trace order).
     pub fn sequential(traces: u64, seed: u64) -> Self {
@@ -134,8 +228,7 @@ impl Campaign {
 
     /// Run the whole campaign and return the accumulated result.
     pub fn run<S: TraceSource>(&self, source: &S) -> TvlaResult {
-        self.run_chunked(source, &[self.traces], |_, _| true)
-            .expect("single checkpoint provided")
+        self.run_chunked(source, &[self.traces], |_, _| true).expect("single checkpoint provided")
     }
 
     /// Run the campaign in chunks, invoking `checkpoint` after every chunk
@@ -145,7 +238,17 @@ impl Campaign {
     /// `chunk_ends` are cumulative trace counts, strictly increasing; the
     /// last entry is the campaign total.
     ///
+    /// With `threads == 1` the whole campaign runs inline on the caller
+    /// thread (deterministic trace order, bit-identical across runs).
+    /// Otherwise a pool of persistent workers is spawned once and fed a
+    /// quota per chunk over channels — no thread respawn per chunk — and
+    /// workers whose quota would be zero are simply not scheduled.
+    ///
     /// Returns `None` when `chunk_ends` is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `chunk_ends` is not strictly increasing.
     pub fn run_chunked<S: TraceSource>(
         &self,
         source: &S,
@@ -156,58 +259,85 @@ impl Campaign {
             return None;
         }
         let threads = self.threads.max(1);
-        let mut workers: Vec<S> = (0..threads).map(|w| source.fork(w as u64)).collect();
-        let mut rngs: Vec<SmallRng> = (0..threads)
-            .map(|w| SmallRng::seed_from_u64(self.seed ^ 0xa076_1d64_78bd_642fu64.wrapping_mul(w as u64 + 1)))
-            .collect();
-        let mut result = TvlaResult::new(source.num_samples());
+        let num_samples = source.num_samples();
+        let mut result = TvlaResult::new(num_samples);
         let mut done = 0u64;
 
-        for &end in chunk_ends {
-            assert!(end >= done, "chunk ends must be non-decreasing");
-            let todo = end - done;
-            if todo > 0 {
+        if threads == 1 {
+            let mut src = source.fork(0);
+            let mut rng = worker_rng(self.seed, 0);
+            let mut bufs = AcquireBufs::new(num_samples);
+            for &end in chunk_ends {
+                assert!(end > done, "chunk ends must be strictly increasing");
+                acquire_quota(&mut src, &mut rng, end - done, num_samples, &mut bufs, &mut result);
+                done = end;
+                if !checkpoint(done, &result) {
+                    break;
+                }
+            }
+            return Some(result);
+        }
+
+        std::thread::scope(|scope| {
+            let (res_tx, res_rx) = mpsc::channel::<TvlaResult>();
+            // One persistent worker per thread, fed per-chunk quotas over
+            // its own order channel; partial results come back on the
+            // shared result channel.
+            let order_txs: Vec<mpsc::Sender<u64>> = (0..threads)
+                .map(|w| {
+                    let (order_tx, order_rx) = mpsc::channel::<u64>();
+                    let mut src = source.fork(w as u64);
+                    let mut rng = worker_rng(self.seed, w);
+                    let res_tx = res_tx.clone();
+                    scope.spawn(move || {
+                        let mut bufs = AcquireBufs::new(num_samples);
+                        while let Ok(quota) = order_rx.recv() {
+                            let mut local = TvlaResult::new(num_samples);
+                            acquire_quota(
+                                &mut src,
+                                &mut rng,
+                                quota,
+                                num_samples,
+                                &mut bufs,
+                                &mut local,
+                            );
+                            if res_tx.send(local).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                    order_tx
+                })
+                .collect();
+            drop(res_tx);
+
+            for &end in chunk_ends {
+                assert!(end > done, "chunk ends must be strictly increasing");
+                let todo = end - done;
                 let per = todo / threads as u64;
                 let extra = (todo % threads as u64) as usize;
-                let num_samples = source.num_samples();
-
-                let partials: Vec<TvlaResult> = crossbeam::thread::scope(|scope| {
-                    let handles: Vec<_> = workers
-                        .iter_mut()
-                        .zip(rngs.iter_mut())
-                        .enumerate()
-                        .map(|(w, (src, rng))| {
-                            let quota = per + u64::from(w < extra);
-                            scope.spawn(move |_| {
-                                let mut local = TvlaResult::new(num_samples);
-                                let mut buf = vec![0.0f64; num_samples];
-                                for _ in 0..quota {
-                                    let class =
-                                        if rng.random::<bool>() { Class::Fixed } else { Class::Random };
-                                    src.trace(class, &mut buf);
-                                    match class {
-                                        Class::Fixed => local.fixed.add(&buf),
-                                        Class::Random => local.random.add(&buf),
-                                    }
-                                }
-                                local
-                            })
-                        })
-                        .collect();
-                    handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-                })
-                .expect("scope panicked");
-
-                for p in &partials {
-                    result.merge(p);
+                let mut outstanding = 0usize;
+                for (w, order_tx) in order_txs.iter().enumerate() {
+                    let quota = per + u64::from(w < extra);
+                    if quota > 0 {
+                        order_tx.send(quota).expect("worker alive");
+                        outstanding += 1;
+                    }
+                }
+                for _ in 0..outstanding {
+                    let partial = res_rx.recv().expect("worker panicked");
+                    result.merge(&partial);
                 }
                 done = end;
+                if !checkpoint(done, &result) {
+                    break;
+                }
             }
-            if !checkpoint(done, &result) {
-                break;
-            }
-        }
-        Some(result)
+            // Dropping the order channels ends the workers' receive loops;
+            // the scope joins them on exit.
+            drop(order_txs);
+            Some(result)
+        })
     }
 }
 
@@ -230,7 +360,10 @@ mod tests {
 
     impl TraceSource for LeakyToy {
         fn fork(&self, stream: u64) -> Self {
-            LeakyToy { rng: SmallRng::seed_from_u64(stream.wrapping_mul(0x9e37) ^ 7), leak: self.leak }
+            LeakyToy {
+                rng: SmallRng::seed_from_u64(stream.wrapping_mul(0x9e37) ^ 7),
+                leak: self.leak,
+            }
         }
         fn num_samples(&self) -> usize {
             3
@@ -238,8 +371,7 @@ mod tests {
         fn trace(&mut self, class: Class, out: &mut [f64]) {
             let noise = |r: &mut SmallRng| r.random::<f64>() - 0.5;
             out[0] = noise(&mut self.rng);
-            out[1] = noise(&mut self.rng)
-                + if class == Class::Fixed { self.leak } else { 0.0 };
+            out[1] = noise(&mut self.rng) + if class == Class::Fixed { self.leak } else { 0.0 };
             out[2] = noise(&mut self.rng);
         }
     }
@@ -278,6 +410,90 @@ mod tests {
         assert!(seq.t1()[1].abs() > 4.5);
         assert!(par.t1()[1].abs() > 4.5);
         assert_eq!(par.total_traces(), 6_000);
+    }
+
+    /// `Campaign { threads: 1 }` must be bit-identical across runs.
+    #[test]
+    fn sequential_campaign_deterministic_across_runs() {
+        let c = Campaign::sequential(4_000, 11);
+        let a = c.run(&LeakyToy::new(0.1));
+        let b = c.run(&LeakyToy::new(0.1));
+        assert_eq!(a.fixed.count(), b.fixed.count());
+        assert_eq!(a.t1(), b.t1());
+        assert_eq!(a.t2(), b.t2());
+        assert_eq!(a.t3(), b.t3());
+    }
+
+    /// The blocked accumulation path must agree with a per-trace scalar
+    /// reference (same acquisition order, `TraceMoments::add`) to 1e-9
+    /// relative on all order-1..3 t-statistics.
+    #[test]
+    fn blocked_accumulation_matches_scalar_reference() {
+        let traces = 10_000u64;
+        let seed = 21u64;
+        let blocked = Campaign::sequential(traces, seed).run(&LeakyToy::new(0.15));
+
+        // Reconstruct the sequential path's acquisition order exactly,
+        // accumulating one trace at a time.
+        let mut src = LeakyToy::new(0.15).fork(0);
+        let mut rng = worker_rng(seed, 0);
+        let mut labels = Vec::new();
+        let mut scalar = TvlaResult::new(3);
+        let mut buf = vec![0.0f64; 3];
+        let mut remaining = traces;
+        while remaining > 0 {
+            let n = remaining.min(BLOCK_TRACES as u64) as usize;
+            draw_labels(&mut rng, n, &mut labels);
+            for &class in &labels {
+                src.trace(class, &mut buf);
+                match class {
+                    Class::Fixed => scalar.fixed.add(&buf),
+                    Class::Random => scalar.random.add(&buf),
+                }
+            }
+            remaining -= n as u64;
+        }
+
+        assert_eq!(blocked.fixed.count(), scalar.fixed.count());
+        assert_eq!(blocked.random.count(), scalar.random.count());
+        for order in 1..=3usize {
+            for i in 0..3 {
+                let (a, b) = match order {
+                    1 => (
+                        t_first_order(&blocked.fixed, &blocked.random)[i],
+                        t_first_order(&scalar.fixed, &scalar.random)[i],
+                    ),
+                    2 => (
+                        t_second_order(&blocked.fixed, &blocked.random)[i],
+                        t_second_order(&scalar.fixed, &scalar.random)[i],
+                    ),
+                    _ => (
+                        t_third_order(&blocked.fixed, &blocked.random)[i],
+                        t_third_order(&scalar.fixed, &scalar.random)[i],
+                    ),
+                };
+                assert!(
+                    (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                    "order {order} sample {i}: blocked {a} vs scalar {b}"
+                );
+            }
+        }
+    }
+
+    /// More workers than traces: zero-quota workers are not scheduled and
+    /// the campaign still delivers every trace.
+    #[test]
+    fn more_threads_than_traces() {
+        let c = Campaign { traces: 3, threads: 8, seed: 13 };
+        let r = c.run(&LeakyToy::new(0.0));
+        assert_eq!(r.total_traces(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn equal_chunk_ends_panic() {
+        let c = Campaign::sequential(100, 1);
+        let _ = c.run_chunked(&LeakyToy::new(0.0), &[50, 50, 100], |_, _| true);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! computation on arbitrary data, and the t-tests must respect their
 //! symmetries.
 
-use gm_leakage::moments::TraceMoments;
+use gm_leakage::moments::{BlockScratch, TraceMoments};
 use gm_leakage::ttest::{t_first_order, t_second_order, t_third_order};
 use proptest::prelude::*;
 
@@ -60,6 +60,37 @@ proptest! {
             let (g, w) = (a.central_sum(p, 0), whole.central_sum(p, 0));
             let scale = w.abs().max(1.0);
             prop_assert!((g - w).abs() / scale < 1e-6, "order {}: {} vs {}", p, g, w);
+        }
+    }
+
+    /// Blocked accumulation (`add_block`, any block split) agrees with
+    /// per-trace scalar `add` on arbitrary data for every tracked order.
+    #[test]
+    fn add_block_matches_scalar(
+        rows in prop::collection::vec(prop::collection::vec(-1e3f64..1e3, 3..4), 1..40),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let len = 3;
+        let mut scalar = TraceMoments::new(len);
+        for r in &rows {
+            scalar.add(r);
+        }
+
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let split = (((rows.len() as f64) * split_frac) as usize).min(rows.len()) * len;
+        let mut blocked = TraceMoments::new(len);
+        let mut scratch = BlockScratch::new(len);
+        blocked.add_block(&flat[..split], &mut scratch);
+        blocked.add_block(&flat[split..], &mut scratch);
+
+        prop_assert_eq!(blocked.count(), scalar.count());
+        for i in 0..len {
+            prop_assert!((blocked.mean()[i] - scalar.mean()[i]).abs() < 1e-9);
+            for p in 2..=6usize {
+                let (g, w) = (blocked.central_sum(p, i), scalar.central_sum(p, i));
+                let scale = w.abs().max(1.0);
+                prop_assert!((g - w).abs() / scale < 1e-6, "order {}: {} vs {}", p, g, w);
+            }
         }
     }
 

@@ -32,6 +32,10 @@ pub struct Evaluator {
     ff_state: Vec<bool>,
     order: Vec<GateId>,
     ff_gates: Vec<GateId>,
+    // Scratch buffers reused across `settle`/`clock` calls so that the
+    // campaign hot path (millions of clock edges) stays allocation-free.
+    pin_scratch: Vec<bool>,
+    ff_next: Vec<bool>,
 }
 
 impl Evaluator {
@@ -45,11 +49,14 @@ impl Evaluator {
             .filter(|(_, g)| g.kind.is_sequential())
             .map(|(i, _)| GateId(i as u32))
             .collect();
+        let num_ffs = ff_gates.len();
         Ok(Evaluator {
             values: vec![false; n.num_nets()],
             ff_state: vec![false; n.num_gates()],
             order,
             ff_gates,
+            pin_scratch: Vec::with_capacity(4),
+            ff_next: Vec::with_capacity(num_ffs),
         })
     }
 
@@ -90,12 +97,12 @@ impl Evaluator {
                 _ => {}
             }
         }
-        let mut pins: Vec<bool> = Vec::with_capacity(3);
+        let (values, pins) = (&mut self.values, &mut self.pin_scratch);
         for &gid in &self.order {
             let g = n.gate(gid);
             pins.clear();
-            pins.extend(g.inputs.iter().map(|i| self.values[i.index()]));
-            self.values[g.output.index()] = g.kind.eval(&pins);
+            pins.extend(g.inputs.iter().map(|i| values[i.index()]));
+            values[g.output.index()] = g.kind.eval(pins);
         }
     }
 
@@ -103,15 +110,21 @@ impl Evaluator {
     /// (as settled before the edge), then logic re-settles.
     pub fn clock(&mut self, n: &Netlist) {
         self.settle(n);
-        let mut next = Vec::with_capacity(self.ff_gates.len());
-        for &gid in &self.ff_gates {
-            let g = n.gate(gid);
-            let pins: Vec<bool> = g.inputs.iter().map(|i| self.values[i.index()]).collect();
-            next.push(g.kind.dff_next(self.ff_state[gid.index()], &pins));
+        let mut next = std::mem::take(&mut self.ff_next);
+        next.clear();
+        {
+            let (values, ff_state, pins) = (&self.values, &self.ff_state, &mut self.pin_scratch);
+            for &gid in &self.ff_gates {
+                let g = n.gate(gid);
+                pins.clear();
+                pins.extend(g.inputs.iter().map(|i| values[i.index()]));
+                next.push(g.kind.dff_next(ff_state[gid.index()], pins));
+            }
         }
-        for (&gid, v) in self.ff_gates.iter().zip(next) {
+        for (&gid, &v) in self.ff_gates.iter().zip(next.iter()) {
             self.ff_state[gid.index()] = v;
         }
+        self.ff_next = next;
         self.settle(n);
     }
 

@@ -228,14 +228,8 @@ mod tests {
     #[test]
     fn dff_pin_counts() {
         assert_eq!(GateKind::Dff(DffConfig::default()).num_inputs(), 1);
-        assert_eq!(
-            GateKind::Dff(DffConfig { has_enable: true, has_reset: false }).num_inputs(),
-            2
-        );
-        assert_eq!(
-            GateKind::Dff(DffConfig { has_enable: true, has_reset: true }).num_inputs(),
-            3
-        );
+        assert_eq!(GateKind::Dff(DffConfig { has_enable: true, has_reset: false }).num_inputs(), 2);
+        assert_eq!(GateKind::Dff(DffConfig { has_enable: true, has_reset: true }).num_inputs(), 3);
     }
 
     #[test]

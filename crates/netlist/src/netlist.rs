@@ -164,11 +164,9 @@ impl Netlist {
     pub fn exit_module(&mut self) {
         self.scope.pop().expect("exit_module at top level");
         let path = self.scope.join("/");
-        self.current_module = self
-            .module_paths
-            .iter()
-            .position(|p| *p == path)
-            .expect("parent scope must exist") as u32;
+        self.current_module =
+            self.module_paths.iter().position(|p| *p == path).expect("parent scope must exist")
+                as u32;
     }
 
     /// Run `f` inside a child module scope.
@@ -306,10 +304,7 @@ impl Netlist {
 
     /// D flip-flop with clock enable.
     pub fn dff_en(&mut self, d: NetId, enable: NetId) -> NetId {
-        self.add_gate(
-            GateKind::Dff(DffConfig { has_enable: true, has_reset: false }),
-            &[d, enable],
-        )
+        self.add_gate(GateKind::Dff(DffConfig { has_enable: true, has_reset: false }), &[d, enable])
     }
 
     /// D flip-flop with clock enable and synchronous reset.

@@ -101,9 +101,9 @@ pub fn optimize(n: &Netlist, opts: &OptOptions) -> (Netlist, OptStats) {
         let new = out.input(n.net_name(i).unwrap_or(&format!("in{}", i.0)).to_owned());
         map[i.index()] = Some(Val::Net(new));
     }
-    for i in 0..n.num_nets() {
+    for (i, slot) in map.iter_mut().enumerate() {
         if let Driver::Constant(v) = n.driver(NetId(i as u32)) {
-            map[i] = Some(Val::Const(v));
+            *slot = Some(Val::Const(v));
         }
     }
 
@@ -353,10 +353,7 @@ mod tests {
         n.output("y", y);
 
         let (kept, _) = optimize(&n, &OptOptions { preserve_delay_elements: true });
-        assert_eq!(
-            kept.gates().iter().filter(|g| g.kind == GateKind::DelayBuf).count(),
-            10
-        );
+        assert_eq!(kept.gates().iter().filter(|g| g.kind == GateKind::DelayBuf).count(), 10);
         let (gone, stats) = optimize(&n, &OptOptions { preserve_delay_elements: false });
         assert_eq!(
             gone.gates().iter().filter(|g| g.kind == GateKind::DelayBuf).count(),
@@ -383,17 +380,15 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         for _ in 0..16 {
             let (dv, ev): (bool, bool) = (rng.random(), rng.random());
-            for (ev_, net_d, net_en, nl) in
-                [(&mut eva, n.inputs()[0], n.inputs()[1], &n), (&mut evb, o.inputs()[0], o.inputs()[1], &o)]
-            {
+            for (ev_, net_d, net_en, nl) in [
+                (&mut eva, n.inputs()[0], n.inputs()[1], &n),
+                (&mut evb, o.inputs()[0], o.inputs()[1], &o),
+            ] {
                 ev_.set_input(net_d, dv);
                 ev_.set_input(net_en, ev);
                 ev_.clock(nl);
             }
-            assert_eq!(
-                eva.value(n.outputs()[0].1),
-                evb.value(o.outputs()[0].1)
-            );
+            assert_eq!(eva.value(n.outputs()[0].1), evb.value(o.outputs()[0].1));
         }
     }
 

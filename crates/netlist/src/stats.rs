@@ -39,9 +39,7 @@ pub fn dangling_nets(n: &Netlist) -> Vec<crate::NetId> {
     (0..n.num_nets() as u32)
         .map(crate::NetId)
         .filter(|id| {
-            fo[id.index()] == 0
-                && !outs.contains(id)
-                && !matches!(n.driver(*id), Driver::None)
+            fo[id.index()] == 0 && !outs.contains(id) && !matches!(n.driver(*id), Driver::None)
         })
         .collect()
 }

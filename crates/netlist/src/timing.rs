@@ -43,9 +43,7 @@ pub fn analyze(n: &Netlist) -> Result<TimingReport, crate::NetlistError> {
 
     for (i, _) in n.nets.iter().enumerate() {
         arrival[i] = match n.driver(crate::NetId(i as u32)) {
-            Driver::Gate(g) if n.gate(g).kind.is_sequential() => {
-                n.gate(g).kind.nominal_delay_ps()
-            }
+            Driver::Gate(g) if n.gate(g).kind.is_sequential() => n.gate(g).kind.nominal_delay_ps(),
             _ => 0,
         };
     }
@@ -76,7 +74,11 @@ pub fn analyze(n: &Netlist) -> Result<TimingReport, crate::NetlistError> {
         }
     }
 
-    Ok(TimingReport { arrival_ps: arrival, critical_path_ps: critical, critical_endpoint: endpoint })
+    Ok(TimingReport {
+        arrival_ps: arrival,
+        critical_path_ps: critical,
+        critical_endpoint: endpoint,
+    })
 }
 
 #[cfg(test)]
@@ -116,8 +118,8 @@ mod tests {
         let q2 = n.dff(y);
         n.output("q2", q2);
         let t = analyze(&n).unwrap();
-        let expect = GateKind::Dff(Default::default()).nominal_delay_ps()
-            + GateKind::Inv.nominal_delay_ps();
+        let expect =
+            GateKind::Dff(Default::default()).nominal_delay_ps() + GateKind::Inv.nominal_delay_ps();
         assert_eq!(t.critical_path_ps, expect);
     }
 

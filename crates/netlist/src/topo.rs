@@ -74,9 +74,8 @@ mod tests {
         let z = n.or2(y, x); // gate 2 depends on 0, 1
         n.output("z", z);
         let order = combinational_order(&n).unwrap();
-        let pos: Vec<usize> = (0..3)
-            .map(|g| order.iter().position(|o| o.0 == g).unwrap())
-            .collect();
+        let pos: Vec<usize> =
+            (0..3).map(|g| order.iter().position(|o| o.0 == g).unwrap()).collect();
         assert!(pos[0] < pos[1]);
         assert!(pos[1] < pos[2]);
     }
@@ -98,12 +97,9 @@ mod tests {
         let mut n = Netlist::new("t");
         let a = n.input("a");
         let x = n.and2(a, a); // gate 0
-        // Manually patch gate 0 to consume its own output -> loop.
+                              // Manually patch gate 0 to consume its own output -> loop.
         n.gates[0].inputs[1] = x;
         n.output("x", x);
-        assert!(matches!(
-            combinational_order(&n),
-            Err(NetlistError::CombinationalLoop { .. })
-        ));
+        assert!(matches!(combinational_order(&n), Err(NetlistError::CombinationalLoop { .. })));
     }
 }

@@ -16,8 +16,7 @@ enum GateRecipe {
 fn recipe_strategy() -> impl Strategy<Value = GateRecipe> {
     prop_oneof![
         (0u8..3, any::<usize>()).prop_map(|(k, a)| GateRecipe::Unary(k, a)),
-        (0u8..6, any::<usize>(), any::<usize>())
-            .prop_map(|(k, a, b)| GateRecipe::Binary(k, a, b)),
+        (0u8..6, any::<usize>(), any::<usize>()).prop_map(|(k, a, b)| GateRecipe::Binary(k, a, b)),
         (any::<usize>(), any::<usize>(), any::<usize>())
             .prop_map(|(s, a, b)| GateRecipe::Mux(s, a, b)),
     ]

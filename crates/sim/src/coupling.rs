@@ -161,10 +161,7 @@ mod tests {
         fire(&mut s, 10_020, 1, false);
         let opp = s.into_inner().weighted;
 
-        assert!(
-            opp > same,
-            "opposite-direction crosstalk must cost more: opp={opp} same={same}"
-        );
+        assert!(opp > same, "opposite-direction crosstalk must cost more: opp={opp} same={same}");
     }
 
     #[test]

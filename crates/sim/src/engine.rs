@@ -217,8 +217,13 @@ impl<'a> Simulator<'a> {
     pub fn schedule(&mut self, net: NetId, time_ps: u64, value: bool) {
         assert!(time_ps >= self.time, "cannot schedule into the past");
         self.seq += 1;
-        self.queue
-            .push(Reverse(Event { time: time_ps, seq: self.seq, net, value, version: u32::MAX }));
+        self.queue.push(Reverse(Event {
+            time: time_ps,
+            seq: self.seq,
+            net,
+            value,
+            version: u32::MAX,
+        }));
     }
 
     /// Process all events up to and including `t_end_ps`, reporting every
@@ -239,8 +244,7 @@ impl<'a> Simulator<'a> {
         let ni = ev.net.index();
         // Stale version: this pulse was inertially annihilated after being
         // scheduled.
-        if ev.version != u32::MAX && self.out_version[self.driver_gate[ni] as usize] != ev.version
-        {
+        if ev.version != u32::MAX && self.out_version[self.driver_gate[ni] as usize] != ev.version {
             return;
         }
         if self.values[ni] == ev.value {

@@ -7,9 +7,8 @@
 //! `noise² / N`, so dividing sigma by √k divides the traces-to-detection by
 //! k. EXPERIMENTS.md records the scaling used for each figure.
 
-use crate::delay::gaussian;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 
 /// Measurement chain applied to an ideal power trace.
 #[derive(Debug, Clone)]
@@ -21,18 +20,36 @@ pub struct MeasurementModel {
     /// ADC resolution in bits; samples clamp to the signed full-scale range.
     pub adc_bits: u32,
     rng: SmallRng,
+    /// Second Box–Muller deviate, held for the next sample (the pair
+    /// costs one `ln`/`sqrt` — discarding half of it doubled the noise
+    /// cost on the campaign hot path).
+    spare_gauss: Option<f64>,
 }
 
 impl MeasurementModel {
     /// Build a measurement model with its own noise RNG.
     pub fn new(gain: f64, noise_sigma: f64, adc_bits: u32, seed: u64) -> Self {
-        assert!(adc_bits >= 2 && adc_bits <= 24, "unrealistic ADC width");
+        assert!((2..=24).contains(&adc_bits), "unrealistic ADC width");
         MeasurementModel {
             gain,
             noise_sigma,
             adc_bits,
             rng: SmallRng::seed_from_u64(seed ^ 0x853c_49e6_748f_ea9b),
+            spare_gauss: None,
         }
+    }
+
+    /// Standard normal deviate: Box–Muller, both values of the pair used.
+    fn gauss(&mut self) -> f64 {
+        if let Some(g) = self.spare_gauss.take() {
+            return g;
+        }
+        let u1: f64 = self.rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.rng.random();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let (sin, cos) = (std::f64::consts::TAU * u2).sin_cos();
+        self.spare_gauss = Some(r * sin);
+        r * cos
     }
 
     /// Noise-free unquantised chain (for calibration and debugging).
@@ -49,7 +66,7 @@ impl MeasurementModel {
     pub fn sample(&mut self, ideal: f64) -> f64 {
         let mut v = ideal * self.gain;
         if self.noise_sigma > 0.0 {
-            v += gaussian(&mut self.rng) * self.noise_sigma;
+            v += self.gauss() * self.noise_sigma;
         }
         let fs = self.full_scale();
         v.round().clamp(-fs, fs - 1.0)

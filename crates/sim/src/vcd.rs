@@ -29,19 +29,12 @@ impl VcdSink {
             .enumerate()
             .map(|(i, &id)| {
                 watch_index[id.index()] = Some(i as u32);
-                let name = netlist
-                    .net_name(id)
-                    .map(str::to_owned)
-                    .unwrap_or_else(|| format!("n{}", id.0));
+                let name =
+                    netlist.net_name(id).map(str::to_owned).unwrap_or_else(|| format!("n{}", id.0));
                 (id, name)
             })
             .collect();
-        VcdSink {
-            watch_index,
-            watched,
-            initial: initial_values.to_vec(),
-            events: Vec::new(),
-        }
+        VcdSink { watch_index, watched, initial: initial_values.to_vec(), events: Vec::new() }
     }
 
     /// Watch every net of the design (initial values all zero).
@@ -153,10 +146,7 @@ mod tests {
         // The glitch on y appears as both a rise and a fall.
         let y_sym = {
             // y is the last watched net by id order; find its symbol line.
-            let line = text
-                .lines()
-                .find(|l| l.ends_with(" y $end"))
-                .expect("y declared");
+            let line = text.lines().find(|l| l.ends_with(" y $end")).expect("y declared");
             line.split_whitespace().nth(3).unwrap().to_owned()
         };
         let rises = text.lines().filter(|l| *l == format!("1{y_sym}")).count();

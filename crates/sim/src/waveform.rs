@@ -55,10 +55,7 @@ impl WaveformRecorder {
     /// Widths of all complete pulses of `net` (time between consecutive
     /// transitions), in order.
     pub fn pulse_widths(&self, net: NetId) -> Vec<u64> {
-        self.transitions[net.index()]
-            .windows(2)
-            .map(|w| w[1].0 - w[0].0)
-            .collect()
+        self.transitions[net.index()].windows(2).map(|w| w[1].0 - w[0].0).collect()
     }
 
     /// Glitch query: pulses of `net` narrower than `max_width_ps`.

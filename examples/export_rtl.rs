@@ -19,10 +19,9 @@ fn main() -> std::io::Result<()> {
     let dir = Path::new("target/experiments/rtl");
     fs::create_dir_all(dir)?;
 
-    for (file, style) in [
-        ("masked_des_ff.v", SboxStyle::Ff),
-        ("masked_des_pd.v", SboxStyle::Pd { unit_luts: 10 }),
-    ] {
+    for (file, style) in
+        [("masked_des_ff.v", SboxStyle::Ff), ("masked_des_pd.v", SboxStyle::Pd { unit_luts: 10 })]
+    {
         let core = build_des_core(style);
         let v = to_verilog(&core.netlist);
         let path = dir.join(file);
@@ -38,12 +37,8 @@ fn main() -> std::io::Result<()> {
 
     // A VCD showing the Table I leak: x0 arriving last.
     let mut n = Netlist::new("secand2_glitch");
-    let io = AndInputs {
-        x0: n.input("x0"),
-        x1: n.input("x1"),
-        y0: n.input("y0"),
-        y1: n.input("y1"),
-    };
+    let io =
+        AndInputs { x0: n.input("x0"), x1: n.input("x1"), y0: n.input("y0"), y1: n.input("y1") };
     let out = build_sec_and2(&mut n, io);
     n.name_net(out.z0, "z0");
     n.name_net(out.z1, "z1");

@@ -16,12 +16,8 @@ use glitchmask::sim::{DelayModel, Simulator};
 
 fn main() {
     let mut n = Netlist::new("secand2");
-    let io = AndInputs {
-        x0: n.input("x0"),
-        x1: n.input("x1"),
-        y0: n.input("y0"),
-        y1: n.input("y1"),
-    };
+    let io =
+        AndInputs { x0: n.input("x0"), x1: n.input("x1"), y0: n.input("y0"), y1: n.input("y1") };
     let out = build_sec_and2(&mut n, io);
     n.output("z0", out.z0);
     n.output("z1", out.z1);

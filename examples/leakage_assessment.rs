@@ -19,11 +19,7 @@ fn main() {
     // 1. Sanity check: PRNG off must light up immediately.
     let mut cfg = SourceConfig::new(CoreVariant::Ff);
     cfg.prng_on = false;
-    let det = first_detection(
-        &Campaign::sequential(traces, 1),
-        &CycleModelSource::new(cfg),
-        16,
-    );
+    let det = first_detection(&Campaign::sequential(traces, 1), &CycleModelSource::new(cfg), 16);
     println!("PRNG off: first-order leakage after {:?} traces", det.traces);
     for (n, t) in det.history.iter().take(4) {
         println!("   after {n:>6} traces: max|t1| = {t:.1}");
@@ -44,15 +40,19 @@ fn main() {
     let r = Campaign::sequential(5_000, 3).run(&src);
     let t1 = r.t1();
     let m = t1.iter().fold(0.0f64, |m, t| m.max(t.abs()));
-    println!("secAND2-PD with 1-LUT DelayUnits, 5k traces: max|t1| = {m:.1} ({})",
-        if m > THRESHOLD { "LEAKS — the DelayUnit is too small" } else { "clean" });
+    println!(
+        "secAND2-PD with 1-LUT DelayUnits, 5k traces: max|t1| = {m:.1} ({})",
+        if m > THRESHOLD { "LEAKS — the DelayUnit is too small" } else { "clean" }
+    );
 
     // 4. The optimal 10-LUT PD core at the same budget: clean.
     let src = CycleModelSource::new(SourceConfig::new(CoreVariant::Pd { unit_luts: 10 }));
     let r = Campaign::sequential(5_000, 4).run(&src);
     let m = r.max_abs_t1();
-    println!("secAND2-PD with 10-LUT DelayUnits, 5k traces: max|t1| = {m:.1} ({})",
-        if m > THRESHOLD { "leaks" } else { "clean — as the paper's optimum" });
+    println!(
+        "secAND2-PD with 10-LUT DelayUnits, 5k traces: max|t1| = {m:.1} ({})",
+        if m > THRESHOLD { "leaks" } else { "clean — as the paper's optimum" }
+    );
 
     println!("\nFull campaigns: `cargo run --release -p gm-bench --bin fig14` (etc.)");
 }

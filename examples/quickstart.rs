@@ -22,17 +22,16 @@ fn main() {
     // Linear ops are share-wise; AND needs a gadget.
     let xor = x.xor(y);
     let and = sec_and2(x, y);
-    println!("x ⊕ y = {}, x · y = {} (via secAND2, no fresh randomness)",
-        u8::from(xor.unmask()), u8::from(and.unmask()));
+    println!(
+        "x ⊕ y = {}, x · y = {} (via secAND2, no fresh randomness)",
+        u8::from(xor.unmask()),
+        u8::from(and.unmask())
+    );
 
     // --- 2. Probing security, checked exhaustively --------------------
     let mut n = Netlist::new("demo");
-    let io = AndInputs {
-        x0: n.input("x0"),
-        x1: n.input("x1"),
-        y0: n.input("y0"),
-        y1: n.input("y1"),
-    };
+    let io =
+        AndInputs { x0: n.input("x0"), x1: n.input("x1"), y0: n.input("y0"), y1: n.input("y1") };
     let good = build_sec_and2(&mut n, io);
     n.output("z0", good.z0);
     n.output("z1", good.z1);

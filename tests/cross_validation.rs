@@ -49,10 +49,7 @@ fn ff_mean_power_shapes_agree() {
     let c: Vec<f64> = m_cyc[3..112].to_vec();
     let g: Vec<f64> = m_gate[3..112].to_vec();
     let r = pearson(&c, &g);
-    assert!(
-        r > 0.7,
-        "per-cycle mean power must correlate across backends: r = {r:.3}"
-    );
+    assert!(r > 0.7, "per-cycle mean power must correlate across backends: r = {r:.3}");
 }
 
 /// Both backends agree that the PRNG-off core leaks in first order and
@@ -92,8 +89,5 @@ fn gate_level_activity_sanity() {
     pd.trace(Class::Random, &mut p);
     let peak_ff = a.iter().cloned().fold(0.0, f64::max);
     let peak_pd = p.iter().cloned().fold(0.0, f64::max);
-    assert!(
-        peak_pd > peak_ff,
-        "PD cycles concentrate more activity: {peak_pd} vs {peak_ff}"
-    );
+    assert!(peak_pd > peak_ff, "PD cycles concentrate more activity: {peak_pd} vs {peak_ff}");
 }

@@ -12,12 +12,8 @@ use glitchmask::netlist::{NetId, Netlist};
 
 fn gadget() -> (Netlist, AndInputs) {
     let mut n = Netlist::new("g");
-    let io = AndInputs {
-        x0: n.input("x0"),
-        x1: n.input("x1"),
-        y0: n.input("y0"),
-        y1: n.input("y1"),
-    };
+    let io =
+        AndInputs { x0: n.input("x0"), x1: n.input("x1"), y0: n.input("y0"), y1: n.input("y1") };
     let out = build_sec_and2(&mut n, io);
     n.output("z0", out.z0);
     n.output("z1", out.z1);
@@ -68,12 +64,8 @@ fn table1_all_24_sequences_agree_with_the_rule() {
 #[test]
 fn pd_gadget_is_safe_under_simultaneous_arrival() {
     let mut n = Netlist::new("pd");
-    let io = AndInputs {
-        x0: n.input("x0"),
-        x1: n.input("x1"),
-        y0: n.input("y0"),
-        y1: n.input("y1"),
-    };
+    let io =
+        AndInputs { x0: n.input("x0"), x1: n.input("x1"), y0: n.input("y0"), y1: n.input("y1") };
     let out = build_sec_and2_pd(&mut n, io, PdConfig::OPTIMAL);
     n.output("z0", out.z0);
     n.output("z1", out.z1);
@@ -81,14 +73,7 @@ fn pd_gadget_is_safe_under_simultaneous_arrival() {
 
     let arrivals: Vec<(NetId, u64)> =
         [io.x0, io.x1, io.y0, io.y1].iter().map(|&net| (net, 5_000)).collect();
-    let rep = glitch_probe(
-        &n,
-        &[(io.x0, io.x1), (io.y0, io.y1)],
-        &arrivals,
-        4_000,
-        40.0,
-        7,
-    );
+    let rep = glitch_probe(&n, &[(io.x0, io.x1), (io.y0, io.y1)], &arrivals, 4_000, 40.0, 7);
     assert!(rep.max_bias < 0.08, "PD gadget must not leak: bias {}", rep.max_bias);
 }
 

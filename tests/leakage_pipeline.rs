@@ -9,11 +9,7 @@ use glitchmask::leakage::{Campaign, THRESHOLD};
 fn prng_off_flags_within_hundreds_of_traces() {
     let mut cfg = SourceConfig::new(CoreVariant::Ff);
     cfg.prng_on = false;
-    let det = first_detection(
-        &Campaign::sequential(2_000, 11),
-        &CycleModelSource::new(cfg),
-        16,
-    );
+    let det = first_detection(&Campaign::sequential(2_000, 11), &CycleModelSource::new(cfg), 16);
     assert!(
         det.traces.is_some_and(|n| n <= 512),
         "PRNG off must be detected quickly: {:?}",
@@ -25,11 +21,7 @@ fn prng_off_flags_within_hundreds_of_traces() {
 fn ff_core_first_order_clean_at_smoke_scale() {
     let src = CycleModelSource::new(SourceConfig::new(CoreVariant::Ff));
     let r = Campaign::sequential(6_000, 12).run(&src);
-    assert!(
-        r.max_abs_t1() < 5.5,
-        "protected FF core should not flag: {}",
-        r.max_abs_t1()
-    );
+    assert!(r.max_abs_t1() < 5.5, "protected FF core should not flag: {}", r.max_abs_t1());
 }
 
 #[test]
@@ -39,15 +31,8 @@ fn ff_core_second_order_grows() {
     let src = CycleModelSource::new(SourceConfig::new(CoreVariant::Ff));
     let small = Campaign::sequential(2_000, 13).run(&src);
     let big = Campaign::sequential(16_000, 13).run(&src);
-    let m = |r: &glitchmask::leakage::TvlaResult| {
-        r.t2().iter().fold(0.0f64, |m, t| m.max(t.abs()))
-    };
-    assert!(
-        m(&big) > m(&small),
-        "t2 must grow with traces: {} -> {}",
-        m(&small),
-        m(&big)
-    );
+    let m = |r: &glitchmask::leakage::TvlaResult| r.t2().iter().fold(0.0f64, |m, t| m.max(t.abs()));
+    assert!(m(&big) > m(&small), "t2 must grow with traces: {} -> {}", m(&small), m(&big));
     assert!(m(&big) > THRESHOLD, "t2 must flag by 16k traces: {}", m(&big));
 }
 
@@ -55,19 +40,14 @@ fn ff_core_second_order_grows() {
 fn undersized_delay_unit_leaks_first_order() {
     let src = CycleModelSource::new(SourceConfig::new(CoreVariant::Pd { unit_luts: 1 }));
     let r = Campaign::sequential(2_000, 14).run(&src);
-    assert!(
-        r.max_abs_t1() > THRESHOLD,
-        "1-LUT DelayUnit must leak: {}",
-        r.max_abs_t1()
-    );
+    assert!(r.max_abs_t1() > THRESHOLD, "1-LUT DelayUnit must leak: {}", r.max_abs_t1());
 }
 
 #[test]
 fn delay_unit_sweep_is_monotone() {
     let budget = 2_000;
     let max_t1 = |unit: usize| {
-        let src =
-            CycleModelSource::new(SourceConfig::new(CoreVariant::Pd { unit_luts: unit }));
+        let src = CycleModelSource::new(SourceConfig::new(CoreVariant::Pd { unit_luts: unit }));
         Campaign::sequential(budget, 15).run(&src).max_abs_t1()
     };
     let (t1, t5, t10) = (max_t1(1), max_t1(5), max_t1(10));
@@ -81,12 +61,7 @@ fn pd_detects_later_than_undersized_and_ff_not_at_all() {
     let detect_at = |variant: CoreVariant, prng: bool| {
         let mut cfg = SourceConfig::new(variant);
         cfg.prng_on = prng;
-        first_detection(
-            &Campaign::sequential(budget, 16),
-            &CycleModelSource::new(cfg),
-            64,
-        )
-        .traces
+        first_detection(&Campaign::sequential(budget, 16), &CycleModelSource::new(cfg), 64).traces
     };
     let small = detect_at(CoreVariant::Pd { unit_luts: 1 }, true);
     let ff = detect_at(CoreVariant::Ff, true);

@@ -67,9 +67,7 @@ fn prng_off_degenerate_shares_still_encrypt() {
     let mut off = MaskRng::disabled();
     let want = Des::new(0x133457799BBCDFF1).encrypt_block(0x0123456789ABCDEF);
     assert_eq!(
-        MaskedDesFf::new(0x133457799BBCDFF1)
-            .encrypt_with_cycles(0x0123456789ABCDEF, &mut off)
-            .0,
+        MaskedDesFf::new(0x133457799BBCDFF1).encrypt_with_cycles(0x0123456789ABCDEF, &mut off).0,
         want
     );
     let core = build_des_core(SboxStyle::Ff);

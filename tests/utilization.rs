@@ -25,16 +25,8 @@ fn pd_core_area_dominated_by_delay_units() {
     let pd = build_des_core(SboxStyle::Pd { unit_luts: 10 });
     let rep = area::report(&pd.netlist);
     // The paper: 52273 GE total, 12592 GE without DelayUnits.
-    assert!(
-        (45_000.0..60_000.0).contains(&rep.total_ge),
-        "PD total {} GE",
-        rep.total_ge
-    );
-    assert!(
-        (10_000.0..16_000.0).contains(&rep.logic_ge()),
-        "PD logic {} GE",
-        rep.logic_ge()
-    );
+    assert!((45_000.0..60_000.0).contains(&rep.total_ge), "PD total {} GE", rep.total_ge);
+    assert!((10_000.0..16_000.0).contains(&rep.logic_ge()), "PD logic {} GE", rep.logic_ge());
     // ~493 DelayUnits of 10 elements in the paper.
     let units = rep.delay_buf_count / 10;
     assert!((450..550).contains(&units), "{units} DelayUnits");
@@ -46,10 +38,7 @@ fn ff_core_smaller_and_faster_than_pd() {
     let pd = build_des_core(SboxStyle::Pd { unit_luts: 10 });
     let (fa, pa) = (area::report(&ff.netlist), area::report(&pd.netlist));
     assert!(fa.total_ge < pa.total_ge);
-    let (ft, pt) = (
-        timing::analyze(&ff.netlist).unwrap(),
-        timing::analyze(&pd.netlist).unwrap(),
-    );
+    let (ft, pt) = (timing::analyze(&ff.netlist).unwrap(), timing::analyze(&pd.netlist).unwrap());
     // Paper: 183 vs 21 MHz — nearly an order of magnitude.
     assert!(
         ft.max_freq_mhz() > 5.0 * pt.max_freq_mhz(),
@@ -67,20 +56,15 @@ fn delay_unit_size_scales_pd_area_and_critical_path() {
     let big = build_des_core(SboxStyle::Pd { unit_luts: 10 });
     let (sa, ba) = (area::report(&small.netlist), area::report(&big.netlist));
     assert!(ba.delay_ge > 4.0 * sa.delay_ge);
-    let (st, bt) = (
-        timing::analyze(&small.netlist).unwrap(),
-        timing::analyze(&big.netlist).unwrap(),
-    );
+    let (st, bt) =
+        (timing::analyze(&small.netlist).unwrap(), timing::analyze(&big.netlist).unwrap());
     assert!(bt.critical_path_ps > 3 * st.critical_path_ps);
 }
 
 #[test]
 fn ff_core_has_no_delay_elements() {
     let ff = build_des_core(SboxStyle::Ff);
-    assert_eq!(
-        ff.netlist.gates().iter().filter(|g| g.kind == GateKind::DelayBuf).count(),
-        0
-    );
+    assert_eq!(ff.netlist.gates().iter().filter(|g| g.kind == GateKind::DelayBuf).count(), 0);
 }
 
 #[test]
@@ -112,25 +96,12 @@ fn optimizer_on_the_real_cores() {
     // DelayUnit — the executable form of why the paper synthesises with
     // -exact_map / Keep Hierarchy.
     let pd = build_des_core(SboxStyle::Pd { unit_luts: 10 });
-    let before = pd
-        .netlist
-        .gates()
-        .iter()
-        .filter(|g| g.kind == GateKind::DelayBuf)
-        .count();
+    let before = pd.netlist.gates().iter().filter(|g| g.kind == GateKind::DelayBuf).count();
     assert!(before > 4_000);
-    let (stripped, _) =
-        optimize(&pd.netlist, &OptOptions { preserve_delay_elements: false });
-    let after = stripped
-        .gates()
-        .iter()
-        .filter(|g| g.kind == GateKind::DelayBuf)
-        .count();
+    let (stripped, _) = optimize(&pd.netlist, &OptOptions { preserve_delay_elements: false });
+    let after = stripped.gates().iter().filter(|g| g.kind == GateKind::DelayBuf).count();
     assert_eq!(after, 0, "unconstrained optimisation deletes the countermeasure");
     // Protected optimisation keeps them all.
     let (kept, _) = optimize(&pd.netlist, &OptOptions::default());
-    assert_eq!(
-        kept.gates().iter().filter(|g| g.kind == GateKind::DelayBuf).count(),
-        before
-    );
+    assert_eq!(kept.gates().iter().filter(|g| g.kind == GateKind::DelayBuf).count(), before);
 }
