@@ -1,0 +1,102 @@
+//! Gate-level campaign-throughput harness: times a fig15-gate-style
+//! placement campaign on the event-driven simulator and appends the
+//! result to `BENCH_gate.json`, mirroring `bench_tvla` for the cycle
+//! model. A Table I leaky/safe pair rides along so the record also pins
+//! that the *conclusions* of the event engine are unchanged, not just
+//! its speed.
+//!
+//! ```text
+//! cargo run --release -p gm-bench --bin bench_gate -- \
+//!     --traces 30000 --threads 8 --label wheel-csr
+//! ```
+
+use gm_bench::gate::{
+    build_pd_gadget, build_sec_and2_bank, placement_bias, PdPlacementSource, SequenceSource,
+};
+use gm_bench::{record, Args};
+use gm_core::schedule::{all_sequences, predicted_leaky};
+use gm_leakage::{leaks, Campaign};
+use std::sync::Arc;
+use std::time::Instant;
+
+const BENCH_FILE: &str = "BENCH_gate.json";
+/// DelayUnit size of the benchmarked placement (mid-sweep value).
+const UNIT_LUTS: usize = 3;
+
+fn main() {
+    let args = Args::parse();
+    let traces = args.trace_count(5_000, 200_000);
+    // Default to the machine's actual parallelism: oversubscribing a
+    // small box with idle workers only adds context-switch overhead to
+    // the measurement.
+    let threads =
+        args.threads.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let label = args.label.clone().unwrap_or_else(|| "unlabelled".to_owned());
+
+    // --- fig15-gate placement campaign (the throughput number) ---------
+    let gadget = Arc::new(build_pd_gadget(UNIT_LUTS));
+    let delays = Arc::new(gm_sim::DelayModel::with_variation(
+        &gadget.netlist,
+        0.85,
+        400.0,
+        args.seed ^ (UNIT_LUTS as u64) << 8,
+    ));
+    let src = PdPlacementSource::new(Arc::clone(&gadget), Arc::clone(&delays), args.seed);
+    println!(
+        "bench_gate: fig15-gate placement campaign ({UNIT_LUTS}-LUT units, \
+         {} gates), {traces} traces, {threads} threads",
+        gadget.netlist.num_gates()
+    );
+    // Untimed warm-up so the timed runs measure the simulator, not cold
+    // caches or CPU frequency ramp.
+    let _ = Campaign { traces: traces / 4, threads, seed: args.seed ^ 0xaaaa }.run(&src);
+    // Best of three identical passes: the campaign is deterministic, so
+    // the passes differ only by scheduler/frequency noise and the fastest
+    // one is the cleanest estimate of the simulator's throughput.
+    let campaign = Campaign { traces, threads, seed: args.seed };
+    let mut result = campaign.run(&src);
+    let mut seconds = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        result = campaign.run(&src);
+        seconds = seconds.min(start.elapsed().as_secs_f64());
+    }
+    let tps = traces as f64 / seconds;
+    let bias = placement_bias(&result);
+    println!("  {seconds:.3} s -> {tps:.0} traces/s  (placement bias {bias:.3})");
+
+    // --- Table I leaky/safe conclusion check ---------------------------
+    let check_traces = 4_000.min(traces);
+    let bank = Arc::new(build_sec_and2_bank(8));
+    let bank_delays =
+        Arc::new(gm_sim::DelayModel::with_variation(&bank.netlist, 0.15, 40.0, args.seed ^ 0x7a51));
+    let seqs = all_sequences();
+    let leaky_seq = *seqs.iter().find(|s| predicted_leaky(s)).expect("a leaky sequence exists");
+    let safe_seq = *seqs.iter().find(|s| !predicted_leaky(s)).expect("a safe sequence exists");
+    let mut verdicts = Vec::new();
+    for (name, seq, expect_leak) in [("leaky", leaky_seq, true), ("safe", safe_seq, false)] {
+        let src = SequenceSource::new(Arc::clone(&bank), Arc::clone(&bank_delays), seq, args.seed);
+        let r = Campaign { traces: check_traces, threads, seed: args.seed ^ 0x1ab1e }.run(&src);
+        let t1 = r.t1();
+        let max_t = t1.iter().fold(0.0f64, |m, t| m.max(t.abs()));
+        let verdict = leaks(&t1);
+        println!(
+            "  table1 {name} sequence: max|t1| = {max_t:.2} -> {} (expected {})",
+            if verdict { "LEAKS" } else { "clean" },
+            if expect_leak { "LEAKS" } else { "clean" },
+        );
+        assert_eq!(verdict, expect_leak, "Table I {name}-sequence conclusion changed");
+        verdicts.push((name, max_t));
+    }
+
+    let record = format!(
+        "  {{\"label\": \"{label}\", \"campaign\": \"fig15-gate-placement\", \
+         \"unit_luts\": {UNIT_LUTS}, \"traces\": {traces}, \"threads\": {threads}, \
+         \"seconds\": {seconds:.3}, \"traces_per_sec\": {tps:.1}, \
+         \"placement_bias\": {bias:.3}, \
+         \"table1_leaky_max_t1\": {:.3}, \"table1_safe_max_t1\": {:.3}}}",
+        verdicts[0].1, verdicts[1].1,
+    );
+    record::append_record(BENCH_FILE, &record).expect("write BENCH_gate.json");
+    println!("  recorded as \"{label}\" in {BENCH_FILE}");
+}

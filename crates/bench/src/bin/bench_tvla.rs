@@ -11,10 +11,10 @@
 //! The JSON file is a flat array of run records; this binary appends
 //! without disturbing earlier entries.
 
+use gm_bench::record::append_record;
 use gm_bench::Args;
 use gm_des::tvla_src::{CoreVariant, CycleModelSource, SourceConfig};
 use gm_leakage::Campaign;
-use std::io::Write as _;
 use std::time::Instant;
 
 const BENCH_FILE: &str = "BENCH_tvla.json";
@@ -47,22 +47,4 @@ fn main() {
     );
     append_record(BENCH_FILE, &record).expect("write BENCH_tvla.json");
     println!("  recorded as \"{label}\" in {BENCH_FILE}");
-}
-
-/// Append a record to a JSON array file, creating the file on first use.
-fn append_record(path: &str, record: &str) -> std::io::Result<()> {
-    let body = match std::fs::read_to_string(path) {
-        Ok(existing) => {
-            let trimmed = existing.trim_end();
-            let inner = trimmed
-                .strip_suffix(']')
-                .unwrap_or_else(|| panic!("{path} is not a JSON array"))
-                .trim_end();
-            let sep = if inner.ends_with('[') { "\n" } else { ",\n" };
-            format!("{inner}{sep}{record}\n]\n")
-        }
-        Err(_) => format!("[\n{record}\n]\n"),
-    };
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(body.as_bytes())
 }

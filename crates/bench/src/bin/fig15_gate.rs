@@ -12,72 +12,16 @@
 //! margin dwarfs the spread and every placement's exposure collapses to
 //! the noise floor — the monotone mechanism behind Fig. 15, obtained
 //! from pure event timing.
+//!
+//! Acquisition goes through the shared [`gm_bench::gate`] sources and
+//! the persistent-worker campaign pool: one simulator per worker, reset
+//! per trace.
 
+use gm_bench::gate::{build_pd_gadget, placement_bias, PdPlacementSource};
 use gm_bench::Args;
-use gm_core::gadgets::sec_and2_pd::{build_sec_and2_pd, PdConfig};
-use gm_core::gadgets::AndInputs;
-use gm_core::{MaskRng, MaskedBit};
-use gm_netlist::{GateKind, Netlist};
-use gm_sim::{DelayModel, Simulator};
-
-struct Gadget {
-    netlist: Netlist,
-    io: AndInputs,
-    window_ps: u64,
-}
-
-fn build_gadget(unit_luts: usize) -> Gadget {
-    let mut n = Netlist::new("pd");
-    let io =
-        AndInputs { x0: n.input("x0"), x1: n.input("x1"), y0: n.input("y0"), y1: n.input("y1") };
-    let out = build_sec_and2_pd(&mut n, io, PdConfig { unit_luts });
-    n.output("z0", out.z0);
-    n.output("z1", out.z1);
-    n.validate().unwrap();
-    let window_ps = (2 * unit_luts as u64 * 1_150) * 3 + 30_000;
-    Gadget { netlist: n, io, window_ps }
-}
-
-/// Directly measured first-order exposure of one placement: the
-/// difference in expected switching energy of the *gadget core* between
-/// `y = 1` and `y = 0` evaluations (`x` held at 1, shares fresh every
-/// trace) — the localized-probe view, which also sidesteps the delay
-/// lines' value-independent (but heavily correlated, hence noisy)
-/// common-mode toggling. Zero for a placement that preserves the safe
-/// order; the Table I Hamming-distance leak otherwise.
-fn placement_bias(gadget: &Gadget, delays: &DelayModel, trials: u64, seed: u64) -> f64 {
-    let n = &gadget.netlist;
-    // Weights: core cells by area, delay lines and inputs excluded.
-    let weights: Vec<f64> = (0..n.num_nets() as u32)
-        .map(|i| match n.driver(gm_netlist::NetId(i)) {
-            gm_netlist::netlist::Driver::Gate(g) if n.gate(g).kind != GateKind::DelayBuf => {
-                n.gate(g).kind.area_ge()
-            }
-            _ => 0.0,
-        })
-        .collect();
-    let mut rng = MaskRng::new(seed ^ 0x77);
-    let mut sums = [0.0f64; 2];
-    let mut cnt = [0u64; 2];
-    let io = gadget.io;
-    let mut sink = gm_sim::power::NetToggleSink::new(n.num_nets());
-    for t in 0..trials {
-        let y = rng.bit();
-        let mx = MaskedBit::mask(true, &mut rng);
-        let my = MaskedBit::mask(y, &mut rng);
-        let mut sim = Simulator::new(n, delays, t ^ seed);
-        sim.init_all_zero();
-        for (net, v) in [(io.x0, mx.s0), (io.x1, mx.s1), (io.y0, my.s0), (io.y1, my.s1)] {
-            sim.schedule(net, 1_000, v);
-        }
-        sink.clear();
-        sim.run_until(gadget.window_ps, &mut sink);
-        let power: f64 = sink.counts.iter().zip(&weights).map(|(&c, w)| f64::from(c) * w).sum();
-        sums[usize::from(y)] += power;
-        cnt[usize::from(y)] += 1;
-    }
-    (sums[1] / cnt[1] as f64 - sums[0] / cnt[0] as f64).abs()
-}
+use gm_leakage::Campaign;
+use gm_sim::DelayModel;
+use std::sync::Arc;
 
 fn main() {
     let args = Args::parse();
@@ -92,12 +36,15 @@ fn main() {
 
     let mut series = Vec::new();
     for unit in [1usize, 2, 3, 5, 7, 10] {
-        let gadget = build_gadget(unit);
+        let gadget = Arc::new(build_pd_gadget(unit));
         let mut biases = Vec::new();
         for p in 0..placements {
             let device_seed = args.seed ^ (unit as u64) << 8 ^ p as u64;
-            let delays = DelayModel::with_variation(&gadget.netlist, 0.85, 400.0, device_seed);
-            biases.push(placement_bias(&gadget, &delays, trials, device_seed));
+            let delays =
+                Arc::new(DelayModel::with_variation(&gadget.netlist, 0.85, 400.0, device_seed));
+            let src = PdPlacementSource::new(Arc::clone(&gadget), delays, device_seed);
+            let result = Campaign::parallel(trials, device_seed).run(&src);
+            biases.push(placement_bias(&result));
         }
         let worst = biases.iter().cloned().fold(0.0f64, f64::max);
         let mean = biases.iter().sum::<f64>() / biases.len() as f64;

@@ -9,129 +9,22 @@
 //! `x₁` arrives **last** leak.
 //!
 //! Power comes from the event-driven gate-level simulation — glitch
-//! energy arises from timing alone. The analytic rule
-//! (`gm_core::schedule::predicted_leaky`) and a Monte-Carlo
-//! glitch-extended probe cross-check every row.
+//! energy arises from timing alone; acquisition goes through the shared
+//! [`gm_bench::gate`] sources and the persistent-worker campaign pool.
+//! The analytic rule (`gm_core::schedule::predicted_leaky`) and a
+//! Monte-Carlo glitch-extended probe cross-check every row.
 
+use gm_bench::gate::{build_sec_and2_bank, SequenceSource, CYCLE_PS};
 use gm_bench::Args;
 use gm_core::analysis::glitch_probe;
-use gm_core::gadgets::sec_and2::build_sec_and2;
-use gm_core::gadgets::AndInputs;
-use gm_core::schedule::{all_sequences, predicted_leaky, ArrivalSequence, InputShare};
-use gm_core::{MaskRng, MaskedBit};
-use gm_leakage::{leaks, report, Campaign, Class, TraceSource, THRESHOLD};
-use gm_netlist::{NetId, Netlist};
-use gm_sim::{DelayModel, MeasurementModel, PowerTrace, Simulator};
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use gm_core::schedule::{all_sequences, predicted_leaky, ArrivalSequence};
+use gm_leakage::{leaks, report, Campaign, THRESHOLD};
+use gm_netlist::NetId;
+use gm_sim::DelayModel;
 use std::sync::Arc;
 
 /// Parallel replicated gadget instances (the paper's SNR trick).
 const REPLICAS: usize = 8;
-const CYCLE_PS: u64 = 50_000;
-
-struct Bank {
-    netlist: Netlist,
-    // Input nets per share, fanning to all replicas.
-    x0: NetId,
-    x1: NetId,
-    y0: NetId,
-    y1: NetId,
-}
-
-fn build_bank() -> Bank {
-    let mut n = Netlist::new("secand2_bank");
-    let x0 = n.input("x0");
-    let x1 = n.input("x1");
-    let y0 = n.input("y0");
-    let y1 = n.input("y1");
-    for r in 0..REPLICAS {
-        n.in_module(format!("g{r}"), |n| {
-            let out = build_sec_and2(n, AndInputs { x0, x1, y0, y1 });
-            n.output(format!("z0_{r}"), out.z0);
-            n.output(format!("z1_{r}"), out.z1);
-        });
-    }
-    n.validate().expect("bank validates");
-    Bank { netlist: n, x0, x1, y0, y1 }
-}
-
-struct SequenceSource {
-    bank: Arc<Bank>,
-    delays: Arc<DelayModel>,
-    seq: ArrivalSequence,
-    mask_rng: MaskRng,
-    val_rng: SmallRng,
-    measurement: MeasurementModel,
-    sim_seed: u64,
-}
-
-impl SequenceSource {
-    fn new(bank: Arc<Bank>, delays: Arc<DelayModel>, seq: ArrivalSequence, seed: u64) -> Self {
-        SequenceSource {
-            bank,
-            delays,
-            seq,
-            mask_rng: MaskRng::new(seed),
-            val_rng: SmallRng::seed_from_u64(seed ^ 0xf00d),
-            measurement: MeasurementModel::new(1.0, 0.8, 16, seed ^ 0xabc),
-            sim_seed: seed,
-        }
-    }
-
-    fn share_net(&self, s: InputShare) -> NetId {
-        match s {
-            InputShare::X0 => self.bank.x0,
-            InputShare::X1 => self.bank.x1,
-            InputShare::Y0 => self.bank.y0,
-            InputShare::Y1 => self.bank.y1,
-        }
-    }
-}
-
-impl TraceSource for SequenceSource {
-    fn fork(&self, stream: u64) -> Self {
-        SequenceSource::new(
-            Arc::clone(&self.bank),
-            Arc::clone(&self.delays),
-            self.seq,
-            self.sim_seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15),
-        )
-    }
-
-    fn num_samples(&self) -> usize {
-        4
-    }
-
-    fn trace(&mut self, class: Class, out: &mut [f64]) {
-        // Fixed class: x = 1, y = 1 (any fixed pair works); random class:
-        // fresh random x, y. Shares always fresh-random.
-        let (x, y) = match class {
-            Class::Fixed => (true, true),
-            Class::Random => (self.val_rng.random(), self.val_rng.random()),
-        };
-        let mx = MaskedBit::mask(x, &mut self.mask_rng);
-        let my = MaskedBit::mask(y, &mut self.mask_rng);
-        let value = |s: InputShare| match s {
-            InputShare::X0 => mx.s0,
-            InputShare::X1 => mx.s1,
-            InputShare::Y0 => my.s0,
-            InputShare::Y1 => my.s1,
-        };
-
-        self.sim_seed = self.sim_seed.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(11);
-        let mut sim = Simulator::new(&self.bank.netlist, &self.delays, self.sim_seed);
-        sim.init_all_zero();
-        let mut trace = PowerTrace::new(0, CYCLE_PS, 4);
-        for (cycle, &share) in self.seq.iter().enumerate() {
-            sim.schedule(self.share_net(share), cycle as u64 * CYCLE_PS + 1_000, value(share));
-        }
-        sim.run_until(4 * CYCLE_PS, &mut trace);
-        for (o, s) in out.iter_mut().zip(trace.into_samples()) {
-            *o = self.measurement.sample(s);
-        }
-    }
-}
 
 fn seq_string(seq: &ArrivalSequence) -> String {
     seq.iter().map(|s| format!("{s:>3}")).collect::<Vec<_>>().join(" ")
@@ -140,7 +33,7 @@ fn seq_string(seq: &ArrivalSequence) -> String {
 fn main() {
     let args = Args::parse();
     let traces = args.trace_count(4_000, 60_000);
-    let bank = Arc::new(build_bank());
+    let bank = Arc::new(build_sec_and2_bank(REPLICAS));
     let delays =
         Arc::new(DelayModel::with_variation(&bank.netlist, 0.15, 40.0, args.seed ^ 0x7a51));
 

@@ -14,7 +14,7 @@ use gm_core::schedule::{chain_delay_schedule, chain_max_units, ShareDelay};
 use gm_core::{MaskRng, MaskedBit};
 use gm_leakage::{leaks, Campaign, Class, TraceSource};
 use gm_netlist::{NetId, Netlist};
-use gm_sim::{DelayModel, MeasurementModel, PowerTrace, Simulator};
+use gm_sim::{DelayModel, MeasurementModel, PowerTrace, SimCore, SimGraph};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use std::sync::Arc;
@@ -24,6 +24,8 @@ const UNIT_LUTS: usize = 10;
 
 struct ChainBank {
     netlist: Netlist,
+    /// Prebuilt simulation topology, shared read-only by all workers.
+    graph: SimGraph,
     /// Input share nets per variable `(s0, s1)`.
     vars: Vec<(NetId, NetId)>,
     k: usize,
@@ -58,7 +60,8 @@ fn build_chain_bank(k: usize, sabotage: bool) -> ChainBank {
         });
     }
     n.validate().expect("chain validates");
-    ChainBank { netlist: n, vars, k }
+    let graph = SimGraph::new(&n);
+    ChainBank { netlist: n, graph, vars, k }
 }
 
 struct ChainSource {
@@ -69,13 +72,19 @@ struct ChainSource {
     measurement: MeasurementModel,
     sim_seed: u64,
     window_ps: u64,
+    /// Persistent event core over `bank.graph`, reset per trace.
+    sim: SimCore,
+    /// Persistent trace buffer, cleared per trace.
+    trace: PowerTrace,
 }
 
 impl ChainSource {
     fn new(bank: Arc<ChainBank>, delays: Arc<DelayModel>, seed: u64) -> Self {
         let window_ps =
             ((chain_max_units(bank.k) + 2) as u64 * UNIT_LUTS as u64 * 1_150 + 20_000) * 2;
+        let sim = SimCore::new(&bank.graph, seed);
         ChainSource {
+            sim,
             bank,
             delays,
             mask_rng: MaskRng::new(seed ^ 0x11),
@@ -83,6 +92,7 @@ impl ChainSource {
             measurement: MeasurementModel::new(1.0, 6.0, 18, seed ^ 0x33),
             sim_seed: seed,
             window_ps,
+            trace: PowerTrace::new(0, window_ps / 8, 8),
         }
     }
 }
@@ -107,18 +117,17 @@ impl TraceSource for ChainSource {
             Class::Random => (0..k).map(|_| self.val_rng.random()).collect(),
         };
         self.sim_seed = self.sim_seed.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(7);
-        let mut sim = Simulator::new(&self.bank.netlist, &self.delays, self.sim_seed);
-        sim.init_all_zero();
+        self.sim.reset(&self.bank.graph, self.sim_seed);
+        self.trace.clear();
         // Single cycle: all input shares fire simultaneously; the
         // DelayUnits inside the netlist create the safe sequence.
-        let mut trace = PowerTrace::new(0, self.window_ps / 8, 8);
         for (i, &v) in vals.iter().enumerate() {
             let b = MaskedBit::mask(v, &mut self.mask_rng);
-            sim.schedule(self.bank.vars[i].0, 1_000, b.s0);
-            sim.schedule(self.bank.vars[i].1, 1_000, b.s1);
+            self.sim.schedule(self.bank.vars[i].0, 1_000, b.s0);
+            self.sim.schedule(self.bank.vars[i].1, 1_000, b.s1);
         }
-        sim.run_until(self.window_ps, &mut trace);
-        for (o, s) in out.iter_mut().zip(trace.into_samples()) {
+        self.sim.run_until(&self.bank.graph, &self.delays, self.window_ps, &mut self.trace);
+        for (o, &s) in out.iter_mut().zip(self.trace.samples()) {
             *o = self.measurement.sample(s);
         }
     }

@@ -19,6 +19,9 @@ pub struct Args {
     /// `--label S`: free-form label attached to recorded results
     /// (used by `bench_tvla` to tag BENCH_tvla.json entries).
     pub label: Option<String>,
+    /// `--gate-level`: run the campaign on the event-driven gate-level
+    /// netlist instead of the cycle model (binaries that support both).
+    pub gate_level: bool,
 }
 
 impl Default for Args {
@@ -31,6 +34,7 @@ impl Default for Args {
             quick: false,
             threads: None,
             label: None,
+            gate_level: false,
         }
     }
 }
@@ -58,9 +62,10 @@ impl Args {
                     args.threads = Some(grab().parse().expect("--threads takes a number"))
                 }
                 "--label" => args.label = Some(grab()),
+                "--gate-level" => args.gate_level = true,
                 other => panic!(
                     "unknown flag {other}; supported: --traces N --seed S --panel X --out DIR \
-                     --quick --threads N --label S"
+                     --quick --threads N --label S --gate-level"
                 ),
             }
         }
@@ -92,8 +97,10 @@ mod tests {
 
     #[test]
     fn flags() {
-        let a =
-            parse("--traces 5000 --seed 7 --panel d --out /tmp/x --quick --threads 8 --label s");
+        let a = parse(
+            "--traces 5000 --seed 7 --panel d --out /tmp/x --quick --threads 8 --label s \
+             --gate-level",
+        );
         assert_eq!(a.traces, Some(5000));
         assert_eq!(a.seed, 7);
         assert_eq!(a.panel.as_deref(), Some("d"));
@@ -101,6 +108,7 @@ mod tests {
         assert_eq!(a.trace_count(10, 100), 5000);
         assert_eq!(a.threads, Some(8));
         assert_eq!(a.label.as_deref(), Some("s"));
+        assert!(a.gate_level);
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! Shared gate-level TVLA trace sources.
+//!
+//! The event-driven campaigns (`table1`, `fig15_gate`, `bench_gate`) all
+//! acquire traces the same way: a small gadget bank netlist, per-device
+//! delay model, per-trace masked stimulus, switching-activity power. This
+//! module holds the [`gm_leakage::TraceSource`] implementations so every
+//! binary routes through the persistent-worker campaign machinery of
+//! `gm-leakage::tvla` instead of hand-rolled acquisition loops.
+
+use gm_core::gadgets::sec_and2::build_sec_and2;
+use gm_core::gadgets::sec_and2_pd::{build_sec_and2_pd, PdConfig};
+use gm_core::gadgets::AndInputs;
+use gm_core::schedule::{ArrivalSequence, InputShare};
+use gm_core::{MaskRng, MaskedBit};
+use gm_leakage::{Class, TraceSource, TvlaResult};
+use gm_netlist::{GateKind, NetId, Netlist};
+use gm_sim::{DelayModel, MeasurementModel, PowerTrace, SimCore, SimGraph};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+/// Clock period of the Table I arrival-sequence experiment, in ps.
+pub const CYCLE_PS: u64 = 50_000;
+
+/// A bank of replicated `secAND2` instances sharing four share inputs
+/// (the paper's SNR trick).
+pub struct SecAnd2Bank {
+    /// The bank netlist.
+    pub netlist: Netlist,
+    /// Prebuilt simulation topology, shared read-only by all workers.
+    pub graph: SimGraph,
+    /// Share `x0` input net (fans out to every replica).
+    pub x0: NetId,
+    /// Share `x1` input net.
+    pub x1: NetId,
+    /// Share `y0` input net.
+    pub y0: NetId,
+    /// Share `y1` input net.
+    pub y1: NetId,
+}
+
+/// Build a bank of `replicas` parallel `secAND2` instances.
+pub fn build_sec_and2_bank(replicas: usize) -> SecAnd2Bank {
+    let mut n = Netlist::new("secand2_bank");
+    let x0 = n.input("x0");
+    let x1 = n.input("x1");
+    let y0 = n.input("y0");
+    let y1 = n.input("y1");
+    for r in 0..replicas {
+        n.in_module(format!("g{r}"), |n| {
+            let out = build_sec_and2(n, AndInputs { x0, x1, y0, y1 });
+            n.output(format!("z0_{r}"), out.z0);
+            n.output(format!("z1_{r}"), out.z1);
+        });
+    }
+    n.validate().expect("bank validates");
+    let graph = SimGraph::new(&n);
+    SecAnd2Bank { netlist: n, graph, x0, x1, y0, y1 }
+}
+
+/// Table I trace source: drives the four shares into the bank in one
+/// arrival order (one share per cycle) and bins switching power per cycle.
+pub struct SequenceSource {
+    bank: Arc<SecAnd2Bank>,
+    delays: Arc<DelayModel>,
+    seq: ArrivalSequence,
+    mask_rng: MaskRng,
+    val_rng: SmallRng,
+    measurement: MeasurementModel,
+    sim_seed: u64,
+    /// Persistent event core over `bank.graph`, reset per trace.
+    sim: SimCore,
+    /// Persistent trace buffer, cleared per trace.
+    trace: PowerTrace,
+}
+
+impl SequenceSource {
+    /// Build a source for one arrival sequence.
+    pub fn new(
+        bank: Arc<SecAnd2Bank>,
+        delays: Arc<DelayModel>,
+        seq: ArrivalSequence,
+        seed: u64,
+    ) -> Self {
+        let sim = SimCore::new(&bank.graph, seed);
+        SequenceSource {
+            sim,
+            bank,
+            delays,
+            seq,
+            mask_rng: MaskRng::new(seed),
+            val_rng: SmallRng::seed_from_u64(seed ^ 0xf00d),
+            measurement: MeasurementModel::new(1.0, 0.8, 16, seed ^ 0xabc),
+            sim_seed: seed,
+            trace: PowerTrace::new(0, CYCLE_PS, 4),
+        }
+    }
+
+    /// The input net carrying the given share.
+    pub fn share_net(&self, s: InputShare) -> NetId {
+        match s {
+            InputShare::X0 => self.bank.x0,
+            InputShare::X1 => self.bank.x1,
+            InputShare::Y0 => self.bank.y0,
+            InputShare::Y1 => self.bank.y1,
+        }
+    }
+}
+
+impl TraceSource for SequenceSource {
+    fn fork(&self, stream: u64) -> Self {
+        SequenceSource::new(
+            Arc::clone(&self.bank),
+            Arc::clone(&self.delays),
+            self.seq,
+            self.sim_seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        )
+    }
+
+    fn num_samples(&self) -> usize {
+        4
+    }
+
+    fn trace(&mut self, class: Class, out: &mut [f64]) {
+        // Fixed class: x = 1, y = 1 (any fixed pair works); random class:
+        // fresh random x, y. Shares always fresh-random.
+        let (x, y) = match class {
+            Class::Fixed => (true, true),
+            Class::Random => (self.val_rng.random(), self.val_rng.random()),
+        };
+        let mx = MaskedBit::mask(x, &mut self.mask_rng);
+        let my = MaskedBit::mask(y, &mut self.mask_rng);
+        let value = |s: InputShare| match s {
+            InputShare::X0 => mx.s0,
+            InputShare::X1 => mx.s1,
+            InputShare::Y0 => my.s0,
+            InputShare::Y1 => my.s1,
+        };
+
+        self.sim_seed = self.sim_seed.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(11);
+        self.sim.reset(&self.bank.graph, self.sim_seed);
+        self.trace.clear();
+        for (cycle, &share) in self.seq.iter().enumerate() {
+            self.sim.schedule(self.share_net(share), cycle as u64 * CYCLE_PS + 1_000, value(share));
+        }
+        self.sim.run_until(&self.bank.graph, &self.delays, 4 * CYCLE_PS, &mut self.trace);
+        for (o, &s) in out.iter_mut().zip(self.trace.samples()) {
+            *o = self.measurement.sample(s);
+        }
+    }
+}
+
+/// A `secAND2-PD` gadget instance plus the bits needed to measure one
+/// placement's first-order exposure (Fig. 15, gate level).
+pub struct PdGadget {
+    /// The gadget netlist.
+    pub netlist: Netlist,
+    /// Prebuilt simulation topology, shared read-only by all workers.
+    pub graph: SimGraph,
+    /// Share input nets.
+    pub io: AndInputs,
+    /// Simulation window covering the whole glitch train, in ps.
+    pub window_ps: u64,
+    /// Per-net toggle weights: core cells by area, delay lines and inputs
+    /// excluded (the localized-probe view).
+    pub weights: Vec<f64>,
+}
+
+/// Build a `secAND2-PD` gadget with the given DelayUnit size.
+pub fn build_pd_gadget(unit_luts: usize) -> PdGadget {
+    let mut n = Netlist::new("pd");
+    let io =
+        AndInputs { x0: n.input("x0"), x1: n.input("x1"), y0: n.input("y0"), y1: n.input("y1") };
+    let out = build_sec_and2_pd(&mut n, io, PdConfig { unit_luts });
+    n.output("z0", out.z0);
+    n.output("z1", out.z1);
+    n.validate().unwrap();
+    let window_ps = (2 * unit_luts as u64 * 1_150) * 3 + 30_000;
+    let weights: Vec<f64> = (0..n.num_nets() as u32)
+        .map(|i| match n.driver(NetId(i)) {
+            gm_netlist::netlist::Driver::Gate(g) if n.gate(g).kind != GateKind::DelayBuf => {
+                n.gate(g).kind.area_ge()
+            }
+            _ => 0.0,
+        })
+        .collect();
+    let graph = SimGraph::new(&n);
+    PdGadget { netlist: n, graph, io, window_ps, weights }
+}
+
+/// Fig. 15 (gate level) trace source: one scalar sample per trace — the
+/// gadget-core switching energy of a single evaluation with `x = 1` and
+/// `y` decided by the TVLA class (`Fixed` ⇒ `y = 1`, `Random` ⇒ `y = 0`).
+///
+/// The class-mean difference of this source *is* the placement's
+/// first-order exposure (see [`placement_bias`]); a placement that
+/// preserves the safe arrival order shows none.
+pub struct PdPlacementSource {
+    gadget: Arc<PdGadget>,
+    delays: Arc<DelayModel>,
+    mask_rng: MaskRng,
+    sim_seed: u64,
+    /// Persistent event core over `gadget.graph`, reset per trace. Its
+    /// per-net weights carry the localized-probe view (delay lines and
+    /// inputs at 0), so the per-trace energy is accumulated directly in
+    /// a [`gm_sim::power::CountingSink`] — no per-net count array.
+    sim: SimCore,
+}
+
+impl PdPlacementSource {
+    /// Build a source for one placement (one sampled [`DelayModel`]).
+    pub fn new(gadget: Arc<PdGadget>, delays: Arc<DelayModel>, seed: u64) -> Self {
+        let mut sim = SimCore::new(&gadget.graph, seed);
+        for (i, &w) in gadget.weights.iter().enumerate() {
+            sim.set_net_weight(NetId(i as u32), w);
+        }
+        PdPlacementSource {
+            sim,
+            gadget,
+            delays,
+            mask_rng: MaskRng::new(seed ^ 0x77),
+            sim_seed: seed,
+        }
+    }
+}
+
+impl TraceSource for PdPlacementSource {
+    fn fork(&self, stream: u64) -> Self {
+        PdPlacementSource::new(
+            Arc::clone(&self.gadget),
+            Arc::clone(&self.delays),
+            self.sim_seed ^ stream.wrapping_mul(0xd192_ed03_a4ab_f2ee),
+        )
+    }
+
+    fn num_samples(&self) -> usize {
+        1
+    }
+
+    fn trace(&mut self, class: Class, out: &mut [f64]) {
+        let y = class == Class::Fixed;
+        let mx = MaskedBit::mask(true, &mut self.mask_rng);
+        let my = MaskedBit::mask(y, &mut self.mask_rng);
+        self.sim_seed = self.sim_seed.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(7);
+        let io = self.gadget.io;
+        self.sim.reset(&self.gadget.graph, self.sim_seed);
+        for (net, v) in [(io.x0, mx.s0), (io.x1, mx.s1), (io.y0, my.s0), (io.y1, my.s1)] {
+            // Inputs rest at the all-zero baseline; a `false` edge is a
+            // no-op the engine would pop and discard (no rng draw, no
+            // transition), so skipping it leaves the stream bit-identical.
+            if v {
+                self.sim.schedule(net, 1_000, v);
+            }
+        }
+        let mut sink = gm_sim::power::CountingSink::default();
+        self.sim.run_until(&self.gadget.graph, &self.delays, self.gadget.window_ps, &mut sink);
+        out[0] = sink.weighted;
+    }
+}
+
+/// First-order exposure of a placement from an accumulated campaign: the
+/// class-mean switching-energy difference `|E[power | y=1] − E[power | y=0]|`.
+pub fn placement_bias(result: &TvlaResult) -> f64 {
+    (result.fixed.mean()[0] - result.random.mean()[0]).abs()
+}

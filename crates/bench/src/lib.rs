@@ -30,6 +30,8 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod gate;
 pub mod panel;
+pub mod record;
 
 pub use cli::Args;

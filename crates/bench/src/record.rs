@@ -1,0 +1,43 @@
+//! Append-only JSON performance records (`BENCH_*.json`).
+//!
+//! Each throughput harness appends one flat record per run so successive
+//! PRs accumulate a performance trajectory instead of one-off numbers.
+
+use std::io::Write as _;
+
+/// Append a record to a JSON array file, creating the file on first use.
+pub fn append_record(path: &str, record: &str) -> std::io::Result<()> {
+    let body = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            let inner = trimmed
+                .strip_suffix(']')
+                .unwrap_or_else(|| panic!("{path} is not a JSON array"))
+                .trim_end();
+            let sep = if inner.ends_with('[') { "\n" } else { ",\n" };
+            format!("{inner}{sep}{record}\n]\n")
+        }
+        Err(_) => format!("[\n{record}\n]\n"),
+    };
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(body.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_then_appends() {
+        let dir = std::env::temp_dir().join("gm_bench_record_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.json");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+        append_record(path, "{\"a\": 1}").unwrap();
+        append_record(path, "{\"b\": 2}").unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(text, "[\n{\"a\": 1},\n{\"b\": 2}\n]\n");
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -11,7 +11,7 @@ use gm_core::MaskRng;
 use gm_netlist::{Evaluator, NetId};
 use gm_sim::clocked::Stimulus;
 use gm_sim::engine::PowerSink;
-use gm_sim::{ClockedSim, DelayModel};
+use gm_sim::{ClockedCore, DelayModel, SimGraph};
 
 /// One cycle's control word. `masks_for_round` loads the 14 fresh mask
 /// bits for the given round during this cycle.
@@ -180,10 +180,141 @@ pub fn encrypt_functional(core: &DesCoreNetlist, inputs: &EncryptionInputs) -> u
     ct
 }
 
+/// Owned (lifetime-free) driver state: the clocked event core plus the
+/// prebuilt control schedule and a reused stimulus buffer. Campaign
+/// workers hold one of these next to `Arc`s of the netlist/graph/delay
+/// tables and call [`DesDriverCore::reset`] between traces; nothing is
+/// rebuilt or reallocated per encryption.
+pub struct DesDriverCore {
+    clocked: ClockedCore,
+    /// The (public, data-independent) control schedule, built once.
+    schedule: Vec<CycleCtl>,
+    /// Reused per-cycle stimulus buffer.
+    stims: Vec<Stimulus>,
+}
+
+impl DesDriverCore {
+    /// Build the driver state over a prebuilt [`SimGraph`] of the core.
+    pub fn new(style: SboxStyle, graph: &SimGraph, period_ps: u64, seed: u64) -> Self {
+        DesDriverCore {
+            clocked: ClockedCore::new(graph, period_ps, seed),
+            schedule: schedule(style),
+            stims: Vec::with_capacity(256),
+        }
+    }
+
+    /// Return the driver to the exact state of a freshly constructed one
+    /// with the given seed: registers cleared, nets at the settled
+    /// all-zero baseline, time at 0, delay/clk-to-Q RNG streams reseeded.
+    pub fn reset(&mut self, graph: &SimGraph, seed: u64) {
+        self.clocked.reset(graph, seed);
+    }
+
+    /// Clock period in ps.
+    pub fn period_ps(&self) -> u64 {
+        self.clocked.period_ps()
+    }
+
+    /// Run one full encryption, streaming switching activity into `sink`.
+    /// Device state persists across calls (no reset), like back-to-back
+    /// operations on the real core; time restarts at 0 per call so power
+    /// traces align.
+    pub fn encrypt(
+        &mut self,
+        core: &DesCoreNetlist,
+        graph: &SimGraph,
+        delays: &DelayModel,
+        inputs: &EncryptionInputs,
+        sink: &mut impl PowerSink,
+    ) -> u64 {
+        // Restart the time base while keeping register contents.
+        self.clocked.rebase_time();
+
+        let nets = control_nets(core);
+        let mut prev = CycleCtl::default();
+        let data_offset = self.clocked.period_ps() / 8;
+        let ctl_offset = self.clocked.period_ps() / 16;
+
+        let mut stims = std::mem::take(&mut self.stims);
+        for cyc in 0..self.schedule.len() {
+            let ctl = self.schedule[cyc];
+            stims.clear();
+            if cyc == 0 {
+                // Present plaintext/key shares during the load cycle.
+                for i in 0..64 {
+                    for (net, val) in [
+                        (core.pt.s0[i], (inputs.pt.0 >> (63 - i)) & 1 == 1),
+                        (core.pt.s1[i], (inputs.pt.1 >> (63 - i)) & 1 == 1),
+                        (core.key.s0[i], (inputs.key.0 >> (63 - i)) & 1 == 1),
+                        (core.key.s1[i], (inputs.key.1 >> (63 - i)) & 1 == 1),
+                    ] {
+                        stims.push(Stimulus { net, offset_ps: data_offset, value: val });
+                    }
+                }
+            }
+            for (net, get) in nets {
+                if get(&ctl) != get(&prev) {
+                    stims.push(Stimulus { net, offset_ps: ctl_offset, value: get(&ctl) });
+                }
+            }
+            if let Some(r) = ctl.masks_for_round {
+                for (b, &net) in core.masks.iter().enumerate() {
+                    stims.push(Stimulus {
+                        net,
+                        offset_ps: data_offset,
+                        value: (inputs.round_masks[r] >> b) & 1 == 1,
+                    });
+                }
+            }
+            self.clocked.step(graph, delays, &stims, sink);
+            prev = ctl;
+        }
+        // Flush edge.
+        stims.clear();
+        for (net, get) in nets {
+            if get(&prev) {
+                stims.push(Stimulus { net, offset_ps: ctl_offset, value: false });
+            }
+        }
+        self.clocked.step(graph, delays, &stims, sink);
+        self.stims = stims;
+
+        let mut ct = 0u64;
+        for i in 0..64 {
+            let bit = self.clocked.value(core.ct.s0[i]) ^ self.clocked.value(core.ct.s1[i]);
+            ct = (ct << 1) | u64::from(bit);
+        }
+        ct
+    }
+}
+
+/// Which graph a [`DesCoreDriver`] simulates over.
+enum DriverGraph<'a> {
+    Owned(Box<SimGraph>),
+    Shared(&'a SimGraph),
+}
+
+impl DriverGraph<'_> {
+    fn get(&self) -> &SimGraph {
+        match self {
+            DriverGraph::Owned(g) => g,
+            DriverGraph::Shared(g) => g,
+        }
+    }
+}
+
 /// Event-driven driver producing glitch-accurate power traces.
+///
+/// Construction builds (or borrows via [`DesCoreDriver::with_graph`]) the
+/// [`SimGraph`] for the core once; campaign loops call
+/// [`DesCoreDriver::reset`] between traces instead of constructing a new
+/// driver, which skips the graph/baseline rebuild and reuses the stimulus
+/// and schedule buffers.
 pub struct DesCoreDriver<'a> {
     core: &'a DesCoreNetlist,
-    sim: ClockedSim<'a>,
+    delays: &'a DelayModel,
+    graph: DriverGraph<'a>,
+    inner: DesDriverCore,
 }
 
 impl<'a> DesCoreDriver<'a> {
@@ -194,12 +325,33 @@ impl<'a> DesCoreDriver<'a> {
         period_ps: u64,
         seed: u64,
     ) -> Self {
-        DesCoreDriver { core, sim: ClockedSim::new(&core.netlist, delays, period_ps, seed) }
+        let graph = Box::new(SimGraph::new(&core.netlist));
+        let inner = DesDriverCore::new(core.style, &graph, period_ps, seed);
+        DesCoreDriver { core, delays, graph: DriverGraph::Owned(graph), inner }
+    }
+
+    /// Like [`DesCoreDriver::new`], but sharing a prebuilt [`SimGraph`]
+    /// (read-only, so one graph can serve every worker of a campaign).
+    pub fn with_graph(
+        core: &'a DesCoreNetlist,
+        graph: &'a SimGraph,
+        delays: &'a DelayModel,
+        period_ps: u64,
+        seed: u64,
+    ) -> Self {
+        let inner = DesDriverCore::new(core.style, graph, period_ps, seed);
+        DesCoreDriver { core, delays, graph: DriverGraph::Shared(graph), inner }
+    }
+
+    /// Return the driver to the exact state of a freshly constructed one
+    /// with the given seed (see [`DesDriverCore::reset`]).
+    pub fn reset(&mut self, seed: u64) {
+        self.inner.reset(self.graph.get(), seed);
     }
 
     /// Clock period in ps.
     pub fn period_ps(&self) -> u64 {
-        self.sim.period_ps()
+        self.inner.period_ps()
     }
 
     /// Cycles one encryption takes (including the flush edge).
@@ -207,66 +359,9 @@ impl<'a> DesCoreDriver<'a> {
         total_cycles(self.core.style)
     }
 
-    /// Run one full encryption, streaming switching activity into `sink`.
-    /// Device state persists across calls (no reset), like back-to-back
-    /// operations on the real core; time restarts at 0 per call so power
-    /// traces align.
+    /// Run one full encryption (see [`DesDriverCore::encrypt`]).
     pub fn encrypt(&mut self, inputs: &EncryptionInputs, sink: &mut impl PowerSink) -> u64 {
-        // Restart the time base while keeping register contents.
-        self.sim.rebase_time();
-
-        let nets = control_nets(self.core);
-        let mut prev = CycleCtl::default();
-        let data_offset = self.sim.period_ps() / 8;
-        let ctl_offset = self.sim.period_ps() / 16;
-
-        // Present plaintext/key shares during the load cycle.
-        let mut first_stims: Vec<Stimulus> = Vec::with_capacity(256);
-        for i in 0..64 {
-            for (net, val) in [
-                (self.core.pt.s0[i], (inputs.pt.0 >> (63 - i)) & 1 == 1),
-                (self.core.pt.s1[i], (inputs.pt.1 >> (63 - i)) & 1 == 1),
-                (self.core.key.s0[i], (inputs.key.0 >> (63 - i)) & 1 == 1),
-                (self.core.key.s1[i], (inputs.key.1 >> (63 - i)) & 1 == 1),
-            ] {
-                first_stims.push(Stimulus { net, offset_ps: data_offset, value: val });
-            }
-        }
-
-        for (cyc, ctl) in schedule(self.core.style).iter().enumerate() {
-            let mut stims = if cyc == 0 { std::mem::take(&mut first_stims) } else { Vec::new() };
-            for (net, get) in nets {
-                if get(ctl) != get(&prev) {
-                    stims.push(Stimulus { net, offset_ps: ctl_offset, value: get(ctl) });
-                }
-            }
-            if let Some(r) = ctl.masks_for_round {
-                for (b, &net) in self.core.masks.iter().enumerate() {
-                    stims.push(Stimulus {
-                        net,
-                        offset_ps: data_offset,
-                        value: (inputs.round_masks[r] >> b) & 1 == 1,
-                    });
-                }
-            }
-            self.sim.step(&stims, sink);
-            prev = *ctl;
-        }
-        // Flush edge.
-        let mut stims = Vec::new();
-        for (net, get) in nets {
-            if get(&prev) {
-                stims.push(Stimulus { net, offset_ps: ctl_offset, value: false });
-            }
-        }
-        self.sim.step(&stims, sink);
-
-        let mut ct = 0u64;
-        for i in 0..64 {
-            let bit = self.sim.value(self.core.ct.s0[i]) ^ self.sim.value(self.core.ct.s1[i]);
-            ct = (ct << 1) | u64::from(bit);
-        }
-        ct
+        self.inner.encrypt(self.core, self.graph.get(), self.delays, inputs, sink)
     }
 }
 
@@ -330,6 +425,42 @@ mod tests {
             let inputs = EncryptionInputs::draw(0x0123456789ABCDEF, 0x133457799BBCDFF1, &mut rng);
             let ct = drv.encrypt(&inputs, &mut NullSink);
             assert_eq!(ct, 0x85E813540F0AB405);
+        }
+    }
+
+    /// A recycled driver (`reset` + shared graph) must be bit-identical
+    /// to a freshly constructed one: same ciphertext, same power trace.
+    #[test]
+    fn reset_driver_matches_fresh() {
+        use gm_sim::{PowerTrace, SimGraph};
+
+        let core = build_des_core(SboxStyle::Pd { unit_luts: 1 });
+        let delays = DelayModel::with_variation(&core.netlist, 0.15, 40.0, 99);
+        let period = 20_000;
+        let cycles = total_cycles(core.style) as u64;
+        let mut rng = MaskRng::new(174);
+        let batches: Vec<EncryptionInputs> = (0..3)
+            .map(|_| EncryptionInputs::draw(0x0123456789ABCDEF, 0x133457799BBCDFF1, &mut rng))
+            .collect();
+
+        // Reference: a brand-new driver per trace (the old per-trace cost).
+        let mut fresh = Vec::new();
+        for (t, inputs) in batches.iter().enumerate() {
+            let mut drv = DesCoreDriver::new(&core, &delays, period, 0xabc ^ t as u64);
+            let mut trace = PowerTrace::new(0, 100, (cycles * period / 100) as usize);
+            let ct = drv.encrypt(inputs, &mut trace);
+            fresh.push((ct, trace.into_samples()));
+        }
+
+        // Recycled: one shared graph, one driver, reset per trace.
+        let graph = SimGraph::new(&core.netlist);
+        let mut drv = DesCoreDriver::with_graph(&core, &graph, &delays, period, 0);
+        for (t, inputs) in batches.iter().enumerate() {
+            drv.reset(0xabc ^ t as u64);
+            let mut trace = PowerTrace::new(0, 100, (cycles * period / 100) as usize);
+            let ct = drv.encrypt(inputs, &mut trace);
+            assert_eq!(ct, fresh[t].0, "trace {t}: ciphertext differs");
+            assert_eq!(trace.samples(), fresh[t].1.as_slice(), "trace {t}: power differs");
         }
     }
 }

@@ -23,7 +23,7 @@ pub mod sbox_ff;
 pub mod sbox_pd;
 
 pub use core::{build_des_core, CoreControls, DesCoreNetlist, SboxStyle};
-pub use driver::DesCoreDriver;
+pub use driver::{DesCoreDriver, DesDriverCore};
 
 use gm_netlist::{NetId, Netlist};
 

@@ -16,11 +16,11 @@
 
 use crate::masked::{MaskedDesFf, MaskedDesPd};
 use crate::netlist_gen::driver::EncryptionInputs;
-use crate::netlist_gen::{build_des_core, DesCoreDriver, DesCoreNetlist, SboxStyle};
+use crate::netlist_gen::{build_des_core, DesCoreNetlist, DesDriverCore, SboxStyle};
 use crate::power::{PdLeakModel, PowerModel};
 use gm_core::MaskRng;
 use gm_leakage::{Class, TraceSource};
-use gm_sim::{CouplingModel, DelayModel, MeasurementModel, PowerTrace};
+use gm_sim::{CouplingModel, CouplingSink, DelayModel, MeasurementModel, PowerTrace, SimGraph};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use std::sync::Arc;
@@ -174,10 +174,45 @@ impl TraceSource for CycleModelSource {
 // Gate-level backend
 // ---------------------------------------------------------------------
 
+/// Per-worker persistent acquisition sink: the power trace, optionally
+/// wrapped in a crosstalk model. Cleared (not reallocated) per trace.
+enum GateSink {
+    Plain(PowerTrace),
+    Coupled(CouplingSink<PowerTrace>),
+}
+
+impl GateSink {
+    fn trace(&self) -> &PowerTrace {
+        match self {
+            GateSink::Plain(t) => t,
+            GateSink::Coupled(s) => s.inner(),
+        }
+    }
+
+    /// Forget the previous trace: zero the bins and (for the coupled
+    /// variant) the crosstalk edge history.
+    fn clear(&mut self) {
+        match self {
+            GateSink::Plain(t) => t.clear(),
+            GateSink::Coupled(s) => {
+                s.reset();
+                s.inner_mut().clear();
+            }
+        }
+    }
+}
+
 /// Glitch-accurate TVLA source over the generated netlists.
+///
+/// Every worker (fork) owns a persistent [`DesDriverCore`] and sink over
+/// the shared, read-only [`SimGraph`]; per trace the driver is
+/// [`DesDriverCore::reset`] with the next seed of the worker's seed
+/// chain, which is bit-identical to the old construct-per-trace path but
+/// skips the graph build, the baseline settle and every allocation.
 pub struct GateLevelSource {
     cfg: SourceConfig,
     core: Arc<DesCoreNetlist>,
+    graph: Arc<SimGraph>,
     delays: Arc<DelayModel>,
     coupling: Option<Arc<CouplingModel>>,
     period_ps: u64,
@@ -186,6 +221,8 @@ pub struct GateLevelSource {
     mask_rng: MaskRng,
     pt_rng: SmallRng,
     driver_seed: u64,
+    driver: DesDriverCore,
+    sink: GateSink,
 }
 
 impl GateLevelSource {
@@ -209,20 +246,31 @@ impl GateLevelSource {
             }
             Arc::new(cm)
         });
-        let mut s = GateLevelSource {
+        let graph = SimGraph::new(&core.netlist);
+        let cycles = crate::netlist_gen::driver::total_cycles(core.style);
+        let num_samples = cycles * bins_per_cycle;
+        let bin_ps = period_ps / bins_per_cycle as u64;
+        let trace = PowerTrace::new(0, bin_ps, num_samples);
+        let sink = match &coupling {
+            Some(cm) => GateSink::Coupled(cm.sink(trace)),
+            None => GateSink::Plain(trace),
+        };
+        let driver_seed = cfg.seed ^ 1;
+        GateLevelSource {
             measurement: MeasurementModel::new(1.0, cfg.noise_sigma, 18, cfg.seed ^ 0xbeef),
             mask_rng: mask_rng(&cfg, 0),
             pt_rng: SmallRng::seed_from_u64(cfg.seed ^ 0x7c15_8f0d),
-            driver_seed: cfg.seed,
+            driver: DesDriverCore::new(core.style, &graph, period_ps, driver_seed),
+            driver_seed,
             cfg,
             core: Arc::new(core),
+            graph: Arc::new(graph),
             delays: Arc::new(delays),
             coupling,
             period_ps,
             bins_per_cycle,
-        };
-        s.driver_seed ^= 1;
-        s
+            sink,
+        }
     }
 
     /// The generated core (for area/timing inspection).
@@ -242,9 +290,17 @@ impl GateLevelSource {
 
 impl TraceSource for GateLevelSource {
     fn fork(&self, stream: u64) -> Self {
+        let driver_seed = self.cfg.seed ^ stream.wrapping_mul(0xd192_ed03);
+        let bin_ps = self.period_ps / self.bins_per_cycle as u64;
+        let trace = PowerTrace::new(0, bin_ps, self.num_samples());
+        let sink = match &self.coupling {
+            Some(cm) => GateSink::Coupled(cm.sink(trace)),
+            None => GateSink::Plain(trace),
+        };
         GateLevelSource {
             cfg: self.cfg.clone(),
             core: Arc::clone(&self.core),
+            graph: Arc::clone(&self.graph),
             delays: Arc::clone(&self.delays),
             coupling: self.coupling.clone(),
             period_ps: self.period_ps,
@@ -259,7 +315,9 @@ impl TraceSource for GateLevelSource {
             pt_rng: SmallRng::seed_from_u64(
                 self.cfg.seed ^ 0x7c15_8f0d ^ stream.wrapping_mul(0x9e37_79b9),
             ),
-            driver_seed: self.cfg.seed ^ stream.wrapping_mul(0xd192_ed03),
+            driver: DesDriverCore::new(self.core.style, &self.graph, self.period_ps, driver_seed),
+            driver_seed,
+            sink,
         }
     }
 
@@ -271,19 +329,17 @@ impl TraceSource for GateLevelSource {
         let pt = draw_pt(&self.cfg, class, &mut self.pt_rng);
         let inputs = EncryptionInputs::draw(pt, self.cfg.key, &mut self.mask_rng);
         self.driver_seed = self.driver_seed.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(1);
-        let mut driver =
-            DesCoreDriver::new(&self.core, &self.delays, self.period_ps, self.driver_seed);
-        let bin_ps = self.period_ps / self.bins_per_cycle as u64;
-        let mut trace = PowerTrace::new(0, bin_ps, self.num_samples());
-        if let Some(cm) = self.coupling.clone() {
-            let mut sink = cm.sink(trace);
-            let _ = driver.encrypt(&inputs, &mut sink);
-            trace = sink.into_inner();
-        } else {
-            let _ = driver.encrypt(&inputs, &mut trace);
+        self.driver.reset(&self.graph, self.driver_seed);
+        self.sink.clear();
+        match &mut self.sink {
+            GateSink::Plain(t) => {
+                let _ = self.driver.encrypt(&self.core, &self.graph, &self.delays, &inputs, t);
+            }
+            GateSink::Coupled(s) => {
+                let _ = self.driver.encrypt(&self.core, &self.graph, &self.delays, &inputs, s);
+            }
         }
-        let samples = trace.into_samples();
-        for (o, s) in out.iter_mut().zip(samples) {
+        for (o, &s) in out.iter_mut().zip(self.sink.trace().samples()) {
             *o = self.measurement.sample(s);
         }
     }
@@ -329,5 +385,17 @@ mod tests {
         let mut buf = vec![0.0; src.num_samples()];
         forked.trace(Class::Fixed, &mut buf);
         assert!(buf.iter().any(|&s| s > 0.0), "power trace must be non-trivial");
+    }
+
+    /// Gate-level campaigns at threads = 1 are bit-reproducible: the
+    /// persistent per-worker driver/sink state must not leak anything
+    /// from one run into the next (each `run` re-forks the source).
+    #[test]
+    fn gate_level_threads1_bit_reproducible() {
+        let src = GateLevelSource::new(SourceConfig::new(CoreVariant::Pd { unit_luts: 1 }), 1, 0.4);
+        let r1 = Campaign::sequential(24, 5).run(&src);
+        let r2 = Campaign::sequential(24, 5).run(&src);
+        assert_eq!(r1.total_traces(), r2.total_traces());
+        assert_eq!(r1.t1(), r2.t1(), "sequential campaign must replay bit-identically");
     }
 }

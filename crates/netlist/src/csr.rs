@@ -1,0 +1,108 @@
+//! Compressed sparse row (CSR) adjacency, the flat fanout layout shared
+//! by the event simulator and the topological sort.
+//!
+//! A [`Csr`] maps `num_keys` row keys to variable-length `u32` value
+//! lists stored back-to-back in one allocation — two `Vec`s total
+//! instead of one `Vec` per key. Rows preserve the insertion order of
+//! the pair stream, so a CSR built from `(net, gate)` pairs emitted in
+//! gate order reproduces the exact consumer iteration order of the old
+//! `Vec<Vec<u32>>` representation.
+
+/// Flat row-compressed `key -> [u32]` adjacency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    /// `offsets[k]..offsets[k + 1]` indexes `values` for row `k`.
+    offsets: Vec<u32>,
+    values: Vec<u32>,
+}
+
+impl Csr {
+    /// Build from a `(key, value)` pair list with counting sort; per-row
+    /// value order equals pair order. Every key must be `< num_keys`.
+    pub fn from_pairs(num_keys: usize, pairs: &[(u32, u32)]) -> Csr {
+        let mut offsets = vec![0u32; num_keys + 1];
+        for &(k, _) in pairs {
+            offsets[k as usize + 1] += 1;
+        }
+        for k in 0..num_keys {
+            offsets[k + 1] += offsets[k];
+        }
+        let mut cursor: Vec<u32> = offsets[..num_keys].to_vec();
+        let mut values = vec![0u32; pairs.len()];
+        for &(k, v) in pairs {
+            let c = &mut cursor[k as usize];
+            values[*c as usize] = v;
+            *c += 1;
+        }
+        Csr { offsets, values }
+    }
+
+    /// The values of row `key`.
+    #[inline]
+    pub fn row(&self, key: usize) -> &[u32] {
+        &self.values[self.offsets[key] as usize..self.offsets[key + 1] as usize]
+    }
+
+    /// Index range of row `key` into the flat value array — for indexing
+    /// payload arrays built parallel to the values.
+    #[inline]
+    pub fn row_range(&self, key: usize) -> std::ops::Range<usize> {
+        self.offsets[key] as usize..self.offsets[key + 1] as usize
+    }
+
+    /// Number of rows.
+    pub fn num_keys(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of stored values across all rows.
+    pub fn num_values(&self) -> usize {
+        self.values.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_preserve_pair_order() {
+        let csr = Csr::from_pairs(4, &[(2, 9), (0, 5), (2, 4), (3, 1), (2, 9)]);
+        assert_eq!(csr.row(0), &[5]);
+        assert_eq!(csr.row(1), &[] as &[u32]);
+        assert_eq!(csr.row(2), &[9, 4, 9]);
+        assert_eq!(csr.row(3), &[1]);
+        assert_eq!(csr.num_keys(), 4);
+        assert_eq!(csr.num_values(), 5);
+    }
+
+    #[test]
+    fn matches_vec_of_vecs_on_random_pairs() {
+        // Deterministic pseudo-random pair stream (no RNG dep here).
+        let mut state = 0x1234_5678_u64;
+        let mut pairs = Vec::new();
+        for _ in 0..500 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let k = ((state >> 33) % 37) as u32;
+            let v = (state >> 20) as u32 & 0xffff;
+            pairs.push((k, v));
+        }
+        let csr = Csr::from_pairs(37, &pairs);
+        let mut reference: Vec<Vec<u32>> = vec![Vec::new(); 37];
+        for &(k, v) in &pairs {
+            reference[k as usize].push(v);
+        }
+        for (k, row) in reference.iter().enumerate() {
+            assert_eq!(csr.row(k), row.as_slice());
+        }
+    }
+
+    #[test]
+    fn empty_and_trailing_rows() {
+        let csr = Csr::from_pairs(3, &[]);
+        assert_eq!(csr.row(0), &[] as &[u32]);
+        assert_eq!(csr.row(2), &[] as &[u32]);
+        let csr = Csr::from_pairs(2, &[(0, 1)]);
+        assert_eq!(csr.row(1), &[] as &[u32]);
+    }
+}

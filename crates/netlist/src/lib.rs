@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod area;
+pub mod csr;
 pub mod error;
 pub mod eval;
 pub mod gate;
@@ -41,6 +42,7 @@ pub mod topo;
 pub mod verilog;
 
 pub use area::AreaReport;
+pub use csr::Csr;
 pub use error::NetlistError;
 pub use eval::Evaluator;
 pub use gate::{DffConfig, Gate, GateId, GateKind};

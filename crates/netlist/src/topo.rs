@@ -1,5 +1,6 @@
 //! Topological ordering of the combinational subgraph.
 
+use crate::csr::Csr;
 use crate::error::NetlistError;
 use crate::gate::GateId;
 use crate::netlist::{Driver, Netlist};
@@ -15,8 +16,8 @@ pub fn combinational_order(n: &Netlist) -> Result<Vec<GateId>, NetlistError> {
     let num = n.num_gates();
     // In-degree counts only combinational fan-in.
     let mut indeg = vec![0u32; num];
-    // net -> combinational gates that consume it.
-    let mut consumers: Vec<Vec<u32>> = vec![Vec::new(); n.num_nets()];
+    // net -> combinational gates that consume it, as flat CSR rows.
+    let mut edges: Vec<(u32, u32)> = Vec::new();
 
     for (gi, g) in n.gates().iter().enumerate() {
         if g.kind.is_sequential() {
@@ -26,11 +27,12 @@ pub fn combinational_order(n: &Netlist) -> Result<Vec<GateId>, NetlistError> {
             if let Driver::Gate(src) = n.driver(i) {
                 if !n.gate(src).kind.is_sequential() {
                     indeg[gi] += 1;
-                    consumers[i.index()].push(gi as u32);
+                    edges.push((i.0, gi as u32));
                 }
             }
         }
     }
+    let consumers = Csr::from_pairs(n.num_nets(), &edges);
 
     let mut ready: Vec<u32> = (0..num as u32)
         .filter(|&gi| !n.gates()[gi as usize].kind.is_sequential() && indeg[gi as usize] == 0)
@@ -40,7 +42,7 @@ pub fn combinational_order(n: &Netlist) -> Result<Vec<GateId>, NetlistError> {
     while let Some(gi) = ready.pop() {
         order.push(GateId(gi));
         let out = n.gates()[gi as usize].output;
-        for &c in &consumers[out.index()] {
+        for &c in consumers.row(out.index()) {
             indeg[c as usize] -= 1;
             if indeg[c as usize] == 0 {
                 ready.push(c);

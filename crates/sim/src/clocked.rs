@@ -1,15 +1,18 @@
 //! Multi-cycle clocked simulation harness.
 //!
-//! Wraps the event [`Simulator`] with synchronous register semantics:
-//! at every rising edge all flip-flops sample their (settled) inputs and
-//! their outputs change after a clk-to-Q delay, launching the next wave of
+//! Wraps the event engine with synchronous register semantics: at every
+//! rising edge all flip-flops sample their (settled) inputs and their
+//! outputs change after a clk-to-Q delay, launching the next wave of
 //! combinational — possibly glitchy — activity. Per-cycle stimuli can be
 //! injected with arbitrary intra-cycle arrival offsets, which is how the
 //! paper's controlled input-sequence experiments (Table I) are reproduced.
+//!
+//! [`ClockedCore`] is the owned, reusable state (one per campaign
+//! worker); [`ClockedSim`] the borrow-style convenience wrapper.
 
 use crate::delay::DelayModel;
-use crate::engine::{PowerSink, Simulator};
-use gm_netlist::{GateId, NetId, Netlist};
+use crate::engine::{GraphRef, PowerSink, SimCore, SimGraph, MAX_PINS};
+use gm_netlist::{NetId, Netlist};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -24,7 +27,167 @@ pub struct Stimulus {
     pub value: bool,
 }
 
-/// Clocked wrapper over the event-driven [`Simulator`].
+/// Owned clocked-simulation state over some [`SimGraph`]: an event
+/// [`SimCore`] plus register values, the cycle counter and the clk-to-Q
+/// jitter RNG. Like `SimCore`, every method takes the graph/delays by
+/// reference so the core can persist inside campaign workers;
+/// [`ClockedCore::reset`] restores the power-on state in O(touched).
+#[derive(Debug)]
+pub struct ClockedCore {
+    sim: SimCore,
+    ff_state: Vec<bool>,
+    period_ps: u64,
+    cycle: u64,
+    rng: SmallRng,
+    next_buf: Vec<bool>,
+}
+
+impl ClockedCore {
+    /// Build a clocked core with the given clock period, in the settled
+    /// all-zero power-on state.
+    pub fn new(graph: &SimGraph, period_ps: u64, seed: u64) -> Self {
+        assert!(period_ps > 0, "period must be positive");
+        let n_ff = graph.ff_gates().len();
+        ClockedCore {
+            sim: SimCore::new(graph, seed),
+            ff_state: vec![false; n_ff],
+            period_ps,
+            cycle: 0,
+            rng: SmallRng::seed_from_u64(seed ^ 0x94d0_49bb_1331_11eb),
+            next_buf: Vec::with_capacity(n_ff),
+        }
+    }
+
+    /// Clock period in ps.
+    pub fn period_ps(&self) -> u64 {
+        self.period_ps
+    }
+
+    /// Number of full cycles simulated so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Current simulation time in ps.
+    pub fn time_ps(&self) -> u64 {
+        self.sim.time()
+    }
+
+    /// Current value of a net.
+    pub fn value(&self, net: NetId) -> bool {
+        self.sim.value(net)
+    }
+
+    /// Current state of the `i`-th flip-flop (index into
+    /// [`SimGraph::ff_gates`]).
+    pub fn ff_state(&self, i: usize) -> bool {
+        self.ff_state[i]
+    }
+
+    /// The wrapped event core.
+    pub fn sim(&self) -> &SimCore {
+        &self.sim
+    }
+
+    /// The wrapped event core, mutably (weights, initial values…).
+    pub fn sim_mut(&mut self) -> &mut SimCore {
+        &mut self.sim
+    }
+
+    /// Silently force every flip-flop (and every net) to zero, re-settle,
+    /// and rewind simulation time to 0: a hard reset before a fresh
+    /// acquisition. Keeps both jitter streams where they are.
+    pub fn hard_reset(&mut self, graph: &SimGraph) {
+        self.ff_state.iter_mut().for_each(|s| *s = false);
+        self.sim.init_all_zero(graph);
+        self.sim.rewind_time();
+        self.cycle = 0;
+    }
+
+    /// Full between-traces reset: power-on state, cycle 0 and fresh
+    /// jitter streams. Bit-for-bit equivalent to replacing the core with
+    /// `ClockedCore::new(graph, period_ps, seed)`.
+    pub fn reset(&mut self, graph: &SimGraph, seed: u64) {
+        self.ff_state.iter_mut().for_each(|s| *s = false);
+        self.sim.reset(graph, seed);
+        self.cycle = 0;
+        self.rng = SmallRng::seed_from_u64(seed ^ 0x94d0_49bb_1331_11eb);
+    }
+
+    /// Rewind the time base to cycle 0 while keeping every register and
+    /// net value — for back-to-back acquisitions whose power traces must
+    /// share a time axis (consecutive operations on the same device).
+    /// Any still-pending events are dropped, so call it only when the
+    /// circuit is quiescent.
+    pub fn rebase_time(&mut self) {
+        self.sim.rewind_time();
+        self.cycle = 0;
+    }
+
+    /// Advance one clock cycle.
+    ///
+    /// Order of operations at the edge:
+    /// 1. every FF samples its settled input pins (enable/reset honoured),
+    /// 2. changed FF outputs are scheduled after a (jittered) clk-to-Q delay,
+    /// 3. `stimuli` are scheduled at their offsets,
+    /// 4. events run until the next edge, feeding `sink`.
+    pub fn step(
+        &mut self,
+        graph: &SimGraph,
+        delays: &DelayModel,
+        stimuli: &[Stimulus],
+        sink: &mut impl PowerSink,
+    ) {
+        let t_edge = self.cycle * self.period_ps;
+
+        // 1. Sample.
+        self.next_buf.clear();
+        let mut pins = [false; MAX_PINS];
+        for (i, &gid) in graph.ff_gates().iter().enumerate() {
+            let pin_nets = graph.inputs(gid);
+            for (k, &pn) in pin_nets.iter().enumerate() {
+                pins[k] = self.sim.value(NetId(pn));
+            }
+            self.next_buf.push(graph.kind(gid).dff_next(self.ff_state[i], &pins[..pin_nets.len()]));
+        }
+
+        // 2. Launch changed outputs.
+        for (i, &gid) in graph.ff_gates().iter().enumerate() {
+            let newv = self.next_buf[i];
+            if newv != self.ff_state[i] {
+                self.ff_state[i] = newv;
+                let d = delays.sample_ps(gid, &mut self.rng);
+                self.sim.schedule(graph.output(gid), t_edge + d, newv);
+            }
+        }
+
+        // 3. External stimuli.
+        for s in stimuli {
+            debug_assert!(s.offset_ps < self.period_ps, "stimulus beyond the cycle");
+            self.sim.schedule(s.net, t_edge + s.offset_ps, s.value);
+        }
+
+        // 4. Propagate.
+        self.sim.run_until(graph, delays, t_edge + self.period_ps, sink);
+        self.cycle += 1;
+    }
+
+    /// Run `n` stimulus-free cycles.
+    pub fn idle(
+        &mut self,
+        graph: &SimGraph,
+        delays: &DelayModel,
+        n: u64,
+        sink: &mut impl PowerSink,
+    ) {
+        for _ in 0..n {
+            self.step(graph, delays, &[], sink);
+        }
+    }
+}
+
+/// Clocked wrapper over the event engine, binding a graph and a
+/// [`DelayModel`] to a [`ClockedCore`].
 ///
 /// # Examples
 ///
@@ -50,156 +213,101 @@ pub struct Stimulus {
 /// assert!(sim.value(q1), "the bit took two edges to reach q1");
 /// ```
 pub struct ClockedSim<'a> {
-    sim: Simulator<'a>,
-    netlist: &'a Netlist,
     delays: &'a DelayModel,
-    ff_gates: Vec<GateId>,
-    ff_state: Vec<bool>,
-    period_ps: u64,
-    cycle: u64,
-    rng: SmallRng,
-    pins_buf: Vec<bool>,
-    next_buf: Vec<bool>,
+    graph: GraphRef<'a>,
+    core: ClockedCore,
 }
 
 impl<'a> ClockedSim<'a> {
     /// Build a clocked simulator with the given clock period.
-    pub fn new(netlist: &'a Netlist, delays: &'a DelayModel, period_ps: u64, seed: u64) -> Self {
-        assert!(period_ps > 0, "period must be positive");
-        let ff_gates: Vec<GateId> = netlist
-            .gates()
-            .iter()
-            .enumerate()
-            .filter(|(_, g)| g.kind.is_sequential())
-            .map(|(i, _)| GateId(i as u32))
-            .collect();
-        let mut sim = Simulator::new(netlist, delays, seed);
-        sim.init_all_zero();
-        sim.settle_silent();
-        let n_ff = ff_gates.len();
-        ClockedSim {
-            sim,
-            netlist,
-            delays,
-            ff_gates,
-            ff_state: vec![false; n_ff],
-            period_ps,
-            cycle: 0,
-            rng: SmallRng::seed_from_u64(seed ^ 0x94d0_49bb_1331_11eb),
-            pins_buf: Vec::with_capacity(3),
-            next_buf: Vec::with_capacity(n_ff),
-        }
+    pub fn new(netlist: &Netlist, delays: &'a DelayModel, period_ps: u64, seed: u64) -> Self {
+        let graph = Box::new(SimGraph::new(netlist));
+        let core = ClockedCore::new(&graph, period_ps, seed);
+        ClockedSim { delays, graph: GraphRef::Owned(graph), core }
+    }
+
+    /// Build a clocked simulator over a shared prebuilt [`SimGraph`].
+    pub fn with_graph(
+        graph: &'a SimGraph,
+        delays: &'a DelayModel,
+        period_ps: u64,
+        seed: u64,
+    ) -> Self {
+        let core = ClockedCore::new(graph, period_ps, seed);
+        ClockedSim { delays, graph: GraphRef::Shared(graph), core }
+    }
+
+    /// The simulation topology in use.
+    pub fn graph(&self) -> &SimGraph {
+        self.graph.get()
     }
 
     /// Clock period in ps.
     pub fn period_ps(&self) -> u64 {
-        self.period_ps
+        self.core.period_ps()
     }
 
     /// Number of full cycles simulated so far.
     pub fn cycle(&self) -> u64 {
-        self.cycle
+        self.core.cycle()
     }
 
     /// Current simulation time in ps.
     pub fn time_ps(&self) -> u64 {
-        self.sim.time()
+        self.core.time_ps()
     }
 
     /// Current value of a net.
     pub fn value(&self, net: NetId) -> bool {
-        self.sim.value(net)
+        self.core.value(net)
     }
 
     /// Flip-flops of the design, in gate order.
-    pub fn ff_gates(&self) -> &[GateId] {
-        &self.ff_gates
+    pub fn ff_gates(&self) -> &[gm_netlist::GateId] {
+        self.graph.get().ff_gates()
     }
 
     /// Current state of the `i`-th flip-flop (index into [`ClockedSim::ff_gates`]).
     pub fn ff_state(&self, i: usize) -> bool {
-        self.ff_state[i]
+        self.core.ff_state(i)
     }
 
     /// Silently force every flip-flop (and every net) to zero, re-settle,
-    /// and rewind simulation time to 0: a hard reset before a fresh
-    /// acquisition.
+    /// and rewind simulation time to 0 (see [`ClockedCore::hard_reset`]).
     pub fn hard_reset(&mut self) {
-        self.ff_state.iter_mut().for_each(|s| *s = false);
-        self.sim.init_all_zero();
-        self.sim.settle_silent();
-        self.sim.rewind_time();
-        self.cycle = 0;
+        self.core.hard_reset(self.graph.get());
     }
 
-    /// Rewind the time base to cycle 0 while keeping every register and
-    /// net value — for back-to-back acquisitions whose power traces must
-    /// share a time axis (consecutive operations on the same device).
-    /// Any still-pending events are dropped, so call it only when the
-    /// circuit is quiescent.
+    /// Full between-traces reset (see [`ClockedCore::reset`]).
+    pub fn reset(&mut self, seed: u64) {
+        self.core.reset(self.graph.get(), seed);
+    }
+
+    /// Rewind the time base to cycle 0 keeping all state (see
+    /// [`ClockedCore::rebase_time`]).
     pub fn rebase_time(&mut self) {
-        self.sim.rewind_time();
-        self.cycle = 0;
+        self.core.rebase_time();
     }
 
     /// Silently drive a primary input (initial condition, no power).
     pub fn set_input_silent(&mut self, net: NetId, value: bool) {
-        self.sim.set_initial(net, value);
+        self.core.sim_mut().set_initial(net, value);
     }
 
     /// Silently re-settle combinational logic from current values.
     pub fn settle_silent(&mut self) {
-        self.sim.settle_silent();
+        let graph = self.graph.get();
+        self.core.sim_mut().settle_silent(graph);
     }
 
-    /// Advance one clock cycle.
-    ///
-    /// Order of operations at the edge:
-    /// 1. every FF samples its settled input pins (enable/reset honoured),
-    /// 2. changed FF outputs are scheduled after a (jittered) clk-to-Q delay,
-    /// 3. `stimuli` are scheduled at their offsets,
-    /// 4. events run until the next edge, feeding `sink`.
+    /// Advance one clock cycle (see [`ClockedCore::step`]).
     pub fn step(&mut self, stimuli: &[Stimulus], sink: &mut impl PowerSink) {
-        let t_edge = self.cycle * self.period_ps;
-
-        // 1. Sample.
-        self.next_buf.clear();
-        for (i, &gid) in self.ff_gates.iter().enumerate() {
-            let g = self.netlist.gate(gid);
-            self.pins_buf.clear();
-            for &pin in &g.inputs {
-                self.pins_buf.push(self.sim.value(pin));
-            }
-            self.next_buf.push(g.kind.dff_next(self.ff_state[i], &self.pins_buf));
-        }
-
-        // 2. Launch changed outputs.
-        for (i, &gid) in self.ff_gates.iter().enumerate() {
-            let newv = self.next_buf[i];
-            if newv != self.ff_state[i] {
-                self.ff_state[i] = newv;
-                let d = self.delays.sample_ps(gid, &mut self.rng);
-                let out = self.netlist.gate(gid).output;
-                self.sim.schedule(out, t_edge + d, newv);
-            }
-        }
-
-        // 3. External stimuli.
-        for s in stimuli {
-            debug_assert!(s.offset_ps < self.period_ps, "stimulus beyond the cycle");
-            self.sim.schedule(s.net, t_edge + s.offset_ps, s.value);
-        }
-
-        // 4. Propagate.
-        self.sim.run_until(t_edge + self.period_ps, sink);
-        self.cycle += 1;
+        self.core.step(self.graph.get(), self.delays, stimuli, sink);
     }
 
     /// Run `n` stimulus-free cycles.
     pub fn idle(&mut self, n: u64, sink: &mut impl PowerSink) {
-        for _ in 0..n {
-            self.step(&[], sink);
-        }
+        self.core.idle(self.graph.get(), self.delays, n, sink);
     }
 }
 
@@ -286,5 +394,47 @@ mod tests {
         cs.hard_reset();
         assert!(!cs.value(q));
         assert!(!cs.ff_state(0));
+    }
+
+    /// ClockedCore::reset replays the exact transition stream of a fresh
+    /// construction, including both jitter streams.
+    #[test]
+    fn clocked_reset_equals_fresh() {
+        let mut n = Netlist::new("t");
+        let din = n.input("din");
+        let q = n.dff(din);
+        let y = n.inv(q);
+        let q2 = n.dff(y);
+        n.output("q2", q2);
+        let delays = DelayModel::with_variation(&n, 0.3, 25.0, 4);
+        let graph = SimGraph::new(&n);
+
+        struct Rec(Vec<(u64, u32, bool)>);
+        impl PowerSink for Rec {
+            fn transition(&mut self, t: u64, net: NetId, v: bool, _w: f64) {
+                self.0.push((t, net.0, v));
+            }
+        }
+        let drive = |core: &mut ClockedCore| {
+            let mut rec = Rec(Vec::new());
+            core.step(
+                &graph,
+                &delays,
+                &[Stimulus { net: din, offset_ps: 70, value: true }],
+                &mut rec,
+            );
+            core.step(&graph, &delays, &[], &mut rec);
+            core.step(&graph, &delays, &[], &mut rec);
+            rec.0
+        };
+
+        let mut fresh = ClockedCore::new(&graph, 60_000, 77);
+        let want = drive(&mut fresh);
+
+        let mut reused = ClockedCore::new(&graph, 60_000, 3);
+        let _ = drive(&mut reused); // dirty it with another seed
+        reused.reset(&graph, 77);
+        let got = drive(&mut reused);
+        assert_eq!(got, want);
     }
 }

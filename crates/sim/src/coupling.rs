@@ -18,8 +18,7 @@
 //! leak first-order information through physical adjacency.
 
 use crate::engine::PowerSink;
-use gm_netlist::NetId;
-use std::collections::HashMap;
+use gm_netlist::{Csr, NetId};
 
 /// Static description of which nets couple, and how strongly.
 #[derive(Debug, Clone, Default)]
@@ -46,14 +45,55 @@ impl CouplingModel {
         self.pairs.len()
     }
 
-    /// Build the runtime sink wrapping `inner`.
-    pub fn sink<S: PowerSink>(&self, inner: S) -> CouplingSink<'_, S> {
-        let mut partners: HashMap<NetId, Vec<(NetId, f64)>> = HashMap::new();
+    /// Build the runtime sink wrapping `inner`. The sink owns flat copies
+    /// of the pair tables (no borrow of the model), so it can persist
+    /// inside campaign workers and be [`CouplingSink::reset`] per trace.
+    pub fn sink<S: PowerSink>(&self, inner: S) -> CouplingSink<S> {
+        // Dense-index the coupled nets so per-transition state lives in a
+        // small flat array instead of hash maps.
+        let mut coupled: Vec<u32> = Vec::new();
+        let dense_of = |coupled: &mut Vec<u32>, n: NetId| -> u32 {
+            match coupled.iter().position(|&c| c == n.0) {
+                Some(i) => i as u32,
+                None => {
+                    coupled.push(n.0);
+                    coupled.len() as u32 - 1
+                }
+            }
+        };
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let mut ks: Vec<f64> = Vec::new();
         for &(a, b, k) in &self.pairs {
-            partners.entry(a).or_default().push((b, k));
-            partners.entry(b).or_default().push((a, k));
+            let da = dense_of(&mut coupled, a);
+            let db = dense_of(&mut coupled, b);
+            edges.push((da, db));
+            edges.push((db, da));
+            ks.push(k);
+            ks.push(k);
         }
-        CouplingSink { model: self, partners, state: HashMap::new(), inner }
+        let partners = Csr::from_pairs(coupled.len(), &edges);
+        // Csr preserves pair order per row, but rows interleave: rebuild
+        // the k payload aligned with the flat value order.
+        let mut partner_k = vec![0.0f64; edges.len()];
+        let mut cursor: Vec<usize> =
+            (0..coupled.len()).map(|d| partners.row_range(d).start).collect();
+        for (&(d, _), &k) in edges.iter().zip(&ks) {
+            partner_k[cursor[d as usize]] = k;
+            cursor[d as usize] += 1;
+        }
+        let max_net = coupled.iter().max().map_or(0, |&m| m as usize + 1);
+        let mut dense_index = vec![u32::MAX; max_net];
+        for (d, &n) in coupled.iter().enumerate() {
+            dense_index[n as usize] = d as u32;
+        }
+        CouplingSink {
+            window_ps: self.window_ps,
+            dense_index,
+            partners,
+            partner_k,
+            state: vec![IDLE; coupled.len()],
+            inner,
+        }
     }
 }
 
@@ -64,19 +104,35 @@ struct NetState {
     last_dir_rising: bool,
 }
 
+/// The never-toggled state (matches a missing entry of the old hash map).
+const IDLE: NetState = NetState { level: false, last_edge_ps: u64::MAX, last_dir_rising: false };
+
 /// Runtime coupling sink; forwards every transition to `inner`, adding
-/// crosstalk weight for transitions on coupled nets.
-pub struct CouplingSink<'m, S: PowerSink> {
-    model: &'m CouplingModel,
-    partners: HashMap<NetId, Vec<(NetId, f64)>>,
-    state: HashMap<NetId, NetState>,
+/// crosstalk weight for transitions on coupled nets. Self-contained (no
+/// borrow of the [`CouplingModel`]): build once, [`CouplingSink::reset`]
+/// between traces.
+pub struct CouplingSink<S: PowerSink> {
+    window_ps: u64,
+    /// net id -> dense coupled-net index (`u32::MAX` = uncoupled).
+    dense_index: Vec<u32>,
+    /// dense index -> dense partner indices.
+    partners: Csr,
+    /// Coupling strength per `partners` value slot.
+    partner_k: Vec<f64>,
+    /// Per coupled net, dense-indexed.
+    state: Vec<NetState>,
     inner: S,
 }
 
-impl<S: PowerSink> CouplingSink<'_, S> {
+impl<S: PowerSink> CouplingSink<S> {
     /// Access the wrapped sink (e.g. to read accumulated power).
     pub fn inner(&self) -> &S {
         &self.inner
+    }
+
+    /// Access the wrapped sink mutably (e.g. to clear a persistent trace).
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
     }
 
     /// Consume the wrapper, returning the wrapped sink.
@@ -86,22 +142,21 @@ impl<S: PowerSink> CouplingSink<'_, S> {
 
     /// Forget transition history (between independent traces).
     pub fn reset(&mut self) {
-        self.state.clear();
+        self.state.iter_mut().for_each(|s| *s = IDLE);
     }
 }
 
-impl<S: PowerSink> PowerSink for CouplingSink<'_, S> {
+impl<S: PowerSink> PowerSink for CouplingSink<S> {
     fn transition(&mut self, time_ps: u64, net: NetId, new_value: bool, weight: f64) {
         let mut extra = 0.0;
-        if let Some(pairs) = self.partners.get(&net) {
-            for &(other, k) in pairs {
-                let other_state = self.state.get(&other).copied().unwrap_or(NetState {
-                    level: false,
-                    last_edge_ps: u64::MAX,
-                    last_dir_rising: false,
-                });
+        let dense = self.dense_index.get(net.index()).copied().unwrap_or(u32::MAX);
+        if dense != u32::MAX {
+            let range = self.partners.row_range(dense as usize);
+            for (&other, &k) in self.partners.row(dense as usize).iter().zip(&self.partner_k[range])
+            {
+                let other_state = self.state[other as usize];
                 let simultaneous = other_state.last_edge_ps != u64::MAX
-                    && time_ps.abs_diff(other_state.last_edge_ps) <= self.model.window_ps;
+                    && time_ps.abs_diff(other_state.last_edge_ps) <= self.window_ps;
                 if simultaneous {
                     // Same-direction pair: coupling cap does not switch.
                     // Opposite: it switches twice.
@@ -111,10 +166,8 @@ impl<S: PowerSink> PowerSink for CouplingSink<'_, S> {
                     extra += if other_state.level == new_value { -0.5 * k } else { 0.5 * k };
                 }
             }
-            self.state.insert(
-                net,
-                NetState { level: new_value, last_edge_ps: time_ps, last_dir_rising: new_value },
-            );
+            self.state[dense as usize] =
+                NetState { level: new_value, last_edge_ps: time_ps, last_dir_rising: new_value };
         }
         self.inner.transition(time_ps, net, new_value, weight + extra);
     }

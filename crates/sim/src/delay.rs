@@ -21,22 +21,42 @@ use rand::{RngExt, SeedableRng};
 pub const DEFAULT_PULSE_REJECT_PS: u64 = 200;
 
 /// Delay model for one instantiated netlist.
+///
+/// The per-instance tables are precomputed when the "device" is built:
+/// `base_fixed_ps` holds the already-clamped integer delay used on the
+/// jitter-free fast path, and `reject_ps` the per-gate inertial
+/// pulse-rejection threshold, so the event hot loop never recomputes
+/// either.
 #[derive(Debug, Clone)]
 pub struct DelayModel {
     base_ps: Vec<f64>,
+    /// `max(base_ps, 1)` as integer ps: the whole sample when jitter is off.
+    base_fixed_ps: Vec<u64>,
     jitter_sigma_ps: f64,
     pulse_reject_ps: u64,
+    /// Per-gate rejection thresholds (currently uniform; kept per-instance
+    /// so a future threshold-variation model is a table fill, not an API
+    /// change).
+    reject_ps: Vec<u64>,
 }
 
 impl DelayModel {
+    fn from_base(base_ps: Vec<f64>, jitter_sigma_ps: f64) -> Self {
+        let base_fixed_ps = base_ps.iter().map(|&d| d.max(1.0) as u64).collect();
+        let reject_ps = vec![DEFAULT_PULSE_REJECT_PS; base_ps.len()];
+        DelayModel {
+            base_ps,
+            base_fixed_ps,
+            jitter_sigma_ps,
+            pulse_reject_ps: DEFAULT_PULSE_REJECT_PS,
+            reject_ps,
+        }
+    }
+
     /// Nominal delays only: no variation, no jitter. Deterministic; good
     /// for functional and directed glitch tests.
     pub fn nominal(n: &Netlist) -> Self {
-        DelayModel {
-            base_ps: n.gates().iter().map(|g| g.kind.nominal_delay_ps() as f64).collect(),
-            jitter_sigma_ps: 0.0,
-            pulse_reject_ps: DEFAULT_PULSE_REJECT_PS,
-        }
+        Self::from_base(n.gates().iter().map(|g| g.kind.nominal_delay_ps() as f64).collect(), 0.0)
     }
 
     /// Nominal delays scaled by a per-instance factor drawn uniformly from
@@ -53,7 +73,7 @@ impl DelayModel {
                 g.kind.nominal_delay_ps() as f64 * f
             })
             .collect();
-        DelayModel { base_ps, jitter_sigma_ps, pulse_reject_ps: DEFAULT_PULSE_REJECT_PS }
+        Self::from_base(base_ps, jitter_sigma_ps)
     }
 
     /// Per-event jitter sigma in ps.
@@ -75,6 +95,13 @@ impl DelayModel {
     /// Override the inertial pulse-rejection width (0 = pure transport).
     pub fn set_pulse_reject_ps(&mut self, width: u64) {
         self.pulse_reject_ps = width;
+        self.reject_ps.iter_mut().for_each(|r| *r = width);
+    }
+
+    /// Inertial pulse-rejection threshold of one gate instance in ps.
+    #[inline]
+    pub fn pulse_reject_of(&self, gate: GateId) -> u64 {
+        self.reject_ps[gate.index()]
     }
 
     /// Base (nominal × process) delay of a gate instance in ps.
@@ -84,20 +111,85 @@ impl DelayModel {
 
     /// Sample the delay of one propagation event through `gate`.
     /// Always at least 1 ps so causality is preserved.
+    #[inline]
     pub fn sample_ps(&self, gate: GateId, rng: &mut SmallRng) -> u64 {
-        let mut d = self.base_ps[gate.index()];
         if self.jitter_sigma_ps > 0.0 {
-            d += gaussian(rng) * self.jitter_sigma_ps;
+            (self.base_ps[gate.index()] + gaussian(rng) * self.jitter_sigma_ps).max(1.0) as u64
+        } else {
+            self.base_fixed_ps[gate.index()]
         }
-        d.max(1.0) as u64
     }
 }
 
-/// Standard normal sample (Box–Muller; one value per call).
+/// Number of ziggurat layers.
+const ZIG_LAYERS: usize = 128;
+/// Rightmost layer edge of the 128-layer normal ziggurat (Doornik).
+const ZIG_R: f64 = 3.442619855899;
+/// Area of each ziggurat block for 128 layers (Doornik).
+const ZIG_V: f64 = 9.91256303526217e-3;
+
+/// Ziggurat tables for the standard normal: layer edges `x[i]`
+/// (decreasing, `x[1] = R`, `x[128] = 0`) and the rectangle/wedge split
+/// ratios `r[i] = x[i+1] / x[i]`.
+struct ZigTables {
+    x: [f64; ZIG_LAYERS + 1],
+    r: [f64; ZIG_LAYERS],
+}
+
+fn zig_tables() -> &'static ZigTables {
+    static ZIG: std::sync::OnceLock<ZigTables> = std::sync::OnceLock::new();
+    ZIG.get_or_init(|| {
+        let mut x = [0.0f64; ZIG_LAYERS + 1];
+        let mut f = (-0.5 * ZIG_R * ZIG_R).exp();
+        x[0] = ZIG_V / f; // base block extends into the tail
+        x[1] = ZIG_R;
+        for i in 2..ZIG_LAYERS {
+            x[i] = (-2.0 * (ZIG_V / x[i - 1] + f).ln()).sqrt();
+            f = (-0.5 * x[i] * x[i]).exp();
+        }
+        let mut r = [0.0f64; ZIG_LAYERS];
+        for i in 0..ZIG_LAYERS {
+            r[i] = x[i + 1] / x[i];
+        }
+        ZigTables { x, r }
+    })
+}
+
+/// Standard normal sample via the ziggurat method (Marsaglia–Tsang,
+/// Doornik's layout): the per-propagation jitter draw is the hottest
+/// arithmetic in a campaign, and the ziggurat's common case is one
+/// uniform, one table compare and one multiply — no `ln`/`sqrt`/`cos`
+/// like the Box–Muller sampler it replaced (which survives in
+/// `noise::MeasurementModel`, where sampling is per trace bin, not per
+/// event).
 pub(crate) fn gaussian(rng: &mut SmallRng) -> f64 {
-    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
-    let u2: f64 = rng.random();
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    let t = zig_tables();
+    loop {
+        let bits = rng.random::<u64>();
+        let i = (bits & (ZIG_LAYERS as u64 - 1)) as usize;
+        // Signed uniform in [-1, 1) from the top 53 bits.
+        let u = (bits >> 11) as f64 * (2.0 / (1u64 << 53) as f64) - 1.0;
+        if u.abs() < t.r[i] {
+            return u * t.x[i]; // strictly inside the layer rectangle
+        }
+        if i == 0 {
+            // Base layer: exponential-rejection sample from the tail.
+            loop {
+                let x = rng.random::<f64>().max(f64::MIN_POSITIVE).ln() / ZIG_R;
+                let y = rng.random::<f64>().max(f64::MIN_POSITIVE).ln();
+                if -2.0 * y >= x * x {
+                    return if u < 0.0 { x - ZIG_R } else { ZIG_R - x };
+                }
+            }
+        }
+        // Wedge: accept with probability density(x) within the layer.
+        let x = u * t.x[i];
+        let f0 = (-0.5 * (t.x[i] * t.x[i] - x * x)).exp();
+        let f1 = (-0.5 * (t.x[i + 1] * t.x[i + 1] - x * x)).exp();
+        if f1 + rng.random::<f64>() * (f0 - f1) < 1.0 {
+            return x;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +241,30 @@ mod tests {
     }
 
     #[test]
+    fn jitter_free_fast_path_matches_clamped_base() {
+        let n = tiny();
+        let m = DelayModel::with_variation(&n, 0.3, 0.0, 9);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for g in [GateId(0), GateId(1)] {
+            assert_eq!(m.sample_ps(g, &mut rng), m.base_ps(g).max(1.0) as u64);
+        }
+    }
+
+    #[test]
+    fn per_gate_reject_table_follows_override() {
+        let n = tiny();
+        let mut m = DelayModel::nominal(&n);
+        for g in [GateId(0), GateId(1)] {
+            assert_eq!(m.pulse_reject_of(g), DEFAULT_PULSE_REJECT_PS);
+        }
+        m.set_pulse_reject_ps(55);
+        assert_eq!(m.pulse_reject_ps(), 55);
+        for g in [GateId(0), GateId(1)] {
+            assert_eq!(m.pulse_reject_of(g), 55);
+        }
+    }
+
+    #[test]
     fn gaussian_has_roughly_unit_moments() {
         let mut rng = SmallRng::seed_from_u64(3);
         let n = 20_000;
@@ -157,5 +273,33 @@ mod tests {
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    /// The ziggurat must reproduce the normal CDF, not just its moments —
+    /// a layer-table or wedge-acceptance bug skews quantiles long before
+    /// it moves the variance.
+    #[test]
+    fn gaussian_matches_normal_quantiles() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let n = 200_000usize;
+        let thresholds = [-3.0, -2.0, -1.0, 0.0, 1.0, 2.0, 3.0];
+        // Φ at the thresholds above.
+        let phi = [0.00135, 0.02275, 0.15866, 0.5, 0.84134, 0.97725, 0.99865];
+        let mut below = [0usize; 7];
+        let mut beyond_r = 0usize;
+        for _ in 0..n {
+            let x = gaussian(&mut rng);
+            for (c, &t) in below.iter_mut().zip(&thresholds) {
+                *c += usize::from(x < t);
+            }
+            beyond_r += usize::from(x.abs() > ZIG_R);
+        }
+        for ((&c, &p), &t) in below.iter().zip(&phi).zip(&thresholds) {
+            let emp = c as f64 / n as f64;
+            assert!((emp - p).abs() < 0.01, "CDF({t}) = {emp}, want {p}");
+        }
+        // The tail path past R must actually fire with about 2(1 − Φ(R))
+        // ≈ 5.7e-4 probability.
+        assert!(beyond_r > 20 && beyond_r < 400, "tail samples: {beyond_r}");
     }
 }

@@ -35,12 +35,14 @@ pub mod noise;
 pub mod power;
 pub mod vcd;
 pub mod waveform;
+pub mod wheel;
 
-pub use clocked::ClockedSim;
-pub use coupling::CouplingModel;
+pub use clocked::{ClockedCore, ClockedSim};
+pub use coupling::{CouplingModel, CouplingSink};
 pub use delay::DelayModel;
-pub use engine::{PowerSink, Simulator};
+pub use engine::{PowerSink, SimCore, SimGraph, Simulator};
 pub use noise::MeasurementModel;
 pub use power::{CountingSink, NullSink, PowerTrace};
 pub use vcd::VcdSink;
 pub use waveform::WaveformRecorder;
+pub use wheel::TimingWheel;

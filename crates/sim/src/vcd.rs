@@ -3,17 +3,21 @@
 //! A [`VcdSink`] records every applied transition during simulation and
 //! renders an IEEE-1364 VCD file viewable in GTKWave & co. — the
 //! debugging loop any RTL engineer expects when chasing a glitch.
+//! Symbols are precomputed per watched net, and [`VcdSink::write_to`]
+//! streams through a [`std::io::BufWriter`] so large dumps never build
+//! per-transition strings.
 
 use crate::engine::PowerSink;
 use gm_netlist::{NetId, Netlist};
-use std::fmt::Write;
+use std::io;
 
 /// Records transitions for a chosen set of nets and renders VCD.
 #[derive(Debug, Clone)]
 pub struct VcdSink {
     /// (net, symbol index into watched) lookup.
     watch_index: Vec<Option<u32>>,
-    watched: Vec<(NetId, String)>,
+    /// Watched nets with their display name and precomputed VCD symbol.
+    watched: Vec<(NetId, String, String)>,
     initial: Vec<bool>,
     events: Vec<(u64, u32, bool)>,
 }
@@ -31,7 +35,7 @@ impl VcdSink {
                 watch_index[id.index()] = Some(i as u32);
                 let name =
                     netlist.net_name(id).map(str::to_owned).unwrap_or_else(|| format!("n{}", id.0));
-                (id, name)
+                (id, name, symbol(i))
             })
             .collect();
         VcdSink { watch_index, watched, initial: initial_values.to_vec(), events: Vec::new() }
@@ -49,32 +53,50 @@ impl VcdSink {
         self.events.len()
     }
 
-    /// Render the VCD file contents.
-    pub fn render(&self, design_name: &str, timescale: &str) -> String {
-        let mut out = String::new();
-        let _ = writeln!(out, "$date synthetic $end");
-        let _ = writeln!(out, "$version gm-sim $end");
-        let _ = writeln!(out, "$timescale {timescale} $end");
-        let _ = writeln!(out, "$scope module {design_name} $end");
-        for (i, (_, name)) in self.watched.iter().enumerate() {
-            let _ = writeln!(out, "$var wire 1 {} {} $end", symbol(i), name);
+    /// Drop recorded transitions (between traces; the watch set stays).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Stream the VCD file contents into `writer` (buffered internally).
+    pub fn write_to<W: io::Write>(
+        &self,
+        writer: W,
+        design_name: &str,
+        timescale: &str,
+    ) -> io::Result<()> {
+        use io::Write as _;
+        let mut out = io::BufWriter::new(writer);
+        writeln!(out, "$date synthetic $end")?;
+        writeln!(out, "$version gm-sim $end")?;
+        writeln!(out, "$timescale {timescale} $end")?;
+        writeln!(out, "$scope module {design_name} $end")?;
+        for (_, name, sym) in &self.watched {
+            writeln!(out, "$var wire 1 {sym} {name} $end")?;
         }
-        let _ = writeln!(out, "$upscope $end");
-        let _ = writeln!(out, "$enddefinitions $end");
-        let _ = writeln!(out, "$dumpvars");
+        writeln!(out, "$upscope $end")?;
+        writeln!(out, "$enddefinitions $end")?;
+        writeln!(out, "$dumpvars")?;
         for (i, &v) in self.initial.iter().enumerate() {
-            let _ = writeln!(out, "{}{}", u8::from(v), symbol(i));
+            writeln!(out, "{}{}", u8::from(v), self.watched[i].2)?;
         }
-        let _ = writeln!(out, "$end");
+        writeln!(out, "$end")?;
         let mut last_time = u64::MAX;
         for &(t, sym, v) in &self.events {
             if t != last_time {
-                let _ = writeln!(out, "#{t}");
+                writeln!(out, "#{t}")?;
                 last_time = t;
             }
-            let _ = writeln!(out, "{}{}", u8::from(v), symbol(sym as usize));
+            writeln!(out, "{}{}", u8::from(v), self.watched[sym as usize].2)?;
         }
-        out
+        out.flush()
+    }
+
+    /// Render the VCD file contents as a `String`.
+    pub fn render(&self, design_name: &str, timescale: &str) -> String {
+        let mut buf = Vec::new();
+        self.write_to(&mut buf, design_name, timescale).expect("writing to a Vec cannot fail");
+        String::from_utf8(buf).expect("VCD output is ASCII")
     }
 }
 
@@ -167,5 +189,29 @@ mod tests {
         sim.schedule(a, 100, true);
         sim.run_until(10_000, &mut vcd);
         assert_eq!(vcd.num_events(), 1, "only the watched net recorded");
+
+        // clear() drops events but keeps the watch set.
+        vcd.clear();
+        assert_eq!(vcd.num_events(), 0);
+        sim.schedule(a, 20_000, false);
+        sim.run_until(30_000, &mut vcd);
+        assert_eq!(vcd.num_events(), 1);
+    }
+
+    #[test]
+    fn write_to_matches_render() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let x = n.inv(a);
+        n.output("x", x);
+        let delays = DelayModel::nominal(&n);
+        let mut sim = Simulator::new(&n, &delays, 0);
+        sim.init_all_zero();
+        let mut vcd = VcdSink::all_nets(&n);
+        sim.schedule(a, 100, true);
+        sim.run_until(10_000, &mut vcd);
+        let mut buf = Vec::new();
+        vcd.write_to(&mut buf, "t", "1ps").unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), vcd.render("t", "1ps"));
     }
 }

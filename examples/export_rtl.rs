@@ -57,7 +57,7 @@ fn main() -> std::io::Result<()> {
     sim.schedule(io.x0, 40_000, true);
     sim.run_until(60_000, &mut vcd);
     let path = dir.join("secand2_x0_last.vcd");
-    fs::write(&path, vcd.render("secand2_glitch", "1ps"))?;
+    vcd.write_to(fs::File::create(&path)?, "secand2_glitch", "1ps")?;
     println!("glitch waveform ({} transitions) -> {}", vcd.num_events(), path.display());
     println!("\nopen the VCD in GTKWave and watch z0 pulse when x0 lands.");
     Ok(())
