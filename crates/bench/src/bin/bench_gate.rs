@@ -94,8 +94,11 @@ fn main() {
          \"unit_luts\": {UNIT_LUTS}, \"traces\": {traces}, \"threads\": {threads}, \
          \"seconds\": {seconds:.3}, \"traces_per_sec\": {tps:.1}, \
          \"placement_bias\": {bias:.3}, \
-         \"table1_leaky_max_t1\": {:.3}, \"table1_safe_max_t1\": {:.3}}}",
-        verdicts[0].1, verdicts[1].1,
+         \"table1_leaky_max_t1\": {:.3}, \"table1_safe_max_t1\": {:.3}, \
+         \"git_rev\": \"{}\"}}",
+        verdicts[0].1,
+        verdicts[1].1,
+        record::git_rev(),
     );
     record::append_record(BENCH_FILE, &record).expect("write BENCH_gate.json");
     println!("  recorded as \"{label}\" in {BENCH_FILE}");

@@ -1,19 +1,21 @@
 //! Campaign-throughput harness: times a fig14-style TVLA campaign
-//! (cycle-model backend, secAND2-FF core, PRNG on) and appends the
-//! result to `BENCH_tvla.json`, so successive PRs accumulate a
-//! performance trajectory instead of one-off numbers.
+//! (cycle-model backend, secAND2-FF core, PRNG on) on **both** the
+//! scalar reference and the 64-way bitsliced engine, appends one record
+//! per backend to `BENCH_tvla.json`, and checks the two agree on
+//! `max_abs_t1` — so the speedup trajectory and the
+//! conclusions-unchanged evidence live in the same file.
 //!
 //! ```text
 //! cargo run --release -p gm-bench --bin bench_tvla -- \
-//!     --traces 100000 --threads 8 --label blocked
+//!     --traces 100000 --threads 8 --label bitsliced
 //! ```
 //!
 //! The JSON file is a flat array of run records; this binary appends
 //! without disturbing earlier entries.
 
-use gm_bench::record::append_record;
+use gm_bench::record::{append_record, git_rev};
 use gm_bench::Args;
-use gm_des::tvla_src::{CoreVariant, CycleModelSource, SourceConfig};
+use gm_des::tvla_src::{AnyCycleSource, CoreVariant, SourceConfig};
 use gm_leakage::Campaign;
 use std::time::Instant;
 
@@ -24,27 +26,49 @@ fn main() {
     let traces = args.trace_count(10_000, 100_000);
     let threads = args.threads.unwrap_or(8);
     let label = args.label.clone().unwrap_or_else(|| "unlabelled".to_owned());
+    let rev = git_rev();
 
     let mut cfg = SourceConfig::new(CoreVariant::Ff);
     cfg.seed = args.seed;
-    let src = CycleModelSource::new(cfg);
+    let campaign = Campaign { traces, threads, seed: args.seed };
 
     println!("bench_tvla: fig14-style campaign, {traces} traces, {threads} threads");
-    let campaign = Campaign { traces, threads, seed: args.seed };
-    let start = Instant::now();
-    let result = campaign.run(&src);
-    let seconds = start.elapsed().as_secs_f64();
-    let tps = traces as f64 / seconds;
-    let max_t1 = result.max_abs_t(1);
+    let mut measured: Vec<(&'static str, f64, f64)> = Vec::new();
+    for scalar in [true, false] {
+        let src = AnyCycleSource::new(cfg.clone(), scalar);
+        let backend = src.backend_name();
+        // Untimed warm-up, then best of three identical passes: the
+        // campaign is deterministic, so passes differ only by scheduler
+        // noise and the fastest is the cleanest throughput estimate.
+        let _ = Campaign { traces: traces / 4, threads, seed: args.seed ^ 0xaaaa }.run(&src);
+        let mut result = campaign.run(&src);
+        let mut seconds = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            result = campaign.run(&src);
+            seconds = seconds.min(start.elapsed().as_secs_f64());
+        }
+        let tps = traces as f64 / seconds;
+        let max_t1 = result.max_abs_t(1);
+        println!("  {backend:>9}: {seconds:.3} s -> {tps:.0} traces/s  (max|t1| = {max_t1:.2})");
 
-    println!("  {seconds:.3} s -> {tps:.0} traces/s  (max|t1| = {max_t1:.2})");
+        let record = format!(
+            "  {{\"label\": \"{label}\", \"backend\": \"{backend}\", \
+             \"campaign\": \"fig14-ff-cycle-model\", \
+             \"traces\": {traces}, \"threads\": {threads}, \
+             \"seconds\": {seconds:.3}, \"traces_per_sec\": {tps:.1}, \
+             \"max_abs_t1\": {max_t1:.3}, \"git_rev\": \"{rev}\"}}"
+        );
+        append_record(BENCH_FILE, &record).expect("write BENCH_tvla.json");
+        measured.push((backend, tps, max_t1));
+    }
 
-    let record = format!(
-        "  {{\"label\": \"{label}\", \"campaign\": \"fig14-ff-cycle-model\", \
-         \"traces\": {traces}, \"threads\": {threads}, \
-         \"seconds\": {seconds:.3}, \"traces_per_sec\": {tps:.1}, \
-         \"max_abs_t1\": {max_t1:.3}}}"
+    let (_, tps_s, t1_s) = measured[0];
+    let (_, tps_b, t1_b) = measured[1];
+    assert!(
+        (t1_s - t1_b).abs() < 1e-9,
+        "backends disagree on max|t1|: scalar {t1_s} vs bitsliced {t1_b}"
     );
-    append_record(BENCH_FILE, &record).expect("write BENCH_tvla.json");
-    println!("  recorded as \"{label}\" in {BENCH_FILE}");
+    println!("  bitsliced/scalar speedup: {:.1}x  (max|t1| identical)", tps_b / tps_s);
+    println!("  recorded as \"{label}\" (both backends) in {BENCH_FILE}");
 }

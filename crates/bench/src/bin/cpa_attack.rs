@@ -14,14 +14,86 @@
 
 use gm_bench::Args;
 use gm_core::{MaskRng, MaskedBit};
-use gm_des::masked::MaskedDesFf;
-use gm_des::power::PowerModel;
+use gm_des::masked::core_ff::CycleRecord;
+use gm_des::masked::{BitslicedDes, MaskedDesFf};
+use gm_des::power::{CycleLaneCounters, PowerModel};
 use gm_des::reference::round_keys;
 use gm_des::sbox::{masked_sbox, SboxRandomness};
 use gm_des::tables::{permute, E, IP};
 use gm_leakage::Cpa;
+use gm_netlist::bitslice::LANES;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
+
+/// Acquisition-order trace generator for the attacks: draws plaintexts,
+/// runs the masked FF core, and yields `(plaintext, trace)` pairs. The
+/// default backend packs 64 encryptions per pass through the bitsliced
+/// engine; `--scalar` replays them one at a time through the reference
+/// core. Both consume the plaintext/mask/noise RNG streams identically,
+/// so the attack statistics are bit-for-bit the same either way.
+struct TraceGen {
+    scalar: Option<MaskedDesFf>,
+    engine: BitslicedDes,
+    mask_rng: MaskRng,
+    pt_rng: SmallRng,
+    power: PowerModel,
+    counters: CycleLaneCounters,
+    pts: Vec<u64>,
+    cycles: Vec<CycleRecord>,
+    lane: usize,
+    /// Traces not yet yielded (sizes the final partial lane group so the
+    /// plaintext RNG consumption matches the scalar path exactly).
+    remaining: u64,
+}
+
+impl TraceGen {
+    fn new(
+        key: u64,
+        mask_rng: MaskRng,
+        pt_rng: SmallRng,
+        power: PowerModel,
+        total: u64,
+        scalar: bool,
+    ) -> Self {
+        TraceGen {
+            scalar: scalar.then(|| MaskedDesFf::new(key)),
+            engine: BitslicedDes::new(key),
+            mask_rng,
+            pt_rng,
+            power,
+            counters: CycleLaneCounters::new(),
+            pts: Vec::with_capacity(LANES),
+            cycles: Vec::with_capacity(MaskedDesFf::TOTAL_CYCLES),
+            lane: 0,
+            remaining: total,
+        }
+    }
+
+    /// Fill `out` with the next power trace; returns its plaintext.
+    fn next_into(&mut self, out: &mut [f64]) -> u64 {
+        self.remaining -= 1;
+        if let Some(core) = &self.scalar {
+            let pt: u64 = self.pt_rng.random();
+            let (_, cycles) = core.encrypt_with_cycles(pt, &mut self.mask_rng);
+            self.power.trace_into(&cycles, out);
+            return pt;
+        }
+        if self.lane == self.pts.len() {
+            let group = (self.remaining + 1).min(LANES as u64) as usize;
+            self.pts.clear();
+            for _ in 0..group {
+                self.pts.push(self.pt_rng.random());
+            }
+            self.engine.encrypt_ff_group(&self.pts, &mut self.mask_rng, &mut self.counters);
+            self.lane = 0;
+        }
+        self.counters.lane_into(self.lane, &mut self.cycles);
+        self.power.trace_into(&self.cycles, out);
+        let pt = self.pts[self.lane];
+        self.lane += 1;
+        pt
+    }
+}
 
 /// Predicted leakage for S-box `s` under subkey guess `k`.
 ///
@@ -44,18 +116,24 @@ fn prediction(pt: u64, s: usize, k: u8) -> f64 {
     out.iter().map(|b| f64::from(u8::from(b.s0) + u8::from(b.s1))).sum()
 }
 
-fn attack(key: u64, prng_on: bool, traces: u64, noise: f64, seed: u64) -> (Vec<u8>, Vec<f64>) {
-    let core = MaskedDesFf::new(key);
-    let mut mask_rng = if prng_on { MaskRng::new(seed) } else { MaskRng::disabled() };
-    let mut pt_rng = SmallRng::seed_from_u64(seed ^ 0xccaa);
-    let mut power = PowerModel::ff(noise, seed ^ 0x90);
+fn attack(
+    key: u64,
+    prng_on: bool,
+    traces: u64,
+    noise: f64,
+    seed: u64,
+    scalar: bool,
+) -> (Vec<u8>, Vec<f64>) {
+    let mask_rng = if prng_on { MaskRng::new(seed) } else { MaskRng::disabled() };
+    let pt_rng = SmallRng::seed_from_u64(seed ^ 0xccaa);
+    let power = PowerModel::ff(noise, seed ^ 0x90);
+    let mut gen = TraceGen::new(key, mask_rng, pt_rng, power, traces, scalar);
 
     let mut cpas: Vec<Cpa> = (0..8).map(|_| Cpa::new(64, MaskedDesFf::TOTAL_CYCLES)).collect();
     let mut preds = vec![0.0f64; 64];
+    let mut trace = vec![0.0f64; MaskedDesFf::TOTAL_CYCLES];
     for _ in 0..traces {
-        let pt: u64 = pt_rng.random();
-        let (_, cycles) = core.encrypt_with_cycles(pt, &mut mask_rng);
-        let trace = power.trace(&cycles);
+        let pt = gen.next_into(&mut trace);
         for (s, cpa) in cpas.iter_mut().enumerate() {
             for (k, p) in preds.iter_mut().enumerate() {
                 *p = prediction(pt, s, k as u8);
@@ -89,19 +167,27 @@ fn prediction2(pt: u64, s: usize, k: u8) -> f64 {
 
 /// Second-order CPA against the fully masked core: centre and square the
 /// traces, then correlate with the variance model.
-fn attack_second_order(key: u64, traces: u64, noise: f64, seed: u64) -> (Vec<u8>, Vec<f64>) {
-    let core = MaskedDesFf::new(key);
-    let mut mask_rng = MaskRng::new(seed);
-    let mut pt_rng = SmallRng::seed_from_u64(seed ^ 0x2ccaa);
-    let mut power = PowerModel::ff(noise, seed ^ 0x290);
+fn attack_second_order(
+    key: u64,
+    traces: u64,
+    noise: f64,
+    seed: u64,
+    scalar: bool,
+) -> (Vec<u8>, Vec<f64>) {
+    let mask_rng = MaskRng::new(seed);
+    let pt_rng = SmallRng::seed_from_u64(seed ^ 0x2ccaa);
+    let power = PowerModel::ff(noise, seed ^ 0x290);
+    // Pass 1 (calibration) and pass 2 share one generator, continuing
+    // the same RNG streams — as the scalar loops did.
+    let calib = (traces / 4).max(500);
+    let mut gen = TraceGen::new(key, mask_rng, pt_rng, power, calib + traces, scalar);
+    let mut trace = vec![0.0f64; MaskedDesFf::TOTAL_CYCLES];
 
     // Pass 1: per-sample means (streaming, over a prefix).
-    let calib = (traces / 4).max(500);
     let mut mean = vec![0.0f64; MaskedDesFf::TOTAL_CYCLES];
     for _ in 0..calib {
-        let pt: u64 = pt_rng.random();
-        let (_, cycles) = core.encrypt_with_cycles(pt, &mut mask_rng);
-        for (m, t) in mean.iter_mut().zip(power.trace(&cycles)) {
+        gen.next_into(&mut trace);
+        for (m, t) in mean.iter_mut().zip(&trace) {
             *m += t;
         }
     }
@@ -112,9 +198,7 @@ fn attack_second_order(key: u64, traces: u64, noise: f64, seed: u64) -> (Vec<u8>
     let mut preds = vec![0.0f64; 64];
     let mut sq = vec![0.0f64; MaskedDesFf::TOTAL_CYCLES];
     for _ in 0..traces {
-        let pt: u64 = pt_rng.random();
-        let (_, cycles) = core.encrypt_with_cycles(pt, &mut mask_rng);
-        let trace = power.trace(&cycles);
+        let pt = gen.next_into(&mut trace);
         for ((q, t), m) in sq.iter_mut().zip(&trace).zip(&mean) {
             let c = t - m;
             *q = c * c;
@@ -142,11 +226,14 @@ fn main() {
     let k1 = round_keys(key)[0];
     let true_chunks: Vec<u8> = (0..8).map(|s| ((k1 >> (42 - 6 * s)) & 0x3F) as u8).collect();
     println!("CPA key recovery against the masked DES cores");
-    println!("target: round key K1 = {k1:012x} (8 × 6-bit chunks)\n");
+    println!(
+        "target: round key K1 = {k1:012x} (8 × 6-bit chunks; {} trace backend)\n",
+        if args.scalar { "scalar" } else { "bitsliced" }
+    );
 
     // Attack 1: PRNG off.
     let n_off = args.trace_count(2_000, 6_000);
-    let (guesses, peaks) = attack(key, false, n_off, 6.0, args.seed);
+    let (guesses, peaks) = attack(key, false, n_off, 6.0, args.seed, args.scalar);
     println!("--- PRNG OFF, {n_off} traces ---");
     println!("  sbox  guess  true  peak-rho  correct");
     let mut correct = 0;
@@ -166,7 +253,7 @@ fn main() {
 
     // Attack 2: PRNG on, many more traces.
     let n_on = 4 * n_off;
-    let (guesses_on, peaks_on) = attack(key, true, n_on, 6.0, args.seed ^ 1);
+    let (guesses_on, peaks_on) = attack(key, true, n_on, 6.0, args.seed ^ 1, args.scalar);
     let correct_on = (0..8).filter(|&s| guesses_on[s] == true_chunks[s]).count();
     let max_peak = peaks_on.iter().cloned().fold(0.0f64, f64::max);
     println!("--- PRNG ON (masked), {n_on} traces ---");
@@ -184,7 +271,7 @@ fn main() {
     // §VII-A "an adversary would likely be better off using a
     // second-order attack".
     let n_2nd = 8 * n_off;
-    let (g2, p2) = attack_second_order(key, n_2nd, 6.0, args.seed ^ 2);
+    let (g2, p2) = attack_second_order(key, n_2nd, 6.0, args.seed ^ 2, args.scalar);
     let correct_2nd = (0..8).filter(|&s| g2[s] == true_chunks[s]).count();
     println!("--- PRNG ON (masked), SECOND-order CPA, {n_2nd} traces ---");
     println!("  sbox  guess  true  peak-rho  correct");

@@ -6,10 +6,10 @@
 //! characteristic shape — sixteen repeating seven-cycle round bursts
 //! after the load spike — mirrors the paper's oscilloscope shot.
 
+use gm_bench::panel::{ascii_power, single_trace};
 use gm_bench::Args;
 use gm_des::tvla_src::{CoreVariant, GateLevelSource, SourceConfig};
 use gm_leakage::report;
-use gm_leakage::tvla::{Class, TraceSource};
 
 fn main() {
     let args = Args::parse();
@@ -18,8 +18,7 @@ fn main() {
     cfg.noise_sigma = 4.0; // oscilloscope-style mild noise
     let bins_per_cycle = 4;
     let mut src = GateLevelSource::new(cfg, bins_per_cycle, 0.0);
-    let mut trace = vec![0.0; src.num_samples()];
-    src.trace(Class::Fixed, &mut trace);
+    let trace = single_trace(&mut src);
 
     println!("FIG. 13 — power trace of the protected DES (secAND2-FF, 7 cycles/round)");
     println!(
@@ -50,26 +49,4 @@ fn main() {
         round_energy.iter().cloned().fold(f64::MAX, f64::min),
         round_energy.iter().cloned().fold(f64::MIN, f64::max)
     );
-}
-
-/// Oscilloscope-style ASCII rendering (positive-only amplitude rows).
-fn ascii_power(trace: &[f64], width: usize) -> String {
-    const ROWS: usize = 12;
-    let cols = width.min(trace.len()).max(1);
-    let window = trace.len().div_ceil(cols);
-    let peaks: Vec<f64> =
-        trace.chunks(window).map(|c| c.iter().cloned().fold(0.0, f64::max)).collect();
-    let max = peaks.iter().cloned().fold(1.0, f64::max);
-    let mut out = String::new();
-    for row in (1..=ROWS).rev() {
-        let level = max * row as f64 / ROWS as f64;
-        out.push_str("  ");
-        for &p in &peaks {
-            out.push(if p >= level { '#' } else { ' ' });
-        }
-        out.push('\n');
-    }
-    out.push_str("  ");
-    out.push_str(&"-".repeat(peaks.len()));
-    out
 }

@@ -16,7 +16,7 @@
 
 use gm_bench::panel::{max_abs, print_panel};
 use gm_bench::Args;
-use gm_des::tvla_src::{CoreVariant, CycleModelSource, SourceConfig};
+use gm_des::tvla_src::{AnyCycleSource, CoreVariant, SourceConfig};
 use gm_leakage::detect::{consistent_leaks, first_detection};
 use gm_leakage::Campaign;
 
@@ -26,8 +26,9 @@ fn main() {
     let args = Args::parse();
     let traces = args.trace_count(40_000, 400_000);
     let run_all = args.panel.is_none();
+    let backend = if args.scalar { "scalar reference" } else { "64-way bitsliced" };
     println!("FIG. 14 — leakage assessment, protected DES with secAND2-FF");
-    println!("(campaign: {traces} traces ≙ the paper's 50M; threshold ±4.5)\n");
+    println!("(campaign: {traces} traces ≙ the paper's 50M; threshold ±4.5; {backend} backend)\n");
 
     // Panel (a): PRNG off.
     if run_all || args.panel.as_deref() == Some("a") {
@@ -35,7 +36,7 @@ fn main() {
         cfg.prng_on = false;
         cfg.seed = args.seed;
         let campaign = Campaign::parallel(traces.min(50_000), args.seed);
-        let det = first_detection(&campaign, &CycleModelSource::new(cfg.clone()), 16);
+        let det = first_detection(&campaign, &AnyCycleSource::new(cfg.clone(), args.scalar), 16);
         println!("--- panel (a): PRNG off (sanity check) ---");
         match det.traces {
             Some(n) => println!(
@@ -44,7 +45,7 @@ fn main() {
             ),
             None => println!("NO DETECTION — setup broken!"),
         }
-        let src = CycleModelSource::new(cfg);
+        let src = AnyCycleSource::new(cfg, args.scalar);
         let r = Campaign::parallel(12_000.min(traces), args.seed ^ 0xa).run(&src);
         print_panel("panel (a) t-curves @12k traces", &r, &args.out_dir, "fig14a");
     }
@@ -58,7 +59,7 @@ fn main() {
         let mut cfg = SourceConfig::new(CoreVariant::Ff);
         cfg.fixed_pt = pt;
         cfg.seed = args.seed ^ (i as u64) << 8;
-        let src = CycleModelSource::new(cfg);
+        let src = AnyCycleSource::new(cfg, args.scalar);
         let r = Campaign::parallel(traces, args.seed ^ (0xb + i as u64)).run(&src);
         print_panel(
             &format!("panel ({panel}): PRNG on, fixed plaintext {pt:#018x}"),

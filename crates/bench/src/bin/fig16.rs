@@ -5,10 +5,10 @@
 //! evaluates combinationally inside each cycle, and the delay lines add
 //! a long activity tail within the cycle.
 
+use gm_bench::panel::{ascii_power, single_trace};
 use gm_bench::Args;
 use gm_des::tvla_src::{CoreVariant, GateLevelSource, SourceConfig};
 use gm_leakage::report;
-use gm_leakage::tvla::{Class, TraceSource};
 
 fn main() {
     let args = Args::parse();
@@ -17,8 +17,7 @@ fn main() {
     cfg.noise_sigma = 4.0;
     let bins_per_cycle = 8;
     let mut src = GateLevelSource::new(cfg, bins_per_cycle, 0.4);
-    let mut trace = vec![0.0; src.num_samples()];
-    src.trace(Class::Fixed, &mut trace);
+    let trace = single_trace(&mut src);
 
     println!("FIG. 16 — power trace of the protected DES (secAND2-PD, 2 cycles/round)");
     println!(
@@ -33,25 +32,4 @@ fn main() {
     let path = format!("{}/fig16_power_trace.csv", args.out_dir);
     report::write_csv(&path, &["sample", "power"], &[&trace]).expect("write CSV");
     println!("CSV written to {path}");
-}
-
-fn ascii_power(trace: &[f64], width: usize) -> String {
-    const ROWS: usize = 12;
-    let cols = width.min(trace.len()).max(1);
-    let window = trace.len().div_ceil(cols);
-    let peaks: Vec<f64> =
-        trace.chunks(window).map(|c| c.iter().cloned().fold(0.0, f64::max)).collect();
-    let max = peaks.iter().cloned().fold(1.0, f64::max);
-    let mut out = String::new();
-    for row in (1..=ROWS).rev() {
-        let level = max * row as f64 / ROWS as f64;
-        out.push_str("  ");
-        for &p in &peaks {
-            out.push(if p >= level { '#' } else { ' ' });
-        }
-        out.push('\n');
-    }
-    out.push_str("  ");
-    out.push_str(&"-".repeat(peaks.len()));
-    out
 }

@@ -13,7 +13,7 @@
 use gm_bench::panel::{max_abs, print_panel};
 use gm_bench::Args;
 use gm_des::power::PdLeakModel;
-use gm_des::tvla_src::{CoreVariant, CycleModelSource, GateLevelSource, SourceConfig};
+use gm_des::tvla_src::{AnyCycleSource, CoreVariant, GateLevelSource, SourceConfig};
 use gm_leakage::detect::{consistent_leaks, first_detection};
 use gm_leakage::Campaign;
 
@@ -60,8 +60,9 @@ fn main() {
         return;
     }
     let traces = args.trace_count(40_000, 400_000);
+    let backend = if args.scalar { "scalar reference" } else { "64-way bitsliced" };
     println!("FIG. 17 — leakage assessment, protected DES with secAND2-PD (10-LUT units)");
-    println!("(campaign: {traces} traces ≙ the paper's 50M; threshold ±4.5)\n");
+    println!("(campaign: {traces} traces ≙ the paper's 50M; threshold ±4.5; {backend} backend)\n");
 
     let variant = CoreVariant::Pd { unit_luts: 10 };
 
@@ -74,7 +75,7 @@ fn main() {
         let mut cfg = SourceConfig::new(variant);
         cfg.fixed_pt = pt;
         cfg.seed = args.seed ^ (i as u64) << 8;
-        let src = CycleModelSource::new(cfg.clone());
+        let src = AnyCycleSource::new(cfg.clone(), args.scalar);
         let r = Campaign::parallel(traces, args.seed ^ (0x17 + i as u64)).run(&src);
         print_panel(
             &format!("panel ({panel}): PRNG on, fixed plaintext {pt:#018x}"),
@@ -88,7 +89,7 @@ fn main() {
             // When does the first-order crossing appear?
             let det = first_detection(
                 &Campaign::parallel(traces, args.seed ^ 0x171),
-                &CycleModelSource::new(cfg),
+                &AnyCycleSource::new(cfg, args.scalar),
                 1024,
             );
             match det.traces {
@@ -124,7 +125,7 @@ fn main() {
         cfg.seed = args.seed ^ 0xd;
         let det = first_detection(
             &Campaign::parallel(traces.min(50_000), args.seed ^ 0x17d),
-            &CycleModelSource::new(cfg.clone()),
+            &AnyCycleSource::new(cfg.clone(), args.scalar),
             16,
         );
         println!("--- panel (d): PRNG off (sanity check) ---");
@@ -135,7 +136,7 @@ fn main() {
             ),
             None => println!("NO DETECTION — setup broken!"),
         }
-        let src = CycleModelSource::new(cfg);
+        let src = AnyCycleSource::new(cfg, args.scalar);
         let r = Campaign::parallel(12_000.min(traces), args.seed ^ 0x17e).run(&src);
         print_panel("panel (d) t-curves @12k traces", &r, &args.out_dir, "fig17d");
     }
@@ -147,7 +148,7 @@ fn main() {
         cfg.seed = args.seed ^ 0xab1;
         let mut leak = PdLeakModel::optimal();
         leak.coupling_eps = 0.0;
-        let src = CycleModelSource::with_pd_leak(cfg, leak);
+        let src = AnyCycleSource::with_pd_leak(cfg, leak, args.scalar);
         let r = Campaign::parallel(traces, args.seed ^ 0xab2).run(&src);
         let m1 = max_abs(&r.t1());
         println!("=== attribution ablation: coupling term disabled ===");

@@ -8,31 +8,17 @@
 //! while the instrument noise dominates, then saturates at the intrinsic
 //! share-activity noise floor (which replicates coherently too).
 
+use gm_bench::gate::{bank_share_net, build_sec_and2_bank, CYCLE_PS};
 use gm_bench::Args;
-use gm_core::gadgets::sec_and2::build_sec_and2;
-use gm_core::gadgets::AndInputs;
+use gm_core::schedule::InputShare;
 use gm_core::{MaskRng, MaskedBit};
 use gm_leakage::Snr;
-use gm_netlist::{NetId, Netlist};
 use gm_sim::power::PowerTrace;
-use gm_sim::{DelayModel, MeasurementModel, Simulator};
+use gm_sim::{DelayModel, MeasurementModel, SimCore};
 
-fn build_bank(replicas: usize) -> (Netlist, [NetId; 4]) {
-    let mut n = Netlist::new("bank");
-    let x0 = n.input("x0");
-    let x1 = n.input("x1");
-    let y0 = n.input("y0");
-    let y1 = n.input("y1");
-    for r in 0..replicas {
-        n.in_module(format!("g{r}"), |n| {
-            let out = build_sec_and2(n, AndInputs { x0, x1, y0, y1 });
-            n.output(format!("z0_{r}"), out.z0);
-            n.output(format!("z1_{r}"), out.z1);
-        });
-    }
-    n.validate().unwrap();
-    (n, [x0, x1, y0, y1])
-}
+/// The leaky arrival order of Table I: an `x` share last.
+const LEAKY_ORDER: [InputShare; 4] =
+    [InputShare::Y1, InputShare::Y0, InputShare::X1, InputShare::X0];
 
 fn main() {
     let args = Args::parse();
@@ -44,26 +30,38 @@ fn main() {
 
     let mut base = None;
     for replicas in [1usize, 2, 4, 8, 16] {
-        let (n, [x0, x1, y0, y1]) = build_bank(replicas);
-        let delays = DelayModel::with_variation(&n, 0.15, 40.0, args.seed);
+        // Shared bank + persistent event core (reset per trace), the
+        // same plumbing the Table I campaign sources ride.
+        let bank = build_sec_and2_bank(replicas);
+        let delays = DelayModel::with_variation(&bank.netlist, 0.15, 40.0, args.seed);
+        let mut sim = SimCore::new(&bank.graph, args.seed ^ 0x51);
+        let mut trace = PowerTrace::new(0, CYCLE_PS, 4);
         let mut mask_rng = MaskRng::new(args.seed ^ replicas as u64);
         let mut meas = MeasurementModel::new(1.0, 3.0, 18, args.seed ^ 0x77);
         let mut snr = Snr::new();
+        let mut samples = vec![0.0f64; 4];
         for t in 0..traces {
             let xv = mask_rng.bit();
             let yv = mask_rng.bit();
             let mx = MaskedBit::mask(xv, &mut mask_rng);
             let my = MaskedBit::mask(yv, &mut mask_rng);
-            let mut sim = Simulator::new(&n, &delays, args.seed ^ t ^ 0x51);
-            sim.init_all_zero();
-            // The leaky order: x0 last.
-            sim.schedule(y1, 1_000, my.s1);
-            sim.schedule(y0, 51_000, my.s0);
-            sim.schedule(x1, 101_000, mx.s1);
-            sim.schedule(x0, 151_000, mx.s0);
-            let mut trace = PowerTrace::new(0, 50_000, 4);
-            sim.run_until(200_000, &mut trace);
-            let mut samples = trace.into_samples();
+            sim.reset(&bank.graph, args.seed ^ t ^ 0x51);
+            trace.clear();
+            let value = |s: InputShare| match s {
+                InputShare::X0 => mx.s0,
+                InputShare::X1 => mx.s1,
+                InputShare::Y0 => my.s0,
+                InputShare::Y1 => my.s1,
+            };
+            for (cycle, &share) in LEAKY_ORDER.iter().enumerate() {
+                sim.schedule(
+                    bank_share_net(&bank, share),
+                    cycle as u64 * CYCLE_PS + 1_000,
+                    value(share),
+                );
+            }
+            sim.run_until(&bank.graph, &delays, 4 * CYCLE_PS, &mut trace);
+            samples.copy_from_slice(trace.samples());
             meas.apply(&mut samples);
             // Label = the unshared y (what the final cycle exposes).
             snr.add(u64::from(yv), &samples);

@@ -7,6 +7,11 @@
 //! simulation — plus an ablation with a deliberately wrong sequence
 //! (an `x` share arriving last, Table I's leaky pattern), which must
 //! leak.
+//!
+//! Like every glitch-domain campaign this one deliberately stays on the
+//! scalar event-driven simulator (per-edge timing cannot be packed into
+//! lanes; see DESIGN.md §2); it rides the same persistent-worker pool
+//! and blocked trace ingest as the bitsliced cycle-model campaigns.
 
 use gm_bench::Args;
 use gm_core::compose::build_product_chain_pd_with_schedule;
@@ -166,7 +171,11 @@ fn main() {
                 args.seed ^ (k as u64) << 4 | u64::from(sabotage),
             ));
             let src = ChainSource::new(Arc::clone(&bank), Arc::clone(&delays), args.seed);
-            let r = Campaign::parallel(traces, args.seed ^ (k as u64)).run(&src);
+            let mut campaign = Campaign::parallel(traces, args.seed ^ (k as u64));
+            if let Some(t) = args.threads {
+                campaign.threads = t;
+            }
+            let r = campaign.run(&src);
             let t1 = r.t1();
             let max_t = t1.iter().fold(0.0f64, |m, t| m.max(t.abs()));
             let leak = leaks(&t1);

@@ -22,6 +22,9 @@ pub struct Args {
     /// `--gate-level`: run the campaign on the event-driven gate-level
     /// netlist instead of the cycle model (binaries that support both).
     pub gate_level: bool,
+    /// `--scalar`: use the scalar cycle-model reference instead of the
+    /// 64-way bitsliced backend (bit-identical results, slower).
+    pub scalar: bool,
 }
 
 impl Default for Args {
@@ -35,6 +38,7 @@ impl Default for Args {
             threads: None,
             label: None,
             gate_level: false,
+            scalar: false,
         }
     }
 }
@@ -63,9 +67,10 @@ impl Args {
                 }
                 "--label" => args.label = Some(grab()),
                 "--gate-level" => args.gate_level = true,
+                "--scalar" => args.scalar = true,
                 other => panic!(
                     "unknown flag {other}; supported: --traces N --seed S --panel X --out DIR \
-                     --quick --threads N --label S --gate-level"
+                     --quick --threads N --label S --gate-level --scalar"
                 ),
             }
         }
@@ -99,7 +104,7 @@ mod tests {
     fn flags() {
         let a = parse(
             "--traces 5000 --seed 7 --panel d --out /tmp/x --quick --threads 8 --label s \
-             --gate-level",
+             --gate-level --scalar",
         );
         assert_eq!(a.traces, Some(5000));
         assert_eq!(a.seed, 7);
@@ -109,6 +114,7 @@ mod tests {
         assert_eq!(a.threads, Some(8));
         assert_eq!(a.label.as_deref(), Some("s"));
         assert!(a.gate_level);
+        assert!(a.scalar);
     }
 
     #[test]

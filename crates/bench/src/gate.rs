@@ -58,6 +58,17 @@ pub fn build_sec_and2_bank(replicas: usize) -> SecAnd2Bank {
     SecAnd2Bank { netlist: n, graph, x0, x1, y0, y1 }
 }
 
+/// The bank input net carrying the given share (shared by every
+/// experiment that drives a [`SecAnd2Bank`] in some arrival order).
+pub fn bank_share_net(bank: &SecAnd2Bank, s: InputShare) -> NetId {
+    match s {
+        InputShare::X0 => bank.x0,
+        InputShare::X1 => bank.x1,
+        InputShare::Y0 => bank.y0,
+        InputShare::Y1 => bank.y1,
+    }
+}
+
 /// Table I trace source: drives the four shares into the bank in one
 /// arrival order (one share per cycle) and bins switching power per cycle.
 pub struct SequenceSource {
@@ -98,12 +109,7 @@ impl SequenceSource {
 
     /// The input net carrying the given share.
     pub fn share_net(&self, s: InputShare) -> NetId {
-        match s {
-            InputShare::X0 => self.bank.x0,
-            InputShare::X1 => self.bank.x1,
-            InputShare::Y0 => self.bank.y0,
-            InputShare::Y1 => self.bank.y1,
-        }
+        bank_share_net(&self.bank, s)
     }
 }
 

@@ -1,7 +1,9 @@
 //! Shared rendering for the TVLA figure panels (Figs. 14, 15, 17):
 //! first/second/third-order t curves as ASCII profiles plus CSV dumps,
-//! mirroring the three-row subfigures of the paper.
+//! mirroring the three-row subfigures of the paper — and the
+//! oscilloscope-style single-trace rendering of Figs. 13/16.
 
+use gm_leakage::tvla::{Class, TraceSource};
 use gm_leakage::{report, TvlaResult, THRESHOLD};
 use std::path::Path;
 
@@ -30,6 +32,37 @@ pub fn print_panel(title: &str, result: &TvlaResult, out_dir: &str, file_stem: &
 /// One-line panel summary (for sweep tables).
 pub fn summary_line(result: &TvlaResult) -> (f64, f64, f64) {
     (max_abs(&result.t1()), max_abs(&result.t2()), max_abs(&result.t3()))
+}
+
+/// Acquire one fixed-class trace from any [`TraceSource`] (the Figs.
+/// 13/16 single-shot view).
+pub fn single_trace<S: TraceSource>(src: &mut S) -> Vec<f64> {
+    let mut trace = vec![0.0; src.num_samples()];
+    src.trace(Class::Fixed, &mut trace);
+    trace
+}
+
+/// Oscilloscope-style ASCII rendering of a power trace
+/// (positive-only amplitude rows, peak-hold downsampling).
+pub fn ascii_power(trace: &[f64], width: usize) -> String {
+    const ROWS: usize = 12;
+    let cols = width.min(trace.len()).max(1);
+    let window = trace.len().div_ceil(cols);
+    let peaks: Vec<f64> =
+        trace.chunks(window).map(|c| c.iter().cloned().fold(0.0, f64::max)).collect();
+    let max = peaks.iter().cloned().fold(1.0, f64::max);
+    let mut out = String::new();
+    for row in (1..=ROWS).rev() {
+        let level = max * row as f64 / ROWS as f64;
+        out.push_str("  ");
+        for &p in &peaks {
+            out.push(if p >= level { '#' } else { ' ' });
+        }
+        out.push('\n');
+    }
+    out.push_str("  ");
+    out.push_str(&"-".repeat(peaks.len()));
+    out
 }
 
 #[cfg(test)]

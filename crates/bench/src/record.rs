@@ -5,6 +5,21 @@
 
 use std::io::Write as _;
 
+/// Short git revision of the working tree, for provenance in bench
+/// records. Returns `"unknown"` outside a git checkout (e.g. a source
+/// tarball) so the harnesses never fail over bookkeeping.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
 /// Append a record to a JSON array file, creating the file on first use.
 pub fn append_record(path: &str, record: &str) -> std::io::Result<()> {
     let body = match std::fs::read_to_string(path) {

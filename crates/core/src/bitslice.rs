@@ -1,0 +1,149 @@
+//! Lane-parallel (64-way bitsliced) two-share masking primitives.
+//!
+//! [`LaneBit`] is the transposed counterpart of [`crate::MaskedBit`]:
+//! each share is a `u64` whose bit `ℓ` is that share's value in lane
+//! `ℓ`, so one word operation advances 64 independent masked
+//! evaluations. The share algebra (XOR, NOT-on-one-share, refresh,
+//! `secAND2`) is bitwise, hence identical formulas lane-parallel.
+
+use gm_netlist::bitslice::transpose64;
+
+/// Broadcast a boolean to all 64 lanes.
+#[inline]
+pub fn splat(b: bool) -> u64 {
+    if b {
+        u64::MAX
+    } else {
+        0
+    }
+}
+
+/// One sensitive bit in two Boolean shares, across 64 lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LaneBit {
+    /// Share 0, one bit per lane.
+    pub s0: u64,
+    /// Share 1 (`value ⊕ s0`), one bit per lane.
+    pub s1: u64,
+}
+
+impl LaneBit {
+    /// A public constant, identical in every lane: `(c, 0)`.
+    #[inline]
+    pub fn constant(c: bool) -> Self {
+        LaneBit { s0: splat(c), s1: 0 }
+    }
+
+    /// Share `values` (one bit per lane) under per-lane masks `m`.
+    #[inline]
+    pub fn mask_words(values: u64, m: u64) -> Self {
+        LaneBit { s0: m, s1: values ^ m }
+    }
+
+    /// The unshared per-lane values (insecure on a device, fine in a
+    /// simulator's power model).
+    #[inline]
+    pub fn unmask(self) -> u64 {
+        self.s0 ^ self.s1
+    }
+
+    /// Share-wise XOR (linear, always safe).
+    #[inline]
+    pub fn xor(self, other: LaneBit) -> Self {
+        LaneBit { s0: self.s0 ^ other.s0, s1: self.s1 ^ other.s1 }
+    }
+
+    /// XOR with a public constant (flips one share in every lane).
+    #[inline]
+    pub fn xor_const(self, c: bool) -> Self {
+        LaneBit { s0: self.s0 ^ splat(c), s1: self.s1 }
+    }
+
+    /// Masked NOT (flips one share in every lane).
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    pub fn not(self) -> Self {
+        self.xor_const(true)
+    }
+
+    /// Re-mask with per-lane fresh bits `m` (the refresh gadget of
+    /// Fig. 7, lane-parallel).
+    #[inline]
+    pub fn refresh_with(self, m: u64) -> Self {
+        LaneBit { s0: self.s0 ^ m, s1: self.s1 ^ m }
+    }
+}
+
+/// Lane-parallel `secAND2` (Fig. 2): the same share formulas as
+/// [`crate::gadgets::sec_and2`], word-wide —
+/// `z₀ = (x₀·y₀) ⊕ (x₀ + ¬y₁)`, `z₁ = (x₁·y₀) ⊕ (x₁ + ¬y₁)`.
+#[inline]
+pub fn sec_and2_lanes(x: LaneBit, y: LaneBit) -> LaneBit {
+    let ny1 = !y.s1;
+    LaneBit { s0: (x.s0 & y.s0) ^ (x.s0 | ny1), s1: (x.s1 & y.s0) ^ (x.s1 | ny1) }
+}
+
+/// Transpose 64 lane-major words (`src[lane]` = a trace's bits) into
+/// bit-major words (`out[bit]` = that bit across lanes). `src` may hold
+/// fewer than 64 lanes; missing lanes read as 0.
+pub fn lanes_to_bits(src: &[u64], out: &mut [u64; 64]) {
+    assert!(src.len() <= 64, "at most 64 lanes");
+    out[..src.len()].copy_from_slice(src);
+    out[src.len()..].fill(0);
+    transpose64(out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gadgets::sec_and2;
+    use crate::{MaskRng, MaskedBit};
+
+    /// The lane gadget agrees with the scalar gadget in every lane, for
+    /// random sharings.
+    #[test]
+    fn sec_and2_lanes_matches_scalar() {
+        let mut rng = MaskRng::new(0x1a7e);
+        for _ in 0..16 {
+            let (x0, x1, y0, y1) = (rng.bits(64), rng.bits(64), rng.bits(64), rng.bits(64));
+            let x = LaneBit { s0: x0, s1: x1 };
+            let y = LaneBit { s0: y0, s1: y1 };
+            let z = sec_and2_lanes(x, y);
+            for lane in 0..64 {
+                let pick = |w: u64| (w >> lane) & 1 == 1;
+                let zs = sec_and2(
+                    MaskedBit { s0: pick(x0), s1: pick(x1) },
+                    MaskedBit { s0: pick(y0), s1: pick(y1) },
+                );
+                assert_eq!((pick(z.s0), pick(z.s1)), (zs.s0, zs.s1), "lane {lane}");
+            }
+            assert_eq!(z.unmask(), (x0 ^ x1) & (y0 ^ y1), "functional AND");
+        }
+    }
+
+    #[test]
+    fn lane_bit_algebra() {
+        let mut rng = MaskRng::new(9);
+        let v = rng.bits(64);
+        let m = rng.bits(64);
+        let b = LaneBit::mask_words(v, m);
+        assert_eq!(b.unmask(), v);
+        assert_eq!(b.not().unmask(), !v);
+        assert_eq!(b.refresh_with(rng.bits(64)).unmask(), v);
+        assert_eq!(b.xor(LaneBit::constant(true)).unmask(), !v);
+        assert_eq!(LaneBit::constant(false).unmask(), 0);
+        assert_eq!(LaneBit::constant(true).unmask(), u64::MAX);
+    }
+
+    #[test]
+    fn lanes_to_bits_partial_tail() {
+        let src = [0b101u64, 0b011];
+        let mut out = [u64::MAX; 64];
+        lanes_to_bits(&src, &mut out);
+        assert_eq!(out[0] & 0b11, 0b11); // bit 0: both lanes 1
+        assert_eq!(out[1] & 0b11, 0b10); // bit 1: lane 1 only
+        assert_eq!(out[2] & 0b11, 0b01); // bit 2: lane 0 only
+        assert_eq!(out[3], 0);
+        assert_eq!(out[0] >> 2, 0, "absent lanes read as 0");
+    }
+}

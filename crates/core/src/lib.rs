@@ -23,11 +23,13 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod bitslice;
 pub mod compose;
 pub mod gadgets;
 pub mod rng;
 pub mod schedule;
 pub mod share;
 
+pub use bitslice::LaneBit;
 pub use rng::MaskRng;
 pub use share::{MaskedBit, MaskedWord};

@@ -15,17 +15,26 @@ use rand::{RngExt, SeedableRng};
 pub struct MaskRng {
     rng: SmallRng,
     enabled: bool,
+    /// Buffered word for [`MaskRng::bit`]; refilled 64 bits at a time so
+    /// per-bit refresh randomness costs one PRNG step per 64 calls.
+    bit_buf: u64,
+    bits_left: u32,
 }
 
 impl MaskRng {
     /// An enabled PRNG with the given seed.
     pub fn new(seed: u64) -> Self {
-        MaskRng { rng: SmallRng::seed_from_u64(seed ^ 0x2545_f491_4f6c_dd1d), enabled: true }
+        MaskRng {
+            rng: SmallRng::seed_from_u64(seed ^ 0x2545_f491_4f6c_dd1d),
+            enabled: true,
+            bit_buf: 0,
+            bits_left: 0,
+        }
     }
 
     /// The paper's "PRNG switched off" sanity-check mode: every bit is 0.
     pub fn disabled() -> Self {
-        MaskRng { rng: SmallRng::seed_from_u64(0), enabled: false }
+        MaskRng { rng: SmallRng::seed_from_u64(0), enabled: false, bit_buf: 0, bits_left: 0 }
     }
 
     /// Whether randomness is being produced.
@@ -34,11 +43,30 @@ impl MaskRng {
     }
 
     /// One random bit (always `false` when disabled).
+    ///
+    /// Bits are served low-to-high from a buffered PRNG word. Gadget
+    /// refresh pulls hundreds of single bits per encryption, so paying
+    /// one full PRNG step per bit dominated cycle-model campaigns; the
+    /// buffer amortises that to one step per 64 bits while keeping the
+    /// call-sequence → value mapping deterministic per seed.
     pub fn bit(&mut self) -> bool {
-        self.enabled && self.rng.random::<bool>()
+        if !self.enabled {
+            return false;
+        }
+        if self.bits_left == 0 {
+            self.bit_buf = self.rng.random();
+            self.bits_left = 64;
+        }
+        let b = self.bit_buf & 1 != 0;
+        self.bit_buf >>= 1;
+        self.bits_left -= 1;
+        b
     }
 
     /// `n ≤ 64` random bits in the low positions.
+    ///
+    /// Always draws a fresh PRNG word; the [`MaskRng::bit`] buffer is
+    /// left untouched.
     pub fn bits(&mut self, n: u32) -> u64 {
         assert!(n <= 64, "at most 64 bits at a time");
         if !self.enabled || n == 0 {

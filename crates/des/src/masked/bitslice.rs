@@ -1,0 +1,590 @@
+//! 64-way bitsliced evaluation of the masked DES cycle cores.
+//!
+//! [`BitslicedDes`] runs **64 independent masked encryptions at once**:
+//! every sensitive bit of the design is held as a [`LaneBit`] — two
+//! `u64` shares whose bit `ℓ` belongs to trace lane `ℓ` — so one word
+//! operation advances all 64 traces through a gate or gadget. The DES
+//! bit permutations (IP, E, P, PC1, PC2, FP) become index remaps of
+//! `[LaneBit; N]` arrays and cost nothing at run time.
+//!
+//! The engine replicates the *exact* cycle schedules of
+//! [`super::MaskedDesFf`] (3 lead-in + 16 × 7 = 115 cycles) and
+//! [`super::MaskedDesPd`] (2 lead-in + 16 × 2 = 34 cycles): every
+//! register/combinational toggle contribution a scalar core records is
+//! pushed as one toggle word into a [`CycleLaneCounters`], which reduces
+//! them to per-lane [`CycleRecord`](crate::masked::core_ff::CycleRecord)s
+//! by transpose + `count_ones`. Randomness is drawn from the *same*
+//! [`MaskRng`] in per-lane trace order (key mask, plaintext mask, then
+//! 16 × 14 refresh bits per lane), so lane `ℓ` of a group consumes the
+//! identical mask stream as the `ℓ`-th sequential scalar encryption —
+//! ciphertexts *and* cycle records are bit-identical, which the tests
+//! below and the campaign golden tests pin.
+//!
+//! A group may hold fewer than 64 lanes (the campaign tail): inactive
+//! lanes draw no randomness, compute with all-zero inputs, and are
+//! discarded at demux.
+
+use crate::power::CycleLaneCounters;
+use crate::sbox::masked::xor_plans;
+use crate::sbox::mini::TEN_PRODUCTS;
+use crate::tables::{E, FP, IP, P, PC1, PC2, SHIFTS};
+use gm_core::bitslice::{lanes_to_bits, sec_and2_lanes, splat, LaneBit};
+use gm_core::MaskRng;
+use gm_netlist::bitslice::SegLaneCounter;
+
+/// Apply a 1-based-from-MSB DES permutation table as an index remap.
+///
+/// Mirrors `crate::tables::permute` on LSB-indexed `[LaneBit]` arrays:
+/// output bit `k` (LSB-first) is source bit `src_width − table[L−1−k]`.
+fn bs_permute<const L: usize>(src: &[LaneBit], src_width: usize, table: &[u8; L]) -> [LaneBit; L] {
+    std::array::from_fn(|k| src[src_width - table[L - 1 - k] as usize])
+}
+
+/// Rotate-left of a 28-bit half, as an index remap: out bit `i` is in
+/// bit `(i + 28 − by) mod 28` (mirrors `crate::tables::rotl`).
+fn rot28(v: &[LaneBit; 28], by: usize) -> [LaneBit; 28] {
+    std::array::from_fn(|i| v[(i + 28 - by) % 28])
+}
+
+/// Push the share-wise Hamming weight of a word (one push per share bit).
+fn push_hw(c: &mut SegLaneCounter, w: &[LaneBit]) {
+    for b in w {
+        c.push2(b.s0, b.s1);
+    }
+}
+
+/// Push the share-wise Hamming distance between two words.
+fn push_hd(c: &mut SegLaneCounter, a: &[LaneBit], b: &[LaneBit]) {
+    for (x, y) in a.iter().zip(b) {
+        c.push2(x.s0 ^ y.s0, x.s1 ^ y.s1);
+    }
+}
+
+/// Record one `secAND2` evaluation's glitch/coupling exposure (the PD
+/// core's handles; the FF core passes `None` — its gadget never exposes).
+fn count_gadget(
+    exp: &mut Option<(&mut SegLaneCounter, &mut SegLaneCounter)>,
+    x: LaneBit,
+    y: LaneBit,
+) {
+    if let Some((glitch, coupling)) = exp.as_mut() {
+        glitch.push(y.unmask());
+        coupling.push(x.unmask());
+    }
+}
+
+/// Lane-parallel masked key schedule (all linear, applied per share).
+struct BsKs {
+    c: [LaneBit; 28],
+    d: [LaneBit; 28],
+    round: usize,
+}
+
+impl BsKs {
+    /// Mask `key` with per-lane mask words `km_t` (bit-major: `km_t[b]`
+    /// holds bit `b` of every lane's mask) and apply PC1.
+    fn new(key: u64, km_t: &[u64; 64]) -> Self {
+        let key_word: [LaneBit; 64] = std::array::from_fn(|b| LaneBit {
+            s0: km_t[b],
+            s1: splat((key >> b) & 1 == 1) ^ km_t[b],
+        });
+        let pc1 = bs_permute(&key_word, 64, &PC1);
+        let mut c = [LaneBit::default(); 28];
+        let mut d = [LaneBit::default(); 28];
+        d.copy_from_slice(&pc1[..28]);
+        c.copy_from_slice(&pc1[28..]);
+        BsKs { c, d, round: 0 }
+    }
+
+    fn next_round_key(&mut self) -> [LaneBit; 48] {
+        let by = usize::from(SHIFTS[self.round]);
+        self.c = rot28(&self.c, by);
+        self.d = rot28(&self.d, by);
+        self.round += 1;
+        let mut cd = [LaneBit::default(); 56];
+        cd[..28].copy_from_slice(&self.d);
+        cd[28..].copy_from_slice(&self.c);
+        bs_permute(&cd, 56, &PC2)
+    }
+}
+
+/// All intermediates of one lane-parallel S-box evaluation (the word
+/// form of [`crate::sbox::masked::SboxTrace`]; the exposure sums live in
+/// the caller's [`SegLaneCounter`]s instead of per-trace fields).
+#[derive(Debug, Clone, Copy)]
+struct BsSboxTrace {
+    products: [LaneBit; 10],
+    sel: [LaneBit; 4],
+    mini_out: [[LaneBit; 4]; 4],
+    out: [LaneBit; 4],
+}
+
+impl Default for BsSboxTrace {
+    fn default() -> Self {
+        let z = LaneBit::default();
+        BsSboxTrace { products: [z; 10], sel: [z; 4], mini_out: [[z; 4]; 4], out: [z; 4] }
+    }
+}
+
+/// Lane-parallel [`crate::sbox::masked::masked_sbox_trace`]: identical
+/// gadget composition and refresh points, word-wide. `pm`/`mm` are the
+/// per-lane fresh-mask words of the round's shared pool.
+fn bs_sbox_trace(
+    sbox: usize,
+    bits: &[LaneBit; 6],
+    pm: &[u64; 10],
+    mm: &[u64; 4],
+    exp: &mut Option<(&mut SegLaneCounter, &mut SegLaneCounter)>,
+) -> BsSboxTrace {
+    let v = [bits[4], bits[3], bits[2], bits[1]];
+
+    // AND stage: the ten products, then per-product refresh.
+    let mut products = [LaneBit::default(); 10];
+    for (i, &mask) in TEN_PRODUCTS.iter().enumerate() {
+        let mut acc: Option<LaneBit> = None;
+        for (k, &var) in v.iter().enumerate() {
+            if mask & (1 << k) != 0 {
+                acc = Some(match acc {
+                    None => var,
+                    Some(a) => {
+                        count_gadget(exp, a, var);
+                        sec_and2_lanes(a, var)
+                    }
+                });
+            }
+        }
+        let p = acc.expect("every product has at least two variables");
+        products[i] = p.refresh_with(pm[i]);
+    }
+
+    // XOR stage via the same precompiled per-output recipes.
+    let rows = &xor_plans()[sbox];
+    let mut mini_out = [[LaneBit::default(); 4]; 4];
+    for (r, plans) in rows.iter().enumerate() {
+        for (j, plan) in plans.iter().enumerate() {
+            let mut acc = LaneBit::constant(plan.constant);
+            for (k, &var) in v.iter().enumerate() {
+                if plan.lin & (1 << k) != 0 {
+                    acc = acc.xor(var);
+                }
+            }
+            for (idx, &p) in products.iter().enumerate() {
+                if plan.prods & (1 << idx) != 0 {
+                    acc = acc.xor(p);
+                }
+            }
+            mini_out[r][j] = acc;
+        }
+    }
+
+    // MUX stage 1: select products of (b0, b5), refreshed.
+    let mut sel = [LaneBit::default(); 4];
+    for (r, s) in sel.iter_mut().enumerate() {
+        let hi = if r & 0b10 != 0 { bits[0] } else { bits[0].not() };
+        let lo = if r & 0b01 != 0 { bits[5] } else { bits[5].not() };
+        count_gadget(exp, hi, lo);
+        *s = sec_and2_lanes(hi, lo).refresh_with(mm[r]);
+    }
+
+    // MUX stages 2 and 3.
+    let mut out = [LaneBit::default(); 4];
+    for (j, o) in out.iter_mut().enumerate() {
+        let mut acc = LaneBit::constant(false);
+        for r in 0..4 {
+            count_gadget(exp, sel[r], mini_out[r][j]);
+            acc = acc.xor(sec_and2_lanes(sel[r], mini_out[r][j]));
+        }
+        *o = acc;
+    }
+    BsSboxTrace { products, sel, mini_out, out }
+}
+
+/// Lane-parallel S-box layer on the mixed 48-bit word (LSB-indexed).
+fn bs_sbox_layer(
+    ir: &[LaneBit; 48],
+    pm: &[u64; 10],
+    mm: &[u64; 4],
+    traces: &mut [BsSboxTrace; 8],
+    mut exp: Option<(&mut SegLaneCounter, &mut SegLaneCounter)>,
+) -> [LaneBit; 32] {
+    let mut out = [LaneBit::default(); 32];
+    for s in 0..8 {
+        let bits: [LaneBit; 6] = std::array::from_fn(|i| ir[47 - (6 * s + i)]);
+        let t = bs_sbox_trace(s, &bits, pm, mm, &mut exp);
+        for (j, b) in t.out.iter().enumerate() {
+            out[31 - (4 * s + j)] = *b;
+        }
+        traces[s] = t;
+    }
+    out
+}
+
+/// One group's pre-drawn randomness, in per-lane trace order.
+struct GroupRandomness {
+    /// Lane-major key-mask words.
+    km: [u64; 64],
+    /// Lane-major plaintext-mask words.
+    ptm: [u64; 64],
+    /// Per-round fresh-mask words, already lane-transposed:
+    /// `pools[round][k]` bit `ℓ` = lane `ℓ`'s `k`-th drawn bit
+    /// (0–9 product masks, 10–13 MUX masks).
+    pools: [[u64; 14]; 16],
+}
+
+impl GroupRandomness {
+    /// Draw everything `active` sequential scalar encryptions would,
+    /// in the same per-lane order. Inactive lanes stay all-zero.
+    fn draw(rng: &mut MaskRng, active: usize, refresh_enabled: bool) -> Self {
+        let mut g = GroupRandomness { km: [0; 64], ptm: [0; 64], pools: [[0; 14]; 16] };
+        for lane in 0..active {
+            g.km[lane] = rng.bits(64);
+            g.ptm[lane] = rng.bits(64);
+            if refresh_enabled {
+                for round in 0..16 {
+                    for k in 0..14 {
+                        g.pools[round][k] |= u64::from(rng.bit()) << lane;
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    fn round_pool(&self, round: usize) -> (&[u64; 14], [u64; 10], [u64; 4]) {
+        let w = &self.pools[round];
+        let pm: [u64; 10] = w[..10].try_into().expect("10 product masks");
+        let mm: [u64; 4] = w[10..].try_into().expect("4 mux masks");
+        (w, pm, mm)
+    }
+}
+
+/// Unmask a 64-bit word array and transpose to lane-major values.
+fn bs_unmask_to_lanes(word: &[LaneBit; 64]) -> [u64; 64] {
+    let mut t: [u64; 64] = std::array::from_fn(|b| word[b].unmask());
+    gm_netlist::bitslice::transpose64(&mut t);
+    t
+}
+
+/// The 64-lane bitsliced masked DES engine (FF and PD schedules).
+#[derive(Debug, Clone)]
+pub struct BitslicedDes {
+    key: u64,
+    /// When false, the 14-bit refresh layer is skipped (no pool draws),
+    /// matching the scalar cores' §III-C ablation.
+    pub refresh_enabled: bool,
+}
+
+impl BitslicedDes {
+    /// An engine for a fixed key (re-masked per encryption, per lane).
+    pub fn new(key: u64) -> Self {
+        BitslicedDes { key, refresh_enabled: true }
+    }
+
+    /// Encrypt up to 64 plaintexts through the secAND2-FF schedule,
+    /// appending 115 cycles × 64 lanes of records to `counters`
+    /// (reset first). Returns the 64 lane ciphertexts (lanes beyond
+    /// `pts.len()` are meaningless).
+    pub fn encrypt_ff_group(
+        &self,
+        pts: &[u64],
+        rng: &mut MaskRng,
+        counters: &mut CycleLaneCounters,
+    ) -> [u64; 64] {
+        assert!(!pts.is_empty() && pts.len() <= 64, "1..=64 lanes per group");
+        counters.reset();
+        let rnd = GroupRandomness::draw(rng, pts.len(), self.refresh_enabled);
+        let mut km_t = [0u64; 64];
+        let mut ptm_t = [0u64; 64];
+        let mut pt_t = [0u64; 64];
+        lanes_to_bits(&rnd.km, &mut km_t);
+        lanes_to_bits(&rnd.ptm, &mut ptm_t);
+        lanes_to_bits(pts, &mut pt_t);
+
+        // Lead-in cycle 0: key masking + key register load.
+        let mut ks = BsKs::new(self.key, &km_t);
+        push_hw(&mut counters.reg, &ks.c);
+        push_hw(&mut counters.reg, &ks.d);
+        counters.end_cycle();
+
+        // Lead-in cycle 1: plaintext masking + IP (wiring only).
+        let pt_word: [LaneBit; 64] =
+            std::array::from_fn(|b| LaneBit { s0: ptm_t[b], s1: pt_t[b] ^ ptm_t[b] });
+        push_hw(&mut counters.comb, &pt_word);
+        counters.end_cycle();
+
+        // Lead-in cycle 2: initial L/R load.
+        let ip = bs_permute(&pt_word, 64, &IP);
+        let mut r: [LaneBit; 32] = ip[..32].try_into().expect("R half");
+        let mut l: [LaneBit; 32] = ip[32..].try_into().expect("L half");
+        push_hw(&mut counters.reg, &l);
+        push_hw(&mut counters.reg, &r);
+        counters.end_cycle();
+
+        let mut ir = [LaneBit::default(); 48];
+        let mut sel_regs = [LaneBit::default(); 32];
+        let mut sbox_out_reg = [LaneBit::default(); 32];
+        let mut traces = [BsSboxTrace::default(); 8];
+
+        for round in 0..16 {
+            let (c_old, d_old) = (ks.c, ks.d);
+            let rk = ks.next_round_key();
+            let (c_new, d_new) = (ks.c, ks.d);
+
+            // Cycle 0: IR load + key rotation.
+            let e = bs_permute(&r, 32, &E);
+            let mixed: [LaneBit; 48] = std::array::from_fn(|i| e[i].xor(rk[i]));
+            push_hd(&mut counters.reg, &ir, &mixed);
+            push_hd(&mut counters.reg, &c_old, &c_new);
+            push_hd(&mut counters.reg, &d_old, &d_new);
+            push_hw(&mut counters.comb, &mixed);
+            counters.end_cycle();
+            ir = mixed;
+
+            let (_, pm, mm) = rnd.round_pool(round);
+            // The FF gadget enforces the safe arrival order: no exposure.
+            let sout_raw = bs_sbox_layer(&ir, &pm, &mm, &mut traces, None);
+
+            // Cycle 1: AND stage layer 1 (the six pair products).
+            for t in &traces {
+                push_hw(&mut counters.comb, &t.products[..6]);
+            }
+            counters.end_cycle();
+
+            // Cycle 2: AND stage layer 2 + MUX stage-1 register.
+            for (s, t) in traces.iter().enumerate() {
+                for (j, b) in t.sel.iter().enumerate() {
+                    let old = &mut sel_regs[4 * s + j];
+                    counters.reg.push2(old.s0 ^ b.s0, old.s1 ^ b.s1);
+                    *old = *b;
+                }
+                push_hw(&mut counters.comb, &t.products[6..10]);
+            }
+            counters.end_cycle();
+
+            // Cycle 3: AND-stage settle (y1 FF captures).
+            for t in &traces {
+                push_hw(&mut counters.comb, &t.products);
+            }
+            counters.end_cycle();
+
+            // Cycle 4: XOR stage (mini S-box outputs).
+            for t in &traces {
+                for row in &t.mini_out {
+                    push_hw(&mut counters.comb, row);
+                }
+            }
+            counters.end_cycle();
+
+            // Cycle 5: MUX stages 2/3 + S-box output register.
+            push_hd(&mut counters.reg, &sbox_out_reg, &sout_raw);
+            push_hw(&mut counters.comb, &sout_raw);
+            counters.end_cycle();
+            sbox_out_reg = sout_raw;
+
+            // Cycle 6: Feistel combine + state registers.
+            let fr = bs_permute(&sbox_out_reg, 32, &P);
+            let new_r: [LaneBit; 32] = std::array::from_fn(|i| l[i].xor(fr[i]));
+            push_hd(&mut counters.reg, &l, &r);
+            push_hd(&mut counters.reg, &r, &new_r);
+            push_hw(&mut counters.comb, &fr);
+            counters.end_cycle();
+            l = r;
+            r = new_r;
+        }
+
+        counters.finish();
+        debug_assert_eq!(counters.num_cycles(), super::MaskedDesFf::TOTAL_CYCLES);
+        self.final_lanes(&l, &r)
+    }
+
+    /// Encrypt up to 64 plaintexts through the secAND2-PD schedule,
+    /// appending 34 cycles × 64 lanes of records (including glitch and
+    /// coupling exposure) to `counters` (reset first).
+    pub fn encrypt_pd_group(
+        &self,
+        pts: &[u64],
+        rng: &mut MaskRng,
+        counters: &mut CycleLaneCounters,
+    ) -> [u64; 64] {
+        assert!(!pts.is_empty() && pts.len() <= 64, "1..=64 lanes per group");
+        counters.reset();
+        let rnd = GroupRandomness::draw(rng, pts.len(), self.refresh_enabled);
+        let mut km_t = [0u64; 64];
+        let mut ptm_t = [0u64; 64];
+        let mut pt_t = [0u64; 64];
+        lanes_to_bits(&rnd.km, &mut km_t);
+        lanes_to_bits(&rnd.ptm, &mut ptm_t);
+        lanes_to_bits(pts, &mut pt_t);
+
+        // Lead-in cycle 0: key masking + load.
+        let mut ks = BsKs::new(self.key, &km_t);
+        push_hw(&mut counters.reg, &ks.c);
+        push_hw(&mut counters.reg, &ks.d);
+        counters.end_cycle();
+
+        // Lead-in cycle 1: plaintext masking, IP, initial L/R load.
+        let pt_word: [LaneBit; 64] =
+            std::array::from_fn(|b| LaneBit { s0: ptm_t[b], s1: pt_t[b] ^ ptm_t[b] });
+        let ip = bs_permute(&pt_word, 64, &IP);
+        let mut r: [LaneBit; 32] = ip[..32].try_into().expect("R half");
+        let mut l: [LaneBit; 32] = ip[32..].try_into().expect("L half");
+        push_hw(&mut counters.reg, &l);
+        push_hw(&mut counters.reg, &r);
+        push_hw(&mut counters.comb, &pt_word);
+        counters.end_cycle();
+
+        let mut ir = [LaneBit::default(); 48];
+        let mut mid_prev = [LaneBit::default(); 8 * 20];
+        let mut traces = [BsSboxTrace::default(); 8];
+
+        for round in 0..16 {
+            let rk = ks.next_round_key();
+            let (_, pm, mm) = rnd.round_pool(round);
+
+            // Cycle 0: IR load; AND/XOR/MUX-1 evaluate combinationally.
+            let e = bs_permute(&r, 32, &E);
+            let mixed: [LaneBit; 48] = std::array::from_fn(|i| e[i].xor(rk[i]));
+            push_hd(&mut counters.reg, &ir, &mixed);
+            ir = mixed;
+            let sout_raw = bs_sbox_layer(
+                &ir,
+                &pm,
+                &mm,
+                &mut traces,
+                Some((&mut counters.glitch, &mut counters.coupling)),
+            );
+            for (s, t) in traces.iter().enumerate() {
+                let mids = t.sel.iter().chain(t.mini_out.iter().flatten());
+                for (j, b) in mids.enumerate() {
+                    let old = &mut mid_prev[20 * s + j];
+                    counters.reg.push2(old.s0 ^ b.s0, old.s1 ^ b.s1);
+                    counters.comb.push2(b.s0, b.s1);
+                    *old = *b;
+                }
+                push_hw(&mut counters.comb, &t.products);
+            }
+            counters.end_cycle();
+
+            // Cycle 1: MUX stage 2/3, P, combine; state + key registers.
+            // (The scalar core's key-register HD here brackets no
+            // rotation and is structurally zero — nothing to push.)
+            let fr = bs_permute(&sout_raw, 32, &P);
+            let new_r: [LaneBit; 32] = std::array::from_fn(|i| l[i].xor(fr[i]));
+            push_hd(&mut counters.reg, &l, &r);
+            push_hd(&mut counters.reg, &r, &new_r);
+            push_hw(&mut counters.comb, &sout_raw);
+            push_hw(&mut counters.comb, &fr);
+            counters.end_cycle();
+            l = r;
+            r = new_r;
+        }
+
+        counters.finish();
+        debug_assert_eq!(counters.num_cycles(), super::MaskedDesPd::TOTAL_CYCLES);
+        self.final_lanes(&l, &r)
+    }
+
+    /// FP on the pre-output halves and per-lane unmasking.
+    fn final_lanes(&self, l: &[LaneBit; 32], r: &[LaneBit; 32]) -> [u64; 64] {
+        let mut pre = [LaneBit::default(); 64];
+        pre[..32].copy_from_slice(l);
+        pre[32..].copy_from_slice(r);
+        let ct_word = bs_permute(&pre, 64, &FP);
+        bs_unmask_to_lanes(&ct_word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::masked::core_ff::CycleRecord;
+    use crate::masked::{MaskedDesFf, MaskedDesPd};
+    use crate::reference::Des;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_pts(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.random()).collect()
+    }
+
+    /// Compare one bitsliced group against `pts.len()` sequential scalar
+    /// encryptions drawing from an identically-seeded `MaskRng`:
+    /// ciphertexts and full per-cycle records must be bit-identical.
+    fn assert_group_matches_scalar(pd: bool, pts: &[u64], mask_seed: Option<u64>) {
+        let key = 0x133457799BBCDFF1u64;
+        let mk_rng = || match mask_seed {
+            Some(s) => MaskRng::new(s),
+            None => MaskRng::disabled(),
+        };
+        let bs = BitslicedDes::new(key);
+        let mut counters = CycleLaneCounters::new();
+        let mut bs_rng = mk_rng();
+        let cts = if pd {
+            bs.encrypt_pd_group(pts, &mut bs_rng, &mut counters)
+        } else {
+            bs.encrypt_ff_group(pts, &mut bs_rng, &mut counters)
+        };
+
+        let reference = Des::new(key);
+        let mut sc_rng = mk_rng();
+        let mut lane_rec: Vec<CycleRecord> = Vec::new();
+        for (lane, &pt) in pts.iter().enumerate() {
+            let (ct, cycles) = if pd {
+                MaskedDesPd::new(key).encrypt_with_cycles(pt, &mut sc_rng)
+            } else {
+                MaskedDesFf::new(key).encrypt_with_cycles(pt, &mut sc_rng)
+            };
+            assert_eq!(cts[lane], ct, "lane {lane} ciphertext");
+            assert_eq!(ct, reference.encrypt_block(pt), "lane {lane} vs reference");
+            counters.lane_into(lane, &mut lane_rec);
+            assert_eq!(lane_rec, cycles, "lane {lane} cycle records");
+        }
+    }
+
+    #[test]
+    fn ff_full_group_matches_scalar() {
+        assert_group_matches_scalar(false, &random_pts(64, 41), Some(777));
+    }
+
+    #[test]
+    fn pd_full_group_matches_scalar() {
+        assert_group_matches_scalar(true, &random_pts(64, 42), Some(778));
+    }
+
+    #[test]
+    fn partial_tail_groups_match_scalar() {
+        // Lane counts not divisible by 64: the campaign tail.
+        assert_group_matches_scalar(false, &random_pts(5, 43), Some(779));
+        assert_group_matches_scalar(true, &random_pts(17, 44), Some(780));
+        assert_group_matches_scalar(true, &random_pts(1, 45), Some(781));
+    }
+
+    #[test]
+    fn prng_off_matches_scalar() {
+        assert_group_matches_scalar(false, &random_pts(64, 46), None);
+        assert_group_matches_scalar(true, &random_pts(64, 47), None);
+    }
+
+    /// Consecutive groups off one RNG equal one long scalar sequence —
+    /// the exact situation in a TVLA block of 256 traces.
+    #[test]
+    fn group_sequence_matches_scalar_stream() {
+        let key = 0x0E329232EA6D0D73u64;
+        let pts = random_pts(96, 48);
+        let bs = BitslicedDes::new(key);
+        let mut counters = CycleLaneCounters::new();
+        let mut bs_rng = MaskRng::new(900);
+        let mut bs_cts = Vec::new();
+        for chunk in pts.chunks(64) {
+            let cts = bs.encrypt_pd_group(chunk, &mut bs_rng, &mut counters);
+            bs_cts.extend_from_slice(&cts[..chunk.len()]);
+        }
+        let mut sc_rng = MaskRng::new(900);
+        let core = MaskedDesPd::new(key);
+        for (i, &pt) in pts.iter().enumerate() {
+            let (ct, _) = core.encrypt_with_cycles(pt, &mut sc_rng);
+            assert_eq!(bs_cts[i], ct, "trace {i}");
+        }
+    }
+}

@@ -16,12 +16,14 @@
 //! traces without gate-level simulation; the gate-level path lives in
 //! [`crate::netlist_gen`].
 
+pub mod bitslice;
 pub mod core_ff;
 pub mod core_pd;
 pub mod datapath;
 pub mod key_schedule;
 pub mod tdes;
 
+pub use bitslice::BitslicedDes;
 pub use core_ff::MaskedDesFf;
 pub use core_pd::MaskedDesPd;
 pub use datapath::MaskedDes;

@@ -22,6 +22,7 @@
 //!   Fig. 17.
 
 use crate::masked::core_ff::CycleRecord;
+use gm_netlist::bitslice::{SegLaneCounter, LANES};
 use gm_sim::MeasurementModel;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
@@ -194,6 +195,18 @@ impl PowerModel {
     /// Panics when `out.len() != cycles.len()`.
     pub fn trace_into(&mut self, cycles: &[CycleRecord], out: &mut [f64]) {
         assert_eq!(cycles.len(), out.len(), "trace buffer length mismatch");
+        if self.pd.is_none() {
+            // FF path: the deterministic weighting vectorises once it is
+            // separated from the serial noise/quantisation pass, which
+            // consumes the measurement RNG in the same per-sample order
+            // as the fused loop — the output is bit-identical.
+            for (o, c) in out.iter_mut().zip(cycles) {
+                *o = self.reg_weight * f64::from(c.reg_toggles)
+                    + self.comb_weight * f64::from(c.comb_toggles);
+            }
+            self.measurement.apply(out);
+            return;
+        }
         for (o, c) in out.iter_mut().zip(cycles) {
             let mut p = self.reg_weight * f64::from(c.reg_toggles)
                 + self.comb_weight * f64::from(c.comb_toggles);
@@ -211,9 +224,142 @@ impl PowerModel {
     }
 }
 
+/// Popcount-based per-cycle activity accumulator for the 64-lane
+/// bitsliced cycle engines ([`crate::masked::bitslice`]).
+///
+/// The bitsliced cores push one *toggle word* per share bit per cycle
+/// into the four [`SegLaneCounter`]s (bit `ℓ` of a word = lane `ℓ`'s
+/// 0/1 contribution) and close each clock cycle with
+/// [`CycleLaneCounters::end_cycle`] — a boundary note, not a reduction.
+/// Blocks of 64 words are transposed as they fill, each cycle's share
+/// reduced with one masked `count_ones` per lane, and
+/// [`CycleLaneCounters::finish`] materialises the exact
+/// [`CycleRecord`]s for all lanes, stored lane-major so
+/// [`CycleLaneCounters::lane_into`] is a straight copy.
+#[derive(Debug, Default)]
+pub struct CycleLaneCounters {
+    /// Register-toggle (share-wise Hamming distance) words.
+    pub reg: SegLaneCounter,
+    /// Combinational-activity (share-wise Hamming weight) words.
+    pub comb: SegLaneCounter,
+    /// Glitch-exposure words: one push per `secAND2` gadget, bit `ℓ` =
+    /// the gadget's unshared *y* in lane `ℓ`.
+    pub glitch: SegLaneCounter,
+    /// Coupling-exposure words: bit `ℓ` = the gadget's unshared *x*.
+    pub coupling: SegLaneCounter,
+    /// Lane-major records: `records[lane * num_cycles + cycle]`, valid
+    /// after [`Self::finish`].
+    records: Vec<CycleRecord>,
+    cycles: usize,
+}
+
+impl CycleLaneCounters {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clear all counters and close no cycles. Stored records stay
+    /// allocated (they are fully overwritten by the next
+    /// [`Self::finish`]).
+    pub fn reset(&mut self) {
+        self.reg.reset();
+        self.comb.reset();
+        self.glitch.reset();
+        self.coupling.reset();
+        self.cycles = 0;
+    }
+
+    /// Close the current clock cycle on all four counters.
+    pub fn end_cycle(&mut self) {
+        self.reg.mark();
+        self.comb.mark();
+        self.glitch.mark();
+        self.coupling.mark();
+    }
+
+    /// Reduce everything pushed since [`Self::reset`] into per-lane
+    /// [`CycleRecord`]s. The engines call this once per 64-lane group,
+    /// after the last [`Self::end_cycle`].
+    pub fn finish(&mut self) {
+        let n = self.reg.num_segments();
+        self.cycles = n;
+        let reg = self.reg.finish();
+        let comb = self.comb.finish();
+        let glitch = self.glitch.finish();
+        let coupling = self.coupling.finish();
+        if self.records.len() != n * LANES {
+            self.records.resize(n * LANES, CycleRecord::default());
+        }
+        // Cycle-outer: the four count slices are read sequentially and
+        // the 64 scattered writes per cycle land in the same cache
+        // lines for four consecutive cycles.
+        for c in 0..n {
+            let base = c * LANES;
+            for l in 0..LANES {
+                self.records[l * n + c] = CycleRecord {
+                    reg_toggles: reg[base + l],
+                    comb_toggles: comb[base + l],
+                    glitch_units: glitch[base + l],
+                    coupling_units: coupling[base + l],
+                };
+            }
+        }
+    }
+
+    /// Number of closed cycles (valid after [`Self::finish`]).
+    pub fn num_cycles(&self) -> usize {
+        self.cycles
+    }
+
+    /// Copy one lane's cycle column into `out` (cleared first) — the
+    /// demux step feeding each lane's records to the unchanged scalar
+    /// [`PowerModel::trace_into`].
+    pub fn lane_into(&self, lane: usize, out: &mut Vec<CycleRecord>) {
+        assert!(lane < LANES);
+        out.clear();
+        out.extend_from_slice(&self.records[lane * self.cycles..][..self.cycles]);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lane_counters_roundtrip() {
+        let mut c = CycleLaneCounters::new();
+        // Cycle 0: lane 0 gets 2 reg toggles, lane 63 one comb toggle,
+        // lane 5 one glitch and one coupling unit.
+        c.reg.push(1);
+        c.reg.push(1);
+        c.comb.push(1 << 63);
+        c.glitch.push(1 << 5);
+        c.coupling.push(1 << 5);
+        c.end_cycle();
+        // Cycle 1: everything quiet except lane 1.
+        c.reg.push(2);
+        c.end_cycle();
+        c.finish();
+        assert_eq!(c.num_cycles(), 2);
+
+        let mut lane = Vec::new();
+        c.lane_into(0, &mut lane);
+        assert_eq!(lane[0], CycleRecord { reg_toggles: 2, ..Default::default() });
+        assert_eq!(lane[1], CycleRecord::default());
+        c.lane_into(5, &mut lane);
+        assert_eq!(
+            lane[0],
+            CycleRecord { glitch_units: 1, coupling_units: 1, ..Default::default() }
+        );
+        c.lane_into(63, &mut lane);
+        assert_eq!(lane[0], CycleRecord { comb_toggles: 1, ..Default::default() });
+        c.lane_into(1, &mut lane);
+        assert_eq!(lane[1], CycleRecord { reg_toggles: 1, ..Default::default() });
+
+        c.reset();
+        assert_eq!(c.num_cycles(), 0);
+    }
 
     #[test]
     fn violation_prob_monotone_and_calibrated() {

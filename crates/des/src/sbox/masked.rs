@@ -58,17 +58,17 @@ fn anfs() -> &'static Vec<[MiniSboxAnf; 4]> {
 /// re-walking the ANF keeps the hot path allocation-free (the ANF walk
 /// builds a `Vec` per monomial query, which dominated campaign cost).
 #[derive(Debug, Clone, Copy, Default)]
-struct XorPlan {
+pub(crate) struct XorPlan {
     /// ANF constant term.
-    constant: bool,
+    pub(crate) constant: bool,
     /// Bit `k` set ⇔ variable `v_k` appears linearly.
-    lin: u8,
+    pub(crate) lin: u8,
     /// Bit `i` set ⇔ product `TEN_PRODUCTS[i]` appears.
-    prods: u16,
+    pub(crate) prods: u16,
 }
 
 /// `xor_plans()[sbox][row][output bit]`.
-fn xor_plans() -> &'static [[[XorPlan; 4]; 4]; 8] {
+pub(crate) fn xor_plans() -> &'static [[[XorPlan; 4]; 4]; 8] {
     static CACHE: OnceLock<[[[XorPlan; 4]; 4]; 8]> = OnceLock::new();
     CACHE.get_or_init(|| {
         let mut plans = [[[XorPlan::default(); 4]; 4]; 8];

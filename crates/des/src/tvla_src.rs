@@ -14,12 +14,14 @@
 //! Both follow the paper's acquisition protocol: fixed key (re-masked
 //! every operation), fixed-vs-random plaintext, 14 fresh bits per round.
 
-use crate::masked::{MaskedDesFf, MaskedDesPd};
+use crate::masked::core_ff::CycleRecord;
+use crate::masked::{BitslicedDes, MaskedDesFf, MaskedDesPd};
 use crate::netlist_gen::driver::EncryptionInputs;
 use crate::netlist_gen::{build_des_core, DesCoreNetlist, DesDriverCore, SboxStyle};
-use crate::power::{PdLeakModel, PowerModel};
+use crate::power::{CycleLaneCounters, PdLeakModel, PowerModel};
 use gm_core::MaskRng;
 use gm_leakage::{Class, TraceSource};
+use gm_netlist::bitslice::LANES;
 use gm_sim::{CouplingModel, CouplingSink, DelayModel, MeasurementModel, PowerTrace, SimGraph};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
@@ -167,6 +169,213 @@ impl TraceSource for CycleModelSource {
             );
         }
         self.power.trace_into(&self.cycles_buf, out);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bitsliced cycle-model backend
+// ---------------------------------------------------------------------
+
+/// 64-way bitsliced TVLA source over the cycle-accurate cores.
+///
+/// Same device model, seed derivation, and per-stream RNG consumption
+/// order as [`CycleModelSource`] — campaign statistics are
+/// **bit-identical** — but the masked encryptions of a block run 64
+/// lanes at a time through [`BitslicedDes`], and per-lane cycle records
+/// come out of one popcount reduction ([`CycleLaneCounters`]). The
+/// per-lane power/measurement sampling reuses the unchanged scalar
+/// [`PowerModel`], in label order, so noise streams line up exactly.
+pub struct BitslicedCycleSource {
+    cfg: SourceConfig,
+    engine: BitslicedDes,
+    is_ff: bool,
+    power: PowerModel,
+    mask_rng: MaskRng,
+    pt_rng: SmallRng,
+    num_samples: usize,
+    counters: CycleLaneCounters,
+    cycles_buf: Vec<CycleRecord>,
+    pts_buf: Vec<u64>,
+}
+
+impl BitslicedCycleSource {
+    /// Build a source; mirrors [`CycleModelSource::new`].
+    pub fn new(cfg: SourceConfig) -> Self {
+        Self::with_stream(cfg, 0)
+    }
+
+    /// Override the PD leak parameters (mirrors
+    /// [`CycleModelSource::with_pd_leak`]).
+    pub fn with_pd_leak(cfg: SourceConfig, leak: PdLeakModel) -> Self {
+        let mut s = Self::with_stream(cfg, 0);
+        s.power = PowerModel::pd(leak, s.cfg.noise_sigma, s.cfg.seed);
+        s
+    }
+
+    fn with_stream(cfg: SourceConfig, stream: u64) -> Self {
+        let seed = cfg.seed ^ stream.wrapping_mul(0xa076_1d64_78bd_642f);
+        let (is_ff, power, num_samples) = match cfg.variant {
+            CoreVariant::Ff => {
+                (true, PowerModel::ff(cfg.noise_sigma, seed), MaskedDesFf::TOTAL_CYCLES)
+            }
+            CoreVariant::Pd { unit_luts } => (
+                false,
+                PowerModel::pd(PdLeakModel::with_unit_luts(unit_luts), cfg.noise_sigma, seed),
+                MaskedDesPd::TOTAL_CYCLES,
+            ),
+        };
+        BitslicedCycleSource {
+            engine: BitslicedDes::new(cfg.key),
+            mask_rng: mask_rng(&cfg, stream),
+            pt_rng: SmallRng::seed_from_u64(seed ^ 0x60be_e2be_e120_fc15),
+            cfg,
+            is_ff,
+            power,
+            num_samples,
+            counters: CycleLaneCounters::new(),
+            cycles_buf: Vec::with_capacity(num_samples),
+            pts_buf: Vec::with_capacity(LANES),
+        }
+    }
+
+    /// Run one ≤64-lane group through the engine.
+    fn run_group(&mut self) {
+        if self.is_ff {
+            self.engine.encrypt_ff_group(&self.pts_buf, &mut self.mask_rng, &mut self.counters);
+        } else {
+            self.engine.encrypt_pd_group(&self.pts_buf, &mut self.mask_rng, &mut self.counters);
+        }
+    }
+}
+
+impl TraceSource for BitslicedCycleSource {
+    fn fork(&self, stream: u64) -> Self {
+        let mut forked = Self::with_stream(self.cfg.clone(), stream.wrapping_add(1));
+        forked.power.pd = self.power.pd;
+        forked
+    }
+
+    fn num_samples(&self) -> usize {
+        self.num_samples
+    }
+
+    fn trace(&mut self, class: Class, out: &mut [f64]) {
+        // A one-lane group consumes the same RNG stream as the scalar
+        // path, so mixing single traces and blocks stays bit-identical.
+        self.pts_buf.clear();
+        self.pts_buf.push(draw_pt(&self.cfg, class, &mut self.pt_rng));
+        self.run_group();
+        self.counters.lane_into(0, &mut self.cycles_buf);
+        self.power.trace_into(&self.cycles_buf, out);
+    }
+
+    fn trace_block(
+        &mut self,
+        labels: &[Class],
+        fixed: &mut [f64],
+        random: &mut [f64],
+    ) -> (usize, usize) {
+        let ns = self.num_samples;
+        let (mut nf, mut nr) = (0usize, 0usize);
+        for chunk in labels.chunks(LANES) {
+            self.pts_buf.clear();
+            for &class in chunk {
+                let pt = draw_pt(&self.cfg, class, &mut self.pt_rng);
+                self.pts_buf.push(pt);
+            }
+            self.run_group();
+            // Demux: lane ℓ is the chunk's ℓ-th label; stream each lane's
+            // records through the scalar power model in label order.
+            for (lane, &class) in chunk.iter().enumerate() {
+                self.counters.lane_into(lane, &mut self.cycles_buf);
+                let (buf, row) = match class {
+                    Class::Fixed => (&mut *fixed, &mut nf),
+                    Class::Random => (&mut *random, &mut nr),
+                };
+                let start = *row * ns;
+                self.power.trace_into(&self.cycles_buf, &mut buf[start..start + ns]);
+                *row += 1;
+            }
+        }
+        (nf, nr)
+    }
+}
+
+/// Cycle-model source with a selectable backend: the 64-way bitsliced
+/// engine (default) or the scalar reference (`--scalar` in the bench
+/// binaries). Both produce bit-identical campaign statistics; the enum
+/// lets every cycle-model campaign switch at run time.
+// One long-lived instance per campaign worker, so the size gap between
+// the variants (the bitsliced engine's inline lane buffers) costs
+// nothing — boxing would only add a pointer chase to the trace path.
+#[allow(clippy::large_enum_variant)]
+pub enum AnyCycleSource {
+    /// Scalar reference path ([`CycleModelSource`]).
+    Scalar(CycleModelSource),
+    /// 64-lane bitsliced path ([`BitslicedCycleSource`]).
+    Bitsliced(BitslicedCycleSource),
+}
+
+impl AnyCycleSource {
+    /// Build the chosen backend for a configuration.
+    pub fn new(cfg: SourceConfig, scalar: bool) -> Self {
+        if scalar {
+            AnyCycleSource::Scalar(CycleModelSource::new(cfg))
+        } else {
+            AnyCycleSource::Bitsliced(BitslicedCycleSource::new(cfg))
+        }
+    }
+
+    /// Build the chosen backend with overridden PD leak parameters.
+    pub fn with_pd_leak(cfg: SourceConfig, leak: PdLeakModel, scalar: bool) -> Self {
+        if scalar {
+            AnyCycleSource::Scalar(CycleModelSource::with_pd_leak(cfg, leak))
+        } else {
+            AnyCycleSource::Bitsliced(BitslicedCycleSource::with_pd_leak(cfg, leak))
+        }
+    }
+
+    /// Short name for bench records.
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            AnyCycleSource::Scalar(_) => "scalar",
+            AnyCycleSource::Bitsliced(_) => "bitsliced",
+        }
+    }
+}
+
+impl TraceSource for AnyCycleSource {
+    fn fork(&self, stream: u64) -> Self {
+        match self {
+            AnyCycleSource::Scalar(s) => AnyCycleSource::Scalar(s.fork(stream)),
+            AnyCycleSource::Bitsliced(s) => AnyCycleSource::Bitsliced(s.fork(stream)),
+        }
+    }
+
+    fn num_samples(&self) -> usize {
+        match self {
+            AnyCycleSource::Scalar(s) => s.num_samples(),
+            AnyCycleSource::Bitsliced(s) => s.num_samples(),
+        }
+    }
+
+    fn trace(&mut self, class: Class, out: &mut [f64]) {
+        match self {
+            AnyCycleSource::Scalar(s) => s.trace(class, out),
+            AnyCycleSource::Bitsliced(s) => s.trace(class, out),
+        }
+    }
+
+    fn trace_block(
+        &mut self,
+        labels: &[Class],
+        fixed: &mut [f64],
+        random: &mut [f64],
+    ) -> (usize, usize) {
+        match self {
+            AnyCycleSource::Scalar(s) => s.trace_block(labels, fixed, random),
+            AnyCycleSource::Bitsliced(s) => s.trace_block(labels, fixed, random),
+        }
     }
 }
 
@@ -376,6 +585,56 @@ mod tests {
             "masked FF core should show no strong first-order leak: {}",
             r.max_abs_t1()
         );
+    }
+
+    /// The bitsliced backend must be *bit-identical* to the scalar one
+    /// over a whole sequential campaign (labels spanning many 64-lane
+    /// groups plus a partial tail), for both cores.
+    #[test]
+    fn bitsliced_campaign_bit_identical_to_scalar() {
+        for variant in [CoreVariant::Ff, CoreVariant::Pd { unit_luts: 10 }] {
+            let cfg = SourceConfig::new(variant);
+            // 700 traces: two full 256-trace blocks + a 188-trace block,
+            // whose last 64-lane chunk is partial.
+            let campaign = Campaign::sequential(700, 9);
+            let scalar = campaign.run(&CycleModelSource::new(cfg.clone()));
+            let bitsliced = campaign.run(&BitslicedCycleSource::new(cfg));
+            assert_eq!(scalar.fixed.count(), bitsliced.fixed.count());
+            assert_eq!(scalar.t1(), bitsliced.t1(), "{variant:?} t1");
+            assert_eq!(scalar.t2(), bitsliced.t2(), "{variant:?} t2");
+            assert_eq!(scalar.t3(), bitsliced.t3(), "{variant:?} t3");
+        }
+    }
+
+    /// Fig. 14 golden check: the full *parallel* campaign pipeline
+    /// (persistent worker pool, per-worker source forks, blocked moment
+    /// merge) reports the same `max|t1|` on both backends to 1e-9 —
+    /// the acceptance criterion `bench_tvla` asserts on every run,
+    /// pinned here at test size.
+    #[test]
+    fn fig14_parallel_max_t1_matches_scalar_golden() {
+        let cfg = SourceConfig::new(CoreVariant::Ff);
+        let campaign = Campaign { traces: 2_000, threads: 4, seed: 33 };
+        let scalar = campaign.run(&AnyCycleSource::new(cfg.clone(), true));
+        let bitsliced = campaign.run(&AnyCycleSource::new(cfg, false));
+        assert!(
+            (scalar.max_abs_t1() - bitsliced.max_abs_t1()).abs() < 1e-9,
+            "fig14 max|t1| differs: scalar {} vs bitsliced {}",
+            scalar.max_abs_t1(),
+            bitsliced.max_abs_t1()
+        );
+    }
+
+    /// The PD leak override propagates through forks identically on both
+    /// backends (the Fig. 17 ablation path).
+    #[test]
+    fn bitsliced_pd_leak_override_matches_scalar() {
+        let cfg = SourceConfig::new(CoreVariant::Pd { unit_luts: 10 });
+        let leak = PdLeakModel { order_violation_prob: 0.0, glitch_gain: 0.0, coupling_eps: 0.0 };
+        let campaign = Campaign::sequential(300, 17);
+        let scalar = campaign.run(&AnyCycleSource::with_pd_leak(cfg.clone(), leak, true));
+        let bitsliced = campaign.run(&AnyCycleSource::with_pd_leak(cfg, leak, false));
+        assert_eq!(scalar.t1(), bitsliced.t1());
     }
 
     #[test]

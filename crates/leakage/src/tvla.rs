@@ -40,6 +40,35 @@ pub trait TraceSource: Send {
     /// Acquire one trace of the given class into `out`
     /// (`out.len() == self.num_samples()`).
     fn trace(&mut self, class: Class, out: &mut [f64]);
+
+    /// Acquire one block of traces: for each label, in order, fill the
+    /// next row of that class's buffer (`labels.len() × num_samples`
+    /// capacity each). Returns the `(fixed, random)` row counts.
+    ///
+    /// The default forwards to [`TraceSource::trace`] per label. Sources
+    /// that amortise work across many traces (the 64-way bitsliced cycle
+    /// model in `gm-des`) override this; an override must consume its
+    /// per-trace RNG streams in label order so campaign results stay
+    /// bit-identical with the per-trace path.
+    fn trace_block(
+        &mut self,
+        labels: &[Class],
+        fixed: &mut [f64],
+        random: &mut [f64],
+    ) -> (usize, usize) {
+        let num_samples = self.num_samples();
+        let (mut nf, mut nr) = (0usize, 0usize);
+        for &class in labels {
+            let (buf, row) = match class {
+                Class::Fixed => (&mut *fixed, &mut nf),
+                Class::Random => (&mut *random, &mut nr),
+            };
+            let start = *row * num_samples;
+            self.trace(class, &mut buf[start..start + num_samples]);
+            *row += 1;
+        }
+        (nf, nr)
+    }
 }
 
 /// Accumulated result of a TVLA campaign.
@@ -198,16 +227,7 @@ fn acquire_quota<S: TraceSource>(
     while remaining > 0 {
         let n = remaining.min(BLOCK_TRACES as u64) as usize;
         draw_labels(rng, n, &mut bufs.labels);
-        let (mut nf, mut nr) = (0usize, 0usize);
-        for &class in &bufs.labels {
-            let (buf, row) = match class {
-                Class::Fixed => (&mut bufs.fixed, &mut nf),
-                Class::Random => (&mut bufs.random, &mut nr),
-            };
-            let start = *row * num_samples;
-            src.trace(class, &mut buf[start..start + num_samples]);
-            *row += 1;
-        }
+        let (nf, nr) = src.trace_block(&bufs.labels, &mut bufs.fixed, &mut bufs.random);
         local.fixed.add_block(&bufs.fixed[..nf * num_samples], &mut bufs.scratch);
         local.random.add_block(&bufs.random[..nr * num_samples], &mut bufs.scratch);
         remaining -= n as u64;

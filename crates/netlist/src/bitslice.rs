@@ -1,0 +1,611 @@
+//! 64-way bitsliced (transposed) netlist evaluation.
+//!
+//! Each net holds a `u64` whose bit `ℓ` is the net's value in *lane* `ℓ`
+//! — 64 independent evaluations of the same circuit advance in lockstep,
+//! one word operation per gate instead of one boolean per gate per trace.
+//! This is the classic throughput fix for campaign-style workloads
+//! (TVLA acquisition, exhaustive input sweeps) whose traces share no
+//! state: the cycle-model sources pack 64 traces per block into the
+//! lanes and evaluate every gate once per 64 traces.
+//!
+//! The word forms of the cell library are the obvious bitwise ones; the
+//! only non-trivial cells are the multiplexer, computed branch-free as
+//! `(a ^ b) & s ^ a`, and the flip-flop next-state select, the same
+//! formula over the enable/reset words. Glitch-aware campaigns stay on
+//! the scalar event-driven simulator in `gm-sim`: glitches are *timing*
+//! artefacts, and per-lane event times cannot share a word.
+
+use crate::eval::EvalPlan;
+use crate::gate::{Gate, GateKind};
+use crate::netlist::{Driver, Netlist};
+use crate::GateId;
+
+/// Number of lanes packed into one word.
+pub const LANES: usize = 64;
+
+/// In-place 64×64 bit-matrix transpose (Hacker's Delight §7-3, widened):
+/// afterwards `a[i]` bit `j` holds the former `a[j]` bit `i`.
+///
+/// This is the bridge between *lane-major* data (one word per trace) and
+/// *bit-major* data (one word per bit position, as the lanes hold it).
+pub fn transpose64(a: &mut [u64; 64]) {
+    // Contiguous runs of `j` row pairs per block: the inner loop indexes
+    // disjoint slices with unit stride, which the autovectorizer turns
+    // into 4-wide AVX2 code for j >= 4 — this routine is the campaign
+    // engines' single hottest kernel, so its shape matters.
+    let mut j = 32usize;
+    let mut m: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let mut base = 0usize;
+        while base < 64 {
+            let (lo, hi) = a[base..base + 2 * j].split_at_mut(j);
+            for (l, h) in lo.iter_mut().zip(hi.iter_mut()) {
+                let t = (*h ^ (*l >> j)) & m;
+                *h ^= t;
+                *l ^= t << j;
+            }
+            base += 2 * j;
+        }
+        j >>= 1;
+        if j != 0 {
+            m ^= m << j;
+        }
+    }
+}
+
+/// Per-lane population counter over a stream of toggle words.
+///
+/// Hamming weights/distances of share words are the cycle model's power
+/// terms; per lane they are `count_ones` over the *columns* of the pushed
+/// words. The counter buffers up to 64 words, transposes the block once,
+/// and adds one `count_ones` per lane — ~9 word ops per pushed word,
+/// against 64 per-bit additions for the scalar path.
+#[derive(Debug)]
+pub struct LaneCounter {
+    buf: [u64; 64],
+    n: usize,
+    acc: [u32; 64],
+}
+
+impl Default for LaneCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LaneCounter {
+    /// An empty counter.
+    pub fn new() -> Self {
+        LaneCounter { buf: [0; 64], n: 0, acc: [0; 64] }
+    }
+
+    /// Add one toggle word: lane `ℓ` gains `(w >> ℓ) & 1`.
+    #[inline]
+    pub fn push(&mut self, w: u64) {
+        self.buf[self.n] = w;
+        self.n += 1;
+        if self.n == 64 {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        self.buf[self.n..].fill(0);
+        transpose64(&mut self.buf);
+        for (a, b) in self.acc.iter_mut().zip(self.buf.iter()) {
+            *a += b.count_ones();
+        }
+        self.n = 0;
+    }
+
+    /// Flush and return the per-lane counts, resetting the counter.
+    pub fn drain(&mut self) -> [u32; 64] {
+        if self.n > 0 {
+            self.flush();
+        }
+        std::mem::replace(&mut self.acc, [0; 64])
+    }
+}
+
+/// [`LaneCounter`] with *segment* boundaries: per-lane popcounts over a
+/// stream of toggle words, partitioned into consecutive segments (one
+/// per clock cycle in the cycle engines) without transposing at every
+/// boundary.
+///
+/// A plain [`LaneCounter`] drained once per cycle pays a full 64×64
+/// transpose per cycle even when the cycle pushed far fewer than 64
+/// words — and the transpose *is* the engines' dominant cost. Here
+/// [`Self::mark`] just records the boundary position; blocks are
+/// transposed only when 64 words have actually accumulated (or once at
+/// [`Self::finish`]), and each segment's share of a block is reduced
+/// with one masked `count_ones` per lane. Cycles may span any number of
+/// blocks and blocks any number of cycles.
+#[derive(Debug)]
+pub struct SegLaneCounter {
+    buf: [u64; 64],
+    n: usize,
+    /// Segments closed inside the still-untransposed block:
+    /// `(segment index, end position in buf)`, in push order.
+    marks: Vec<(u32, u8)>,
+    /// Index of the open segment.
+    open: u32,
+    /// Segment-major counts: `counts[seg * 64 + lane]`.
+    counts: Vec<u32>,
+}
+
+impl Default for SegLaneCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SegLaneCounter {
+    /// An empty counter with no closed segments.
+    pub fn new() -> Self {
+        SegLaneCounter { buf: [0; 64], n: 0, marks: Vec::new(), open: 0, counts: Vec::new() }
+    }
+
+    /// Forget all words, marks, and counts.
+    pub fn reset(&mut self) {
+        self.n = 0;
+        self.marks.clear();
+        self.open = 0;
+        self.counts.clear();
+    }
+
+    /// Add one toggle word to the open segment: lane `ℓ` gains
+    /// `(w >> ℓ) & 1`.
+    #[inline]
+    pub fn push(&mut self, w: u64) {
+        self.buf[self.n] = w;
+        self.n += 1;
+        if self.n == 64 {
+            self.flush();
+        }
+    }
+
+    /// Add two toggle words — the share-pair form the masked engines
+    /// emit for every bit, with one capacity check instead of two.
+    #[inline]
+    pub fn push2(&mut self, a: u64, b: u64) {
+        if self.n == 63 {
+            self.push(a);
+            self.push(b);
+            return;
+        }
+        self.buf[self.n] = a;
+        self.buf[self.n + 1] = b;
+        self.n += 2;
+        if self.n == 64 {
+            self.flush();
+        }
+    }
+
+    /// Close the open segment at the current position and open the next.
+    #[inline]
+    pub fn mark(&mut self) {
+        self.marks.push((self.open, self.n as u8));
+        self.open += 1;
+    }
+
+    /// Number of closed segments.
+    pub fn num_segments(&self) -> usize {
+        self.open as usize
+    }
+
+    /// Flush any buffered words and return the per-lane counts of every
+    /// *closed* segment, segment-major (`counts[seg * 64 + lane]`).
+    /// Words pushed after the last [`Self::mark`] keep accumulating in
+    /// the open segment and are not part of the returned view.
+    pub fn finish(&mut self) -> &[u32] {
+        if self.n > 0 || !self.marks.is_empty() {
+            self.flush();
+        }
+        let len = self.open as usize * 64;
+        if self.counts.len() < len {
+            self.counts.resize(len, 0);
+        }
+        &self.counts[..len]
+    }
+
+    fn flush(&mut self) {
+        if self.n == 0 {
+            // Boundary-only block (a counter nothing pushed to this
+            // group): the zero counts materialise in `finish`.
+            self.marks.clear();
+            return;
+        }
+        self.buf[self.n..].fill(0);
+        transpose64(&mut self.buf);
+        let need = (self.open as usize + 1) * 64;
+        if self.counts.len() < need {
+            self.counts.resize(need, 0);
+        }
+        let mut start = 0usize;
+        for &(seg, end) in &self.marks {
+            Self::accumulate(
+                &mut self.counts[seg as usize * 64..][..64],
+                &self.buf,
+                start,
+                end as usize,
+            );
+            start = end as usize;
+        }
+        Self::accumulate(
+            &mut self.counts[self.open as usize * 64..][..64],
+            &self.buf,
+            start,
+            self.n,
+        );
+        self.marks.clear();
+        self.n = 0;
+    }
+
+    /// Add the popcount of column bits `[start, end)` to each lane's
+    /// count (`cols` is the transposed block: `cols[lane]` bit `i` =
+    /// pushed word `i`'s lane-`ℓ` bit).
+    fn accumulate(acc: &mut [u32], cols: &[u64; 64], start: usize, end: usize) {
+        if end == start {
+            return;
+        }
+        if end - start == 64 {
+            // Whole-block segment (a cycle spanning 64+ words): no mask.
+            for (a, c) in acc.iter_mut().zip(cols.iter()) {
+                *a += c.count_ones();
+            }
+            return;
+        }
+        let mask = (!0u64 >> (64 - (end - start))) << start;
+        for (a, c) in acc.iter_mut().zip(cols.iter()) {
+            *a += (c & mask).count_ones();
+        }
+    }
+}
+
+/// Word form of a combinational cell over lane words.
+#[inline]
+fn eval_word(kind: GateKind, pins: &[u64]) -> u64 {
+    match kind {
+        GateKind::Inv => !pins[0],
+        GateKind::Buf | GateKind::DelayBuf => pins[0],
+        GateKind::And2 => pins[0] & pins[1],
+        GateKind::Nand2 => !(pins[0] & pins[1]),
+        GateKind::Or2 => pins[0] | pins[1],
+        GateKind::Nor2 => !(pins[0] | pins[1]),
+        GateKind::Xor2 => pins[0] ^ pins[1],
+        GateKind::Xnor2 => !(pins[0] ^ pins[1]),
+        // pins = [sel, a, b], a when sel = 0 — branch-free select.
+        GateKind::Mux2 => (pins[1] ^ pins[2]) & pins[0] ^ pins[1],
+        // Registers hold under combinational evaluation (cf. the scalar
+        // evaluator, which seeds FF-driven nets before the topo walk).
+        GateKind::Dff(_) => 0,
+    }
+}
+
+/// Word form of the flip-flop next-state function, pin order
+/// `[d, enable?, reset?]`: reset dominates, disabled lanes hold.
+#[inline]
+fn dff_next_word(kind: GateKind, current: u64, pins: &[u64]) -> u64 {
+    let GateKind::Dff(cfg) = kind else {
+        panic!("dff_next_word called on combinational cell {kind:?}")
+    };
+    let d = pins[0];
+    let mut idx = 1;
+    let mut next = if cfg.has_enable {
+        let en = pins[idx];
+        idx += 1;
+        (d ^ current) & en ^ current
+    } else {
+        d
+    };
+    if cfg.has_reset {
+        next &= !pins[idx];
+    }
+    next
+}
+
+/// The 64-lane counterpart of [`crate::Evaluator`]: same schedule
+/// ([`EvalPlan`]), same register semantics, `u64` lane words for values.
+///
+/// # Examples
+///
+/// ```
+/// use gm_netlist::{Netlist, bitslice::BitEvaluator};
+///
+/// let mut n = Netlist::new("toggler");
+/// let a = n.input("a");
+/// let q = n.dff(a);
+/// let y = n.inv(q);
+/// n.output("y", y);
+///
+/// let mut ev = BitEvaluator::new(&n).unwrap();
+/// ev.set_input(a, 0b10); // lane 1 drives 1, lane 0 drives 0
+/// ev.clock(&n);
+/// ev.settle(&n);
+/// assert_eq!(ev.value(y) & 0b11, 0b01); // lane 1 sampled 1 -> y = 0
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitEvaluator {
+    values: Vec<u64>,
+    ff_state: Vec<u64>,
+    plan: EvalPlan,
+    pin_scratch: Vec<u64>,
+    ff_next: Vec<u64>,
+}
+
+impl BitEvaluator {
+    /// Build an evaluator; fails when the netlist has a combinational loop.
+    pub fn new(n: &Netlist) -> Result<Self, crate::NetlistError> {
+        let plan = EvalPlan::new(n)?;
+        let num_ffs = plan.ff_gates.len();
+        Ok(BitEvaluator {
+            values: vec![0; n.num_nets()],
+            ff_state: vec![0; n.num_gates()],
+            plan,
+            pin_scratch: Vec::with_capacity(4),
+            ff_next: Vec::with_capacity(num_ffs),
+        })
+    }
+
+    /// Current lane word of a net (valid after [`BitEvaluator::settle`]).
+    pub fn value(&self, net: crate::NetId) -> u64 {
+        self.values[net.index()]
+    }
+
+    /// Current value of a net in one lane.
+    pub fn value_lane(&self, net: crate::NetId, lane: usize) -> bool {
+        assert!(lane < LANES, "lane index {lane} out of range");
+        (self.values[net.index()] >> lane) & 1 == 1
+    }
+
+    /// Drive a primary input with a full lane word.
+    pub fn set_input(&mut self, net: crate::NetId, word: u64) {
+        self.values[net.index()] = word;
+    }
+
+    /// Force a flip-flop's per-lane state.
+    pub fn set_ff_state(&mut self, gate: GateId, word: u64) {
+        self.ff_state[gate.index()] = word;
+    }
+
+    /// Current per-lane state of a flip-flop.
+    pub fn ff_state(&self, gate: GateId) -> u64 {
+        self.ff_state[gate.index()]
+    }
+
+    /// Reset all flip-flops to 0 in every lane.
+    pub fn reset(&mut self) {
+        self.ff_state.iter_mut().for_each(|s| *s = 0);
+    }
+
+    /// Propagate all combinational logic to a fixed point (zero delay),
+    /// all 64 lanes at once.
+    pub fn settle(&mut self, n: &Netlist) {
+        for (i, info) in n.nets.iter().enumerate() {
+            match info.driver {
+                Driver::Constant(v) => self.values[i] = if v { u64::MAX } else { 0 },
+                Driver::Gate(g) if n.gate(g).kind.is_sequential() => {
+                    self.values[i] = self.ff_state[g.index()];
+                }
+                _ => {}
+            }
+        }
+        let (values, pins) = (&mut self.values, &mut self.pin_scratch);
+        for &gid in &self.plan.order {
+            let g = n.gate(gid);
+            pins.clear();
+            pins.extend(g.inputs.iter().map(|i| values[i.index()]));
+            values[g.output.index()] = eval_word(g.kind, pins);
+        }
+    }
+
+    /// Apply one rising clock edge in every lane: flip-flops sample their
+    /// pins (as settled before the edge), then logic re-settles.
+    pub fn clock(&mut self, n: &Netlist) {
+        self.settle(n);
+        let mut next = std::mem::take(&mut self.ff_next);
+        next.clear();
+        {
+            let (values, ff_state, pins) = (&self.values, &self.ff_state, &mut self.pin_scratch);
+            for &gid in &self.plan.ff_gates {
+                let g = n.gate(gid);
+                pins.clear();
+                pins.extend(g.inputs.iter().map(|i| values[i.index()]));
+                next.push(dff_next_word(g.kind, ff_state[gid.index()], pins));
+            }
+        }
+        for (&gid, &v) in self.plan.ff_gates.iter().zip(next.iter()) {
+            self.ff_state[gid.index()] = v;
+        }
+        self.ff_next = next;
+        self.settle(n);
+    }
+
+    /// Per-gate accessor used by word-domain cycle harnesses: the list of
+    /// sequential gates in schedule order.
+    pub fn ff_gates(&self) -> &[GateId] {
+        &self.plan.ff_gates
+    }
+}
+
+/// Sanity helper for tests and harnesses: evaluate `gate`'s word function
+/// directly (combinational cells only).
+pub fn gate_word(gate: &Gate, pins: &[u64]) -> u64 {
+    eval_word(gate.kind, pins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Evaluator;
+
+    #[test]
+    fn transpose_matches_naive() {
+        // A full-period LCG fills an asymmetric matrix.
+        let mut a = [0u64; 64];
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        for w in &mut a {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *w = x;
+        }
+        let orig = a;
+        transpose64(&mut a);
+        for (i, row) in a.iter().enumerate() {
+            for (j, col) in orig.iter().enumerate() {
+                assert_eq!((row >> j) & 1, (col >> i) & 1, "({i},{j})");
+            }
+        }
+        // Involution.
+        transpose64(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn lane_counter_counts_columns() {
+        let mut c = LaneCounter::new();
+        // 100 words: lane 0 sees all ones, lane 1 every other word,
+        // lane 63 the first word only.
+        for i in 0..100u64 {
+            let mut w = 1u64;
+            if i % 2 == 0 {
+                w |= 2;
+            }
+            if i == 0 {
+                w |= 1 << 63;
+            }
+            c.push(w);
+        }
+        let counts = c.drain();
+        assert_eq!(counts[0], 100);
+        assert_eq!(counts[1], 50);
+        assert_eq!(counts[63], 1);
+        assert_eq!(counts[17], 0);
+        // Drained counter starts over.
+        c.push(u64::MAX);
+        assert_eq!(c.drain(), [1u32; 64]);
+    }
+
+    #[test]
+    fn seg_counter_segments_independent() {
+        let mut c = SegLaneCounter::new();
+        // Segment 0: three words, lane 0 always set, lane 5 once.
+        c.push(1);
+        c.push2(1 | (1 << 5), 1);
+        c.mark();
+        // Segment 1: two words, lane 0 clear, lane 63 both times.
+        c.push2(1 << 63, 1 << 63);
+        c.mark();
+        // Segment 2: empty (a cycle in which a counter saw no words).
+        c.mark();
+        assert_eq!(c.num_segments(), 3);
+        let counts = c.finish();
+        assert_eq!(counts.len(), 3 * LANES);
+        assert_eq!(counts[0], 3); // seg 0, lane 0
+        assert_eq!(counts[5], 1); // seg 0, lane 5
+        assert_eq!(counts[LANES + 63], 2); // seg 1, lane 63
+        assert_eq!(counts[LANES], 0); // seg 1, lane 0
+        assert!(counts[2 * LANES..].iter().all(|&c| c == 0), "empty segment");
+    }
+
+    /// Segments that straddle the internal 64-word transpose block get
+    /// their pieces stitched back together.
+    #[test]
+    fn seg_counter_straddles_blocks() {
+        let mut c = SegLaneCounter::new();
+        // Segment 0: 100 words (crosses the 64-word flush boundary),
+        // lane 3 set in every word, lane 9 in the last word only.
+        for i in 0..100u64 {
+            let mut w = 1u64 << 3;
+            if i == 99 {
+                w |= 1 << 9;
+            }
+            c.push(w);
+        }
+        c.mark();
+        // Segment 1: 30 more words in the already-open block.
+        for _ in 0..30 {
+            c.push(1 << 3);
+        }
+        c.mark();
+        let counts = c.finish();
+        assert_eq!(counts[3], 100);
+        assert_eq!(counts[9], 1);
+        assert_eq!(counts[LANES + 3], 30);
+        // Reset starts a fresh set of segments.
+        c.reset();
+        c.push(u64::MAX);
+        c.mark();
+        assert_eq!(c.num_segments(), 1);
+        let counts = c.finish();
+        assert!(counts[..LANES].iter().all(|&x| x == 1));
+    }
+
+    /// SegLaneCounter totals agree with the simple LaneCounter when the
+    /// whole stream is one segment.
+    #[test]
+    fn seg_counter_matches_lane_counter() {
+        let mut seg = SegLaneCounter::new();
+        let mut plain = LaneCounter::new();
+        let mut x = 0x9e37_79b9u64;
+        for _ in 0..777 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            seg.push(x);
+            plain.push(x);
+        }
+        seg.mark();
+        let want = plain.drain();
+        assert_eq!(seg.finish(), &want[..]);
+    }
+
+    #[test]
+    fn mux_word_form_matches_truth_table() {
+        for s in [0u64, 1] {
+            for a in [0u64, 1] {
+                for b in [0u64, 1] {
+                    let want = u64::from(if s == 1 { b == 1 } else { a == 1 });
+                    assert_eq!(eval_word(GateKind::Mux2, &[s, a, b]) & 1, want);
+                }
+            }
+        }
+    }
+
+    /// Lanes evolve exactly like 64 independent scalar evaluators over a
+    /// clocked design with enable/reset registers.
+    #[test]
+    fn lanes_match_scalar_evaluator() {
+        let mut n = Netlist::new("t");
+        let d = n.input("d");
+        let en = n.input("en");
+        let rst = n.input("rst");
+        let q = n.dff_en_rst(d, en, rst);
+        let q2 = n.dff(q);
+        let y = n.xor2(q, q2);
+        let m = n.mux2(q, d, y);
+        n.output("y", y);
+        n.output("m", m);
+
+        let mut bev = BitEvaluator::new(&n).unwrap();
+        let mut sev: Vec<Evaluator> = (0..64).map(|_| Evaluator::new(&n).unwrap()).collect();
+        let mut x = 0xdead_beefu64;
+        for _step in 0..32 {
+            let mut words = [0u64; 3];
+            for (i, w) in words.iter_mut().enumerate() {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(i as u64 | 1);
+                *w = x;
+            }
+            bev.set_input(d, words[0]);
+            bev.set_input(en, words[1]);
+            bev.set_input(rst, words[2]);
+            bev.clock(&n);
+            for (lane, ev) in sev.iter_mut().enumerate() {
+                ev.set_input(d, (words[0] >> lane) & 1 == 1);
+                ev.set_input(en, (words[1] >> lane) & 1 == 1);
+                ev.set_input(rst, (words[2] >> lane) & 1 == 1);
+                ev.clock(&n);
+                for net in [y, m, q, q2] {
+                    assert_eq!(bev.value_lane(net, lane), ev.value(net), "lane {lane} net {net:?}");
+                }
+            }
+        }
+    }
+}

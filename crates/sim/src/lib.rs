@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitclock;
 pub mod clocked;
 pub mod coupling;
 pub mod delay;
@@ -37,6 +38,7 @@ pub mod vcd;
 pub mod waveform;
 pub mod wheel;
 
+pub use bitclock::{BitClockedSim, LaneActivity};
 pub use clocked::{ClockedCore, ClockedSim};
 pub use coupling::{CouplingModel, CouplingSink};
 pub use delay::DelayModel;
