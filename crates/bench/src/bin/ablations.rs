@@ -10,7 +10,7 @@
 //!    multiplications without resetting the gadget leaks the *previous*
 //!    operation's unshared operand.
 
-use gm_bench::Args;
+use gm_bench::{Args, MetricsSink};
 use gm_core::gadgets::sec_and2::build_sec_and2;
 use gm_core::gadgets::AndInputs;
 use gm_core::{MaskRng, MaskedBit};
@@ -66,12 +66,18 @@ impl TraceSource for FfSource {
     }
 }
 
-fn ablation_refresh(traces: u64, seed: u64) {
+fn ablation_refresh(metrics: &mut MetricsSink, traces: u64, seed: u64) {
     println!("=== ablation 1: refresh layer (§III-C) ===");
-    let with = Campaign::sequential(traces, seed)
-        .run(&FfSource::new(MaskedDesFf::new(0x133457799BBCDFF1), seed));
-    let without = Campaign::sequential(traces, seed ^ 0x10)
-        .run(&FfSource::new(MaskedDesFf::without_refresh(0x133457799BBCDFF1), seed));
+    let with = metrics.run(
+        "refresh-on",
+        &Campaign::sequential(traces, seed),
+        &FfSource::new(MaskedDesFf::new(0x133457799BBCDFF1), seed),
+    );
+    let without = metrics.run(
+        "refresh-off",
+        &Campaign::sequential(traces, seed ^ 0x10),
+        &FfSource::new(MaskedDesFf::without_refresh(0x133457799BBCDFF1), seed),
+    );
     let m = |r: &TvlaResult| r.max_abs_t1();
     println!("  with refresh (14 bits/round): max|t1| = {:.2}", m(&with));
     println!("  without refresh (0 bits):     max|t1| = {:.2}", m(&without));
@@ -137,10 +143,15 @@ impl TraceSource for ValueSource {
     }
 }
 
-fn ablation_recycling(traces: u64, seed: u64) {
+fn ablation_recycling(metrics: &mut MetricsSink, traces: u64, seed: u64) {
     println!("=== ablation 2: randomness recycling (§VI-A) ===");
-    let recycled = Campaign::sequential(traces, seed).run(&ValueSource::new(true, seed));
-    let fresh = Campaign::sequential(traces, seed ^ 0x20).run(&ValueSource::new(false, seed));
+    let recycled =
+        metrics.run("recycled", &Campaign::sequential(traces, seed), &ValueSource::new(true, seed));
+    let fresh = metrics.run(
+        "fresh-per-sbox",
+        &Campaign::sequential(traces, seed ^ 0x20),
+        &ValueSource::new(false, seed),
+    );
     println!("  14 bits/round (recycled):  max|t1| = {:.2}", recycled.max_abs_t1());
     println!("  112 bits/round (per-sbox): max|t1| = {:.2}", fresh.max_abs_t1());
     println!(
@@ -227,8 +238,18 @@ fn ablation_reset(trials: u64, seed: u64) {
 
 fn main() {
     let args = Args::parse();
+    let mut metrics = MetricsSink::from_args("ablations", &args);
     let traces = args.trace_count(8_000, 60_000);
-    ablation_refresh(traces, args.seed);
-    ablation_recycling(traces, args.seed ^ 0xaa);
-    ablation_reset(args.trace_count(4_000, 20_000), args.seed ^ 0xbb);
+    ablation_refresh(&mut metrics, traces, args.seed);
+    ablation_recycling(&mut metrics, traces, args.seed ^ 0xaa);
+    let reset_trials = args.trace_count(4_000, 20_000);
+    let t0 = std::time::Instant::now();
+    ablation_reset(reset_trials, args.seed ^ 0xbb);
+    metrics.record_phase(
+        "reset-discipline",
+        t0.elapsed().as_secs_f64(),
+        2 * reset_trials,
+        gm_obs::Report::new(),
+    );
+    metrics.finish().expect("write metrics");
 }

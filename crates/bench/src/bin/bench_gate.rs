@@ -13,7 +13,9 @@
 use gm_bench::gate::{
     build_pd_gadget, build_sec_and2_bank, placement_bias, PdPlacementSource, SequenceSource,
 };
-use gm_bench::{record, Args};
+use gm_bench::metrics::assert_metrics_overhead;
+use gm_bench::record::{append_record, BenchRecord};
+use gm_bench::{Args, MetricsSink};
 use gm_core::schedule::{all_sequences, predicted_leaky};
 use gm_leakage::{leaks, Campaign};
 use std::sync::Arc;
@@ -25,6 +27,7 @@ const UNIT_LUTS: usize = 3;
 
 fn main() {
     let args = Args::parse();
+    let mut metrics = MetricsSink::from_args("bench_gate", &args);
     let traces = args.trace_count(5_000, 200_000);
     // Default to the machine's actual parallelism: oversubscribing a
     // small box with idle workers only adds context-switch overhead to
@@ -56,9 +59,15 @@ fn main() {
     let campaign = Campaign { traces, threads, seed: args.seed };
     let mut result = campaign.run(&src);
     let mut seconds = f64::INFINITY;
-    for _ in 0..3 {
+    for rep in 0..3u32 {
         let start = Instant::now();
-        result = campaign.run(&src);
+        // Final pass goes through the sink so the JSONL carries the
+        // event simulator's counters at benchmark scale.
+        result = if rep == 2 {
+            metrics.run("placement-pass", &campaign, &src)
+        } else {
+            campaign.run(&src)
+        };
         seconds = seconds.min(start.elapsed().as_secs_f64());
     }
     let tps = traces as f64 / seconds;
@@ -76,7 +85,11 @@ fn main() {
     let mut verdicts = Vec::new();
     for (name, seq, expect_leak) in [("leaky", leaky_seq, true), ("safe", safe_seq, false)] {
         let src = SequenceSource::new(Arc::clone(&bank), Arc::clone(&bank_delays), seq, args.seed);
-        let r = Campaign { traces: check_traces, threads, seed: args.seed ^ 0x1ab1e }.run(&src);
+        let r = metrics.run(
+            &format!("table1-{name}"),
+            &Campaign { traces: check_traces, threads, seed: args.seed ^ 0x1ab1e },
+            &src,
+        );
         let t1 = r.t1();
         let max_t = t1.iter().fold(0.0f64, |m, t| m.max(t.abs()));
         let verdict = leaks(&t1);
@@ -89,17 +102,17 @@ fn main() {
         verdicts.push((name, max_t));
     }
 
-    let record = format!(
-        "  {{\"label\": \"{label}\", \"campaign\": \"fig15-gate-placement\", \
-         \"unit_luts\": {UNIT_LUTS}, \"traces\": {traces}, \"threads\": {threads}, \
-         \"seconds\": {seconds:.3}, \"traces_per_sec\": {tps:.1}, \
-         \"placement_bias\": {bias:.3}, \
-         \"table1_leaky_max_t1\": {:.3}, \"table1_safe_max_t1\": {:.3}, \
-         \"git_rev\": \"{}\"}}",
-        verdicts[0].1,
-        verdicts[1].1,
-        record::git_rev(),
-    );
-    record::append_record(BENCH_FILE, &record).expect("write BENCH_gate.json");
+    let record = BenchRecord::new(&label, "fig15-gate-placement", traces, threads, seconds)
+        .with("unit_luts", UNIT_LUTS.to_string())
+        .with_f64("placement_bias", bias)
+        .with_f64("table1_leaky_max_t1", verdicts[0].1)
+        .with_f64("table1_safe_max_t1", verdicts[1].1);
+    append_record(BENCH_FILE, &record.to_json()).expect("write BENCH_gate.json");
     println!("  recorded as \"{label}\" in {BENCH_FILE}");
+
+    // Observability guarantee: metrics collection on a smoke-scale
+    // campaign stays under 2% of event-simulator throughput.
+    let smoke = Campaign { traces: traces / 10, threads, seed: args.seed ^ 0x0b5 };
+    assert_metrics_overhead(&smoke, &src, 2.0, 8);
+    metrics.finish().expect("write metrics");
 }

@@ -11,10 +11,13 @@
 //! ```
 //!
 //! The JSON file is a flat array of run records; this binary appends
-//! without disturbing earlier entries.
+//! without disturbing earlier entries. A smoke-scale overhead check
+//! guards the observability layer: enabling `--metrics` collection must
+//! cost < 2% of campaign throughput.
 
-use gm_bench::record::{append_record, git_rev};
-use gm_bench::Args;
+use gm_bench::metrics::assert_metrics_overhead;
+use gm_bench::record::{append_record, BenchRecord};
+use gm_bench::{Args, MetricsSink};
 use gm_des::tvla_src::{AnyCycleSource, CoreVariant, SourceConfig};
 use gm_leakage::Campaign;
 use std::time::Instant;
@@ -23,10 +26,10 @@ const BENCH_FILE: &str = "BENCH_tvla.json";
 
 fn main() {
     let args = Args::parse();
+    let mut metrics = MetricsSink::from_args("bench_tvla", &args);
     let traces = args.trace_count(10_000, 100_000);
     let threads = args.threads.unwrap_or(8);
     let label = args.label.clone().unwrap_or_else(|| "unlabelled".to_owned());
-    let rev = git_rev();
 
     let mut cfg = SourceConfig::new(CoreVariant::Ff);
     cfg.seed = args.seed;
@@ -43,23 +46,25 @@ fn main() {
         let _ = Campaign { traces: traces / 4, threads, seed: args.seed ^ 0xaaaa }.run(&src);
         let mut result = campaign.run(&src);
         let mut seconds = f64::INFINITY;
-        for _ in 0..3 {
+        for rep in 0..3u32 {
             let start = Instant::now();
-            result = campaign.run(&src);
+            // Final pass goes through the sink so the JSONL carries the
+            // campaign's pool/source counters per backend.
+            result = if rep == 2 {
+                metrics.run(&format!("{backend}-pass"), &campaign, &src)
+            } else {
+                campaign.run(&src)
+            };
             seconds = seconds.min(start.elapsed().as_secs_f64());
         }
         let tps = traces as f64 / seconds;
         let max_t1 = result.max_abs_t(1);
         println!("  {backend:>9}: {seconds:.3} s -> {tps:.0} traces/s  (max|t1| = {max_t1:.2})");
 
-        let record = format!(
-            "  {{\"label\": \"{label}\", \"backend\": \"{backend}\", \
-             \"campaign\": \"fig14-ff-cycle-model\", \
-             \"traces\": {traces}, \"threads\": {threads}, \
-             \"seconds\": {seconds:.3}, \"traces_per_sec\": {tps:.1}, \
-             \"max_abs_t1\": {max_t1:.3}, \"git_rev\": \"{rev}\"}}"
-        );
-        append_record(BENCH_FILE, &record).expect("write BENCH_tvla.json");
+        let record = BenchRecord::new(&label, "fig14-ff-cycle-model", traces, threads, seconds)
+            .with("backend", format!("\"{backend}\""))
+            .with_f64("max_abs_t1", max_t1);
+        append_record(BENCH_FILE, &record.to_json()).expect("write BENCH_tvla.json");
         measured.push((backend, tps, max_t1));
     }
 
@@ -71,4 +76,10 @@ fn main() {
     );
     println!("  bitsliced/scalar speedup: {:.1}x  (max|t1| identical)", tps_b / tps_s);
     println!("  recorded as \"{label}\" (both backends) in {BENCH_FILE}");
+
+    // Observability guarantee: metrics collection on a smoke-scale
+    // campaign stays under 2% of throughput.
+    let smoke = Campaign { traces: traces / 10, threads, seed: args.seed ^ 0x0b5 };
+    assert_metrics_overhead(&smoke, &AnyCycleSource::new(cfg, false), 2.0, 8);
+    metrics.finish().expect("write metrics");
 }

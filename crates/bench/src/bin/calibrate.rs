@@ -1,21 +1,26 @@
 //! Calibration tool: sweeps the leak-model constants against the TVLA
 //! pipeline so the trace-scaling story in EXPERIMENTS.md stays honest.
-//! Usage: `calibrate [N] [sigma]`.
+//! Usage: `calibrate [N] [sigma] [--metrics PATH --progress ...]`.
+use gm_bench::MetricsSink;
 use gm_des::tvla_src::{CoreVariant, CycleModelSource, SourceConfig};
 use gm_leakage::Campaign;
 use std::time::Instant;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let n: u64 = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(20_000);
-    let sigma: f64 = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(60.0);
+    // Positional [N] [sigma] first, then the shared flags.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let positional: Vec<&String> = raw.iter().take_while(|a| !a.starts_with("--")).collect();
+    let args = gm_bench::Args::parse_from(raw.iter().skip(positional.len()).cloned());
+    let mut metrics = MetricsSink::from_args("calibrate", &args);
+    let n: u64 = positional.first().map(|s| s.parse().unwrap()).unwrap_or(20_000);
+    let sigma: f64 = positional.get(1).map(|s| s.parse().unwrap()).unwrap_or(60.0);
 
     // Speed.
     let mut cfg = SourceConfig::new(CoreVariant::Ff);
     cfg.noise_sigma = sigma;
     let src = CycleModelSource::new(cfg.clone());
     let t0 = Instant::now();
-    let r = Campaign::parallel(n, 1).run(&src);
+    let r = metrics.run("ff-prng-on", &Campaign::parallel(n, 1), &src);
     let dt = t0.elapsed();
     let t1m = r.max_abs_t1();
     let t2m = r.t2().iter().fold(0.0f64, |m, t| m.max(t.abs()));
@@ -54,7 +59,7 @@ fn main() {
         let mut leak = PdLeakModel::optimal();
         leak.coupling_eps = 0.0;
         let src = CycleModelSource::with_pd_leak(c, leak);
-        let r = Campaign::parallel(n, 77).run(&src);
+        let r = metrics.run("pd10-coupling-off", &Campaign::parallel(n, 77), &src);
         println!("PD(10) coupling-off: max|t1|={:.2} at n={n}", r.max_abs_t1());
     }
     for unit in [1usize, 2, 3, 5, 7, 10] {
@@ -68,4 +73,5 @@ fn main() {
             d.traces, last.1, last.0
         );
     }
+    metrics.finish().expect("write metrics");
 }

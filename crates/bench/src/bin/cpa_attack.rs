@@ -12,7 +12,7 @@
 //!    masking moves the attack to order two, where the trace cost grows
 //!    with the noise.
 
-use gm_bench::Args;
+use gm_bench::{Args, MetricsSink};
 use gm_core::{MaskRng, MaskedBit};
 use gm_des::masked::core_ff::CycleRecord;
 use gm_des::masked::{BitslicedDes, MaskedDesFf};
@@ -222,6 +222,7 @@ fn attack_second_order(
 
 fn main() {
     let args = Args::parse();
+    let mut metrics = MetricsSink::from_args("cpa_attack", &args);
     let key = 0x133457799BBCDFF1u64;
     let k1 = round_keys(key)[0];
     let true_chunks: Vec<u8> = (0..8).map(|s| ((k1 >> (42 - 6 * s)) & 0x3F) as u8).collect();
@@ -233,7 +234,9 @@ fn main() {
 
     // Attack 1: PRNG off.
     let n_off = args.trace_count(2_000, 6_000);
+    let t0 = std::time::Instant::now();
     let (guesses, peaks) = attack(key, false, n_off, 6.0, args.seed, args.scalar);
+    metrics.record_phase("cpa1-prng-off", t0.elapsed().as_secs_f64(), n_off, gm_obs::Report::new());
     println!("--- PRNG OFF, {n_off} traces ---");
     println!("  sbox  guess  true  peak-rho  correct");
     let mut correct = 0;
@@ -253,7 +256,9 @@ fn main() {
 
     // Attack 2: PRNG on, many more traces.
     let n_on = 4 * n_off;
+    let t0 = std::time::Instant::now();
     let (guesses_on, peaks_on) = attack(key, true, n_on, 6.0, args.seed ^ 1, args.scalar);
+    metrics.record_phase("cpa1-masked", t0.elapsed().as_secs_f64(), n_on, gm_obs::Report::new());
     let correct_on = (0..8).filter(|&s| guesses_on[s] == true_chunks[s]).count();
     let max_peak = peaks_on.iter().cloned().fold(0.0f64, f64::max);
     println!("--- PRNG ON (masked), {n_on} traces ---");
@@ -271,7 +276,9 @@ fn main() {
     // §VII-A "an adversary would likely be better off using a
     // second-order attack".
     let n_2nd = 8 * n_off;
+    let t0 = std::time::Instant::now();
     let (g2, p2) = attack_second_order(key, n_2nd, 6.0, args.seed ^ 2, args.scalar);
+    metrics.record_phase("cpa2-masked", t0.elapsed().as_secs_f64(), n_2nd, gm_obs::Report::new());
     let correct_2nd = (0..8).filter(|&s| g2[s] == true_chunks[s]).count();
     println!("--- PRNG ON (masked), SECOND-order CPA, {n_2nd} traces ---");
     println!("  sbox  guess  true  peak-rho  correct");
@@ -295,4 +302,5 @@ fn main() {
             "second-order attack inconclusive at this budget; raise --traces."
         }
     );
+    metrics.finish().expect("write metrics");
 }

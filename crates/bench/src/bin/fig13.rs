@@ -7,18 +7,24 @@
 //! after the load spike — mirrors the paper's oscilloscope shot.
 
 use gm_bench::panel::{ascii_power, single_trace};
-use gm_bench::Args;
+use gm_bench::{Args, MetricsSink};
 use gm_des::tvla_src::{CoreVariant, GateLevelSource, SourceConfig};
-use gm_leakage::report;
+use gm_leakage::{report, TraceSource};
+use std::time::Instant;
 
 fn main() {
     let args = Args::parse();
+    let mut metrics = MetricsSink::from_args("fig13", &args);
     let mut cfg = SourceConfig::new(CoreVariant::Ff);
     cfg.seed = args.seed;
     cfg.noise_sigma = 4.0; // oscilloscope-style mild noise
     let bins_per_cycle = 4;
     let mut src = GateLevelSource::new(cfg, bins_per_cycle, 0.0);
+    let t0 = Instant::now();
     let trace = single_trace(&mut src);
+    let mut counters = gm_obs::Report::new();
+    src.obs_report(&mut counters);
+    metrics.record_phase("single-trace", t0.elapsed().as_secs_f64(), 1, counters);
 
     println!("FIG. 13 — power trace of the protected DES (secAND2-FF, 7 cycles/round)");
     println!(
@@ -49,4 +55,5 @@ fn main() {
         round_energy.iter().cloned().fold(f64::MAX, f64::min),
         round_energy.iter().cloned().fold(f64::MIN, f64::max)
     );
+    metrics.finish().expect("write metrics");
 }

@@ -15,7 +15,7 @@
 //! to the paper's 50 M-trace assessment (see EXPERIMENTS.md).
 
 use gm_bench::panel::{max_abs, print_panel};
-use gm_bench::Args;
+use gm_bench::{Args, MetricsSink};
 use gm_des::tvla_src::{AnyCycleSource, CoreVariant, SourceConfig};
 use gm_leakage::detect::{consistent_leaks, first_detection};
 use gm_leakage::Campaign;
@@ -24,6 +24,7 @@ const FIXED_PLAINTEXTS: [u64; 3] = [0x0123456789ABCDEF, 0xDA39A3EE5E6B4B0D, 0x00
 
 fn main() {
     let args = Args::parse();
+    let mut metrics = MetricsSink::from_args("fig14", &args);
     let traces = args.trace_count(40_000, 400_000);
     let run_all = args.panel.is_none();
     let backend = if args.scalar { "scalar reference" } else { "64-way bitsliced" };
@@ -46,7 +47,11 @@ fn main() {
             None => println!("NO DETECTION — setup broken!"),
         }
         let src = AnyCycleSource::new(cfg, args.scalar);
-        let r = Campaign::parallel(12_000.min(traces), args.seed ^ 0xa).run(&src);
+        let r = metrics.run(
+            "fig14a-prng-off",
+            &Campaign::parallel(12_000.min(traces), args.seed ^ 0xa),
+            &src,
+        );
         print_panel("panel (a) t-curves @12k traces", &r, &args.out_dir, "fig14a");
     }
 
@@ -60,7 +65,11 @@ fn main() {
         cfg.fixed_pt = pt;
         cfg.seed = args.seed ^ (i as u64) << 8;
         let src = AnyCycleSource::new(cfg, args.scalar);
-        let r = Campaign::parallel(traces, args.seed ^ (0xb + i as u64)).run(&src);
+        let r = metrics.run(
+            &format!("fig14{panel}-pt{i}"),
+            &Campaign::parallel(traces, args.seed ^ (0xb + i as u64)),
+            &src,
+        );
         print_panel(
             &format!("panel ({panel}): PRNG on, fixed plaintext {pt:#018x}"),
             &r,
@@ -85,4 +94,5 @@ fn main() {
         println!("⇒ no evidence of first-order leakage; strong second-order leakage,");
         println!("   as the paper argues a second-order attack would be the better route.");
     }
+    metrics.finish().expect("write metrics");
 }

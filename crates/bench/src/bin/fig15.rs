@@ -10,7 +10,7 @@
 //! paper's 500 k; the panel-f budget to their 5 M.
 
 use gm_bench::panel::summary_line;
-use gm_bench::Args;
+use gm_bench::{Args, MetricsSink};
 use gm_des::power::order_violation_prob;
 use gm_des::tvla_src::{CoreVariant, CycleModelSource, SourceConfig};
 use gm_leakage::detect::first_detection;
@@ -20,6 +20,7 @@ const SIZES: [usize; 6] = [1, 2, 3, 5, 7, 10];
 
 fn main() {
     let args = Args::parse();
+    let mut metrics = MetricsSink::from_args("fig15", &args);
     let per_version = args.trace_count(2_000, 8_000);
     println!("FIG. 15 — DelayUnit-size sweep, protected DES with secAND2-PD");
     println!("({per_version} traces/version ≙ the paper's 500k; same fixed plaintext)\n");
@@ -31,7 +32,11 @@ fn main() {
         let mut cfg = SourceConfig::new(CoreVariant::Pd { unit_luts: unit });
         cfg.seed = args.seed;
         let src = CycleModelSource::new(cfg);
-        let r = Campaign::parallel(per_version, args.seed ^ unit as u64).run(&src);
+        let r = metrics.run(
+            &format!("unit{unit}"),
+            &Campaign::parallel(per_version, args.seed ^ unit as u64),
+            &src,
+        );
         let (m1, m2, _) = summary_line(&r);
         let verdict = if m1 > THRESHOLD { "LEAKS" } else { "clean" };
         println!(
@@ -82,4 +87,5 @@ fn main() {
     )
     .expect("write CSV");
     println!("CSV written to {}/fig15_sweep.csv", args.out_dir);
+    metrics.finish().expect("write metrics");
 }

@@ -18,13 +18,15 @@
 //! per trace.
 
 use gm_bench::gate::{build_pd_gadget, placement_bias, PdPlacementSource};
-use gm_bench::Args;
+use gm_bench::{Args, MetricsSink};
 use gm_leakage::Campaign;
 use gm_sim::DelayModel;
 use std::sync::Arc;
+use std::time::Instant;
 
 fn main() {
     let args = Args::parse();
+    let mut metrics = MetricsSink::from_args("fig15_gate", &args);
     let trials = args.trace_count(8_000, 20_000);
     let placements = if args.quick { 15 } else { 30 };
     println!("FIG. 15 (gate level) — per-placement first-order exposure of secAND2-PD");
@@ -38,14 +40,25 @@ fn main() {
     for unit in [1usize, 2, 3, 5, 7, 10] {
         let gadget = Arc::new(build_pd_gadget(unit));
         let mut biases = Vec::new();
+        // One metrics phase per unit size: the 30 per-placement campaigns
+        // would drown the JSONL, so their counters are merged here.
+        let t0 = Instant::now();
+        let mut unit_counters = gm_obs::Report::new();
         for p in 0..placements {
             let device_seed = args.seed ^ (unit as u64) << 8 ^ p as u64;
             let delays =
                 Arc::new(DelayModel::with_variation(&gadget.netlist, 0.85, 400.0, device_seed));
             let src = PdPlacementSource::new(Arc::clone(&gadget), delays, device_seed);
-            let result = Campaign::parallel(trials, device_seed).run(&src);
+            let (result, obs) = Campaign::parallel(trials, device_seed).run_observed(&src);
+            unit_counters.merge(&obs.report());
             biases.push(placement_bias(&result));
         }
+        metrics.record_phase(
+            &format!("unit{unit}"),
+            t0.elapsed().as_secs_f64(),
+            trials * placements as u64,
+            unit_counters,
+        );
         let worst = biases.iter().cloned().fold(0.0f64, f64::max);
         let mean = biases.iter().sum::<f64>() / biases.len() as f64;
         let over = biases.iter().filter(|&&b| b > 0.1).count();
@@ -67,4 +80,6 @@ fn main() {
         &[&units, &ws],
     )
     .expect("write CSV");
+    println!("CSV written to {}/fig15_gate.csv", args.out_dir);
+    metrics.finish().expect("write metrics");
 }

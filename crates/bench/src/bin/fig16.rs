@@ -6,18 +6,24 @@
 //! a long activity tail within the cycle.
 
 use gm_bench::panel::{ascii_power, single_trace};
-use gm_bench::Args;
+use gm_bench::{Args, MetricsSink};
 use gm_des::tvla_src::{CoreVariant, GateLevelSource, SourceConfig};
-use gm_leakage::report;
+use gm_leakage::{report, TraceSource};
+use std::time::Instant;
 
 fn main() {
     let args = Args::parse();
+    let mut metrics = MetricsSink::from_args("fig16", &args);
     let mut cfg = SourceConfig::new(CoreVariant::Pd { unit_luts: 10 });
     cfg.seed = args.seed;
     cfg.noise_sigma = 4.0;
     let bins_per_cycle = 8;
     let mut src = GateLevelSource::new(cfg, bins_per_cycle, 0.4);
+    let t0 = Instant::now();
     let trace = single_trace(&mut src);
+    let mut counters = gm_obs::Report::new();
+    src.obs_report(&mut counters);
+    metrics.record_phase("single-trace", t0.elapsed().as_secs_f64(), 1, counters);
 
     println!("FIG. 16 — power trace of the protected DES (secAND2-PD, 2 cycles/round)");
     println!(
@@ -32,4 +38,5 @@ fn main() {
     let path = format!("{}/fig16_power_trace.csv", args.out_dir);
     report::write_csv(&path, &["sample", "power"], &[&trace]).expect("write CSV");
     println!("CSV written to {path}");
+    metrics.finish().expect("write metrics");
 }

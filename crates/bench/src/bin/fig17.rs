@@ -11,7 +11,7 @@
 //! same campaign re-run with the coupling term disabled stays clean.
 
 use gm_bench::panel::{max_abs, print_panel};
-use gm_bench::Args;
+use gm_bench::{Args, MetricsSink};
 use gm_des::power::PdLeakModel;
 use gm_des::tvla_src::{AnyCycleSource, CoreVariant, GateLevelSource, SourceConfig};
 use gm_leakage::detect::{consistent_leaks, first_detection};
@@ -24,7 +24,7 @@ const FIXED_PLAINTEXTS: [u64; 3] = [0x0123456789ABCDEF, 0xDA39A3EE5E6B4B0D, 0x00
 /// persistent simulator per worker. Traces are scaled down — the event
 /// simulation resolves the same coupling mechanism with far fewer traces
 /// than the calibrated cycle model needs.
-fn gate_level_panels(args: &Args, traces: u64) {
+fn gate_level_panels(args: &Args, metrics: &mut MetricsSink, traces: u64) {
     let variant = CoreVariant::Pd { unit_luts: 10 };
     println!("--- gate-level cross-validation (event-driven netlist, coupling on) ---");
     for (i, (panel, pt)) in ["a", "b", "c"].iter().zip(FIXED_PLAINTEXTS).enumerate() {
@@ -39,7 +39,7 @@ fn gate_level_panels(args: &Args, traces: u64) {
         if let Some(t) = args.threads {
             campaign.threads = t;
         }
-        let r = campaign.run(&src);
+        let r = metrics.run(&format!("fig17{panel}-gate"), &campaign, &src);
         print_panel(
             &format!("panel ({panel}) gate level: PRNG on, fixed plaintext {pt:#018x}"),
             &r,
@@ -51,12 +51,14 @@ fn gate_level_panels(args: &Args, traces: u64) {
 
 fn main() {
     let args = Args::parse();
+    let mut metrics = MetricsSink::from_args("fig17", &args);
     let run_all = args.panel.is_none();
     if args.gate_level {
         let traces = args.trace_count(2_000, 30_000);
         println!("FIG. 17 (gate level) — protected DES with secAND2-PD (10-LUT units)");
         println!("(campaign: {traces} traces; threshold ±4.5)\n");
-        gate_level_panels(&args, traces);
+        gate_level_panels(&args, &mut metrics, traces);
+        metrics.finish().expect("write metrics");
         return;
     }
     let traces = args.trace_count(40_000, 400_000);
@@ -76,7 +78,11 @@ fn main() {
         cfg.fixed_pt = pt;
         cfg.seed = args.seed ^ (i as u64) << 8;
         let src = AnyCycleSource::new(cfg.clone(), args.scalar);
-        let r = Campaign::parallel(traces, args.seed ^ (0x17 + i as u64)).run(&src);
+        let r = metrics.run(
+            &format!("fig17{panel}-pt{i}"),
+            &Campaign::parallel(traces, args.seed ^ (0x17 + i as u64)),
+            &src,
+        );
         print_panel(
             &format!("panel ({panel}): PRNG on, fixed plaintext {pt:#018x}"),
             &r,
@@ -137,7 +143,11 @@ fn main() {
             None => println!("NO DETECTION — setup broken!"),
         }
         let src = AnyCycleSource::new(cfg, args.scalar);
-        let r = Campaign::parallel(12_000.min(traces), args.seed ^ 0x17e).run(&src);
+        let r = metrics.run(
+            "fig17d-prng-off",
+            &Campaign::parallel(12_000.min(traces), args.seed ^ 0x17e),
+            &src,
+        );
         print_panel("panel (d) t-curves @12k traces", &r, &args.out_dir, "fig17d");
     }
 
@@ -149,7 +159,11 @@ fn main() {
         let mut leak = PdLeakModel::optimal();
         leak.coupling_eps = 0.0;
         let src = AnyCycleSource::with_pd_leak(cfg, leak, args.scalar);
-        let r = Campaign::parallel(traces, args.seed ^ 0xab2).run(&src);
+        let r = metrics.run(
+            "ablation-no-coupling",
+            &Campaign::parallel(traces, args.seed ^ 0xab2),
+            &src,
+        );
         let m1 = max_abs(&r.t1());
         println!("=== attribution ablation: coupling term disabled ===");
         println!(
@@ -162,4 +176,5 @@ fn main() {
             }
         );
     }
+    metrics.finish().expect("write metrics");
 }

@@ -7,7 +7,7 @@
 //! deliberately skewed arrivals — generates far more transient activity
 //! per cycle, all of it (by construction) on safe wires.
 
-use gm_bench::Args;
+use gm_bench::{Args, MetricsSink};
 use gm_core::MaskRng;
 use gm_des::netlist_gen::driver::EncryptionInputs;
 use gm_des::netlist_gen::{build_des_core, DesCoreDriver, SboxStyle};
@@ -44,12 +44,22 @@ fn census(style: SboxStyle, seed: u64) -> (usize, usize, BTreeMap<String, usize>
 
 fn main() {
     let args = Args::parse();
+    let mut metrics = MetricsSink::from_args("glitch_census", &args);
     println!("GLITCH CENSUS — one full encryption per core, gate-level waveforms\n");
-    for (name, style) in [
-        ("secAND2-FF core", SboxStyle::Ff),
-        ("secAND2-PD core (10-LUT units)", SboxStyle::Pd { unit_luts: 10 }),
+    for (name, style, phase) in [
+        ("secAND2-FF core", SboxStyle::Ff, "ff-core"),
+        ("secAND2-PD core (10-LUT units)", SboxStyle::Pd { unit_luts: 10 }, "pd-core"),
     ] {
+        let t0 = std::time::Instant::now();
         let (glitches, transitions, by_module) = census(style, args.seed);
+        let mut counters = gm_obs::Report::new();
+        counters.set("census.transitions", transitions as u64);
+        counters.set("census.glitches", glitches as u64);
+        for (module, &count) in by_module.iter().filter(|(_, &c)| c > 0) {
+            let m = if module.is_empty() { "top" } else { module };
+            counters.set(&format!("census.module.{m}"), count as u64);
+        }
+        metrics.record_phase(phase, t0.elapsed().as_secs_f64(), 1, counters);
         println!("{name}: {transitions} transitions, {glitches} glitch pulses (<600 ps)");
         for (module, count) in by_module.iter().filter(|(_, &c)| c > 0) {
             let m = if module.is_empty() { "(top)" } else { module };
@@ -61,4 +71,5 @@ fn main() {
     println!("without glitches, is the paper's contribution. What differs is where");
     println!("the energy lands: the PD core's transients ride on the delay-ordered");
     println!("wires whose arrival sequence keeps them data-independent.");
+    metrics.finish().expect("write metrics");
 }

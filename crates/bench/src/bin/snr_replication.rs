@@ -9,7 +9,7 @@
 //! share-activity noise floor (which replicates coherently too).
 
 use gm_bench::gate::{bank_share_net, build_sec_and2_bank, CYCLE_PS};
-use gm_bench::Args;
+use gm_bench::{Args, MetricsSink};
 use gm_core::schedule::InputShare;
 use gm_core::{MaskRng, MaskedBit};
 use gm_leakage::Snr;
@@ -22,6 +22,7 @@ const LEAKY_ORDER: [InputShare; 4] =
 
 fn main() {
     let args = Args::parse();
+    let mut metrics = MetricsSink::from_args("snr_replication", &args);
     let traces = args.trace_count(3_000, 20_000);
     println!("SNR vs. replica count — the paper's §II-B instrumentation trick");
     println!("(leaky sequence y1 y0 x1 x0; {traces} traces per point; noise σ = 3.0)\n");
@@ -30,6 +31,7 @@ fn main() {
 
     let mut base = None;
     for replicas in [1usize, 2, 4, 8, 16] {
+        let t0 = std::time::Instant::now();
         // Shared bank + persistent event core (reset per trace), the
         // same plumbing the Table I campaign sources ride.
         let bank = build_sec_and2_bank(replicas);
@@ -73,6 +75,15 @@ fn main() {
             base = Some(worst);
         }
         println!("  {replicas:>8}   {worst:>16.4}   {gain:>9.1}x");
+        let mut counters = gm_obs::Report::new();
+        sim.obs_report("sim", &mut counters);
+        counters.set_nonzero("rng.mask_words", mask_rng.obs_words_drawn());
+        metrics.record_phase(
+            &format!("replicas{replicas}"),
+            t0.elapsed().as_secs_f64(),
+            traces,
+            counters,
+        );
     }
     println!();
     println!("SNR grows with the replica count while measurement noise dominates");
@@ -80,4 +91,5 @@ fn main() {
     println!("saturates once the masked shares' own switching randomness — which");
     println!("also replicates coherently — becomes the noise floor. This is why the");
     println!("paper could resolve Table I with half a million traces per sequence.");
+    metrics.finish().expect("write metrics");
 }

@@ -3,7 +3,7 @@
 //! plumbing the campaigns use (no hand-rolled loops — what this probe
 //! times is exactly what `Campaign` runs per worker).
 
-use gm_bench::Args;
+use gm_bench::{Args, MetricsSink};
 use gm_des::tvla_src::{AnyCycleSource, CoreVariant, GateLevelSource, SourceConfig};
 use gm_leakage::tvla::{Class, TraceSource};
 use std::time::Instant;
@@ -23,6 +23,7 @@ fn time_block<S: TraceSource>(src: &mut S, traces: usize) -> f64 {
 
 fn main() {
     let args = Args::parse();
+    let mut metrics = MetricsSink::from_args("speed_probe", &args);
 
     // Cycle model, scalar reference vs 64-way bitsliced.
     for (name, scalar, n) in
@@ -33,6 +34,9 @@ fn main() {
         let mut src = AnyCycleSource::new(cfg, scalar);
         let dt = time_block(&mut src, n);
         println!("{name:>16}: {n} traces in {dt:.3} s -> {:.1} traces/s/thread", n as f64 / dt);
+        let mut counters = gm_obs::Report::new();
+        src.obs_report(&mut counters);
+        metrics.record_phase(name, dt, n as u64, counters);
     }
 
     // Event-driven gate level, both cores.
@@ -54,5 +58,9 @@ fn main() {
         );
         let dt = time_block(&mut src, n);
         println!("{:>16}  {n} traces in {dt:.3} s -> {:.1} traces/s/thread", "", n as f64 / dt);
+        let mut counters = gm_obs::Report::new();
+        src.obs_report(&mut counters);
+        metrics.record_phase(name, dt, n as u64, counters);
     }
+    metrics.finish().expect("write metrics");
 }

@@ -15,7 +15,7 @@
 //! Monte-Carlo glitch-extended probe cross-check every row.
 
 use gm_bench::gate::{build_sec_and2_bank, SequenceSource, CYCLE_PS};
-use gm_bench::Args;
+use gm_bench::{Args, MetricsSink};
 use gm_core::analysis::glitch_probe;
 use gm_core::schedule::{all_sequences, predicted_leaky, ArrivalSequence};
 use gm_leakage::{leaks, report, Campaign, THRESHOLD};
@@ -32,6 +32,7 @@ fn seq_string(seq: &ArrivalSequence) -> String {
 
 fn main() {
     let args = Args::parse();
+    let mut metrics = MetricsSink::from_args("table1", &args);
     let traces = args.trace_count(4_000, 60_000);
     let bank = Arc::new(build_sec_and2_bank(REPLICAS));
     let delays =
@@ -46,7 +47,11 @@ fn main() {
     let mut rows = Vec::new();
     for (i, seq) in all_sequences().into_iter().enumerate() {
         let src = SequenceSource::new(Arc::clone(&bank), Arc::clone(&delays), seq, args.seed);
-        let result = Campaign::parallel(traces, args.seed ^ i as u64).run(&src);
+        let result = metrics.run(
+            &format!("seq{:02}", i + 1),
+            &Campaign::parallel(traces, args.seed ^ i as u64),
+            &src,
+        );
         let t1 = result.t1();
         let measured_leak = leaks(&t1);
         let max_t = t1.iter().fold(0.0f64, |m, t| m.max(t.abs()));
@@ -99,4 +104,5 @@ fn main() {
     )
     .expect("write CSV");
     println!("CSV written to {path}");
+    metrics.finish().expect("write metrics");
 }

@@ -13,7 +13,7 @@
 //! lanes; see DESIGN.md §2); it rides the same persistent-worker pool
 //! and blocked trace ingest as the bitsliced cycle-model campaigns.
 
-use gm_bench::Args;
+use gm_bench::{Args, MetricsSink};
 use gm_core::compose::build_product_chain_pd_with_schedule;
 use gm_core::schedule::{chain_delay_schedule, chain_max_units, ShareDelay};
 use gm_core::{MaskRng, MaskedBit};
@@ -136,6 +136,11 @@ impl TraceSource for ChainSource {
             *o = self.measurement.sample(s);
         }
     }
+
+    fn obs_report(&self, report: &mut gm_obs::Report) {
+        report.set_nonzero("rng.mask_words", self.mask_rng.obs_words_drawn());
+        self.sim.obs_report("sim", report);
+    }
 }
 
 fn schedule_row(k: usize) -> String {
@@ -150,6 +155,7 @@ fn schedule_row(k: usize) -> String {
 
 fn main() {
     let args = Args::parse();
+    let mut metrics = MetricsSink::from_args("table2", &args);
     let traces = args.trace_count(8_000, 60_000);
     println!("TABLE II — DelayUnit sequences for secAND2-PD product chains");
     println!("({traces} traces/row, {REPLICAS} replicas, DelayUnit = {UNIT_LUTS} LUTs)\n");
@@ -175,7 +181,8 @@ fn main() {
             if let Some(t) = args.threads {
                 campaign.threads = t;
             }
-            let r = campaign.run(&src);
+            let phase = format!("k{k}-{}", if sabotage { "sabotaged" } else { "safe" });
+            let r = metrics.run(&phase, &campaign, &src);
             let t1 = r.t1();
             let max_t = t1.iter().fold(0.0f64, |m, t| m.max(t.abs()));
             let leak = leaks(&t1);
@@ -198,4 +205,5 @@ fn main() {
     println!("Note (see EXPERIMENTS.md): with near-zero instrument noise the ideal");
     println!("simulator resolves a ~0.02-toggle residual bias in the unrefreshed");
     println!("chain — beneath the resolution of the paper's 500k-trace setup.");
+    metrics.finish().expect("write metrics");
 }

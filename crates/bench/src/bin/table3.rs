@@ -8,11 +8,13 @@
 //! regenerate, but the per-AND randomness costs are reproduced from our
 //! own DOM gadget implementations).
 
-use gm_bench::Args;
+use gm_bench::{Args, MetricsSink};
 use gm_core::gadgets::dom::{DOM_DEP_FRESH_BITS, DOM_INDEP_FRESH_BITS};
 use gm_des::masked::{MaskedDesFf, MaskedDesPd};
 use gm_des::netlist_gen::{build_des_core, driver, SboxStyle};
 use gm_netlist::{area, timing, GateKind};
+use gm_obs::Report;
+use std::time::Instant;
 
 struct Row {
     name: &'static str,
@@ -24,7 +26,8 @@ struct Row {
 }
 
 fn main() {
-    let _args = Args::parse();
+    let args = Args::parse();
+    let mut metrics = MetricsSink::from_args("table3", &args);
 
     println!("TABLE III — utilisation of full DES implementations (incl. masked key schedule)");
     println!();
@@ -32,9 +35,18 @@ fn main() {
     let mut rows = Vec::new();
 
     // --- secAND2-FF core -------------------------------------------------
+    let t0 = Instant::now();
     let ff = build_des_core(SboxStyle::Ff);
     let ff_area = area::report(&ff.netlist);
     let ff_timing = timing::analyze(&ff.netlist).expect("valid core");
+    let mut counters = Report::new();
+    counters.set("netlist.gates", ff.netlist.gates().len() as u64);
+    metrics.record_phase(
+        "ff-core-sta",
+        t0.elapsed().as_secs_f64(),
+        ff.netlist.gates().len() as u64,
+        counters,
+    );
     rows.push(Row {
         name: "secAND2-FF (ours)",
         asic_ge: format!("{:.0}", ff_area.total_ge),
@@ -45,9 +57,18 @@ fn main() {
     });
 
     // --- secAND2-PD core -------------------------------------------------
+    let t0 = Instant::now();
     let pd = build_des_core(SboxStyle::Pd { unit_luts: 10 });
     let pd_area = area::report(&pd.netlist);
     let pd_timing = timing::analyze(&pd.netlist).expect("valid core");
+    let mut counters = Report::new();
+    counters.set("netlist.gates", pd.netlist.gates().len() as u64);
+    metrics.record_phase(
+        "pd-core-sta",
+        t0.elapsed().as_secs_f64(),
+        pd.netlist.gates().len() as u64,
+        counters,
+    );
     rows.push(Row {
         name: "secAND2-PD (ours)",
         asic_ge: format!("{:.0}", pd_area.total_ge),
@@ -129,4 +150,5 @@ fn main() {
     // --- delay element sanity --------------------------------------------
     let ff_delay_gates = ff.netlist.gates().iter().filter(|g| g.kind == GateKind::DelayBuf).count();
     assert_eq!(ff_delay_gates, 0, "the FF core has no delay elements");
+    metrics.finish().expect("write metrics");
 }

@@ -1,0 +1,106 @@
+//! Validate a `--metrics` JSONL file (CI gate).
+//!
+//! Usage: `validate_metrics <metrics.jsonl> [more.jsonl ...]`
+//!
+//! Each line must parse as a JSON object carrying the shared envelope
+//! (`bin`, `phase`, `git_rev`, `seed`, `traces`, `threads`, `seconds`,
+//! `traces_per_sec`, `balance_pct`, `counters`), with `counters` a flat
+//! object of non-negative integers. Exits non-zero naming the first
+//! offending file/line so CI fails loudly on schema drift.
+
+use gm_bench::json::{self, Json};
+
+fn validate_line(line: &str) -> Result<(), String> {
+    let v = json::parse(line)?;
+    if v.as_obj().is_none() {
+        return Err("record is not an object".to_owned());
+    }
+    for name in ["bin", "phase", "git_rev"] {
+        v.get(name)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("missing string member '{name}'"))?;
+    }
+    for name in ["seed", "traces", "threads", "balance_pct"] {
+        v.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("missing integer member '{name}'"))?;
+    }
+    for name in ["seconds", "traces_per_sec"] {
+        let n = v
+            .get(name)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing number member '{name}'"))?;
+        if !n.is_finite() || n < 0.0 {
+            return Err(format!("member '{name}' is not a finite non-negative number"));
+        }
+    }
+    let counters =
+        v.get("counters").and_then(Json::as_obj).ok_or("missing object member 'counters'")?;
+    for (key, val) in counters {
+        if val.as_u64().is_none() {
+            return Err(format!("counter '{key}' is not a non-negative integer"));
+        }
+    }
+    Ok(())
+}
+
+fn validate_file(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
+    let mut records = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate_line(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        records += 1;
+    }
+    if records == 0 {
+        return Err(format!("{path}: no records"));
+    }
+    Ok(records)
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_metrics <metrics.jsonl> [more.jsonl ...]");
+        std::process::exit(2);
+    }
+    let mut total = 0usize;
+    for path in &paths {
+        match validate_file(path) {
+            Ok(n) => {
+                println!("{path}: {n} valid record(s)");
+                total += n;
+            }
+            Err(e) => {
+                eprintln!("validate_metrics: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("validate_metrics: {total} record(s) across {} file(s): OK", paths.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_real_record_line() {
+        let line = "{\"bin\":\"t\",\"phase\":\"p\",\"git_rev\":\"abc\",\"seed\":1,\
+                    \"traces\":10,\"threads\":2,\"seconds\":0.5,\"traces_per_sec\":20.0,\
+                    \"balance_pct\":100,\"counters\":{\"pool.traces\":10}}";
+        validate_line(line).unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_and_mistyped_members() {
+        assert!(validate_line("{}").is_err());
+        assert!(validate_line("[1]").is_err());
+        let bad_counter = "{\"bin\":\"t\",\"phase\":\"p\",\"git_rev\":\"a\",\"seed\":1,\
+                           \"traces\":1,\"threads\":1,\"seconds\":0.1,\"traces_per_sec\":10.0,\
+                           \"balance_pct\":100,\"counters\":{\"x\":-3}}";
+        assert!(validate_line(bad_counter).is_err());
+    }
+}

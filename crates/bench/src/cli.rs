@@ -25,6 +25,12 @@ pub struct Args {
     /// `--scalar`: use the scalar cycle-model reference instead of the
     /// 64-way bitsliced backend (bit-identical results, slower).
     pub scalar: bool,
+    /// `--metrics PATH`: write one JSONL campaign-metrics record per
+    /// observed phase to PATH (see `gm_bench::metrics`).
+    pub metrics: Option<String>,
+    /// `--progress`: print per-phase observability lines as phases
+    /// complete, plus the end-of-run summary table.
+    pub progress: bool,
 }
 
 impl Default for Args {
@@ -39,6 +45,8 @@ impl Default for Args {
             label: None,
             gate_level: false,
             scalar: false,
+            metrics: None,
+            progress: false,
         }
     }
 }
@@ -68,9 +76,12 @@ impl Args {
                 "--label" => args.label = Some(grab()),
                 "--gate-level" => args.gate_level = true,
                 "--scalar" => args.scalar = true,
+                "--metrics" => args.metrics = Some(grab()),
+                "--progress" => args.progress = true,
                 other => panic!(
                     "unknown flag {other}; supported: --traces N --seed S --panel X --out DIR \
-                     --quick --threads N --label S --gate-level --scalar"
+                     --quick --threads N --label S --gate-level --scalar --metrics PATH \
+                     --progress"
                 ),
             }
         }
@@ -104,7 +115,7 @@ mod tests {
     fn flags() {
         let a = parse(
             "--traces 5000 --seed 7 --panel d --out /tmp/x --quick --threads 8 --label s \
-             --gate-level --scalar",
+             --gate-level --scalar --metrics /tmp/m.jsonl --progress",
         );
         assert_eq!(a.traces, Some(5000));
         assert_eq!(a.seed, 7);
@@ -115,6 +126,15 @@ mod tests {
         assert_eq!(a.label.as_deref(), Some("s"));
         assert!(a.gate_level);
         assert!(a.scalar);
+        assert_eq!(a.metrics.as_deref(), Some("/tmp/m.jsonl"));
+        assert!(a.progress);
+    }
+
+    #[test]
+    fn metrics_default_off() {
+        let a = parse("");
+        assert!(a.metrics.is_none());
+        assert!(!a.progress);
     }
 
     #[test]

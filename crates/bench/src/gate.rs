@@ -14,6 +14,7 @@ use gm_core::schedule::{ArrivalSequence, InputShare};
 use gm_core::{MaskRng, MaskedBit};
 use gm_leakage::{Class, TraceSource, TvlaResult};
 use gm_netlist::{GateKind, NetId, Netlist};
+use gm_obs::Report;
 use gm_sim::{DelayModel, MeasurementModel, PowerTrace, SimCore, SimGraph};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
@@ -154,6 +155,11 @@ impl TraceSource for SequenceSource {
             *o = self.measurement.sample(s);
         }
     }
+
+    fn obs_report(&self, report: &mut Report) {
+        report.set_nonzero("rng.mask_words", self.mask_rng.obs_words_drawn());
+        self.sim.obs_report("sim", report);
+    }
 }
 
 /// A `secAND2-PD` gadget instance plus the bits needed to measure one
@@ -261,6 +267,11 @@ impl TraceSource for PdPlacementSource {
         let mut sink = gm_sim::power::CountingSink::default();
         self.sim.run_until(&self.gadget.graph, &self.delays, self.gadget.window_ps, &mut sink);
         out[0] = sink.weighted;
+    }
+
+    fn obs_report(&self, report: &mut Report) {
+        report.set_nonzero("rng.mask_words", self.mask_rng.obs_words_drawn());
+        self.sim.obs_report("sim", report);
     }
 }
 

@@ -31,7 +31,10 @@
 
 pub mod cli;
 pub mod gate;
+pub mod json;
+pub mod metrics;
 pub mod panel;
 pub mod record;
 
 pub use cli::Args;
+pub use metrics::MetricsSink;

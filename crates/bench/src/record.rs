@@ -2,8 +2,13 @@
 //!
 //! Each throughput harness appends one flat record per run so successive
 //! PRs accumulate a performance trajectory instead of one-off numbers.
+//! All writes go through [`atomic_write`] (temp file + rename), so a
+//! crashed or interrupted run can truncate at worst its own temp file,
+//! never the accumulated history.
 
+use gm_obs::escape_into;
 use std::io::Write as _;
+use std::path::Path;
 
 /// Short git revision of the working tree, for provenance in bench
 /// records. Returns `"unknown"` outside a git checkout (e.g. a source
@@ -20,7 +25,31 @@ pub fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".to_owned())
 }
 
+/// Write `body` to `path` atomically: write to a sibling temp file, sync,
+/// then rename over the destination. Readers never observe a torn file.
+pub fn atomic_write(path: &str, body: &str) -> std::io::Result<()> {
+    let dest = Path::new(path);
+    let dir = dest.parent().filter(|d| !d.as_os_str().is_empty()).unwrap_or_else(|| Path::new("."));
+    let file_name = dest.file_name().and_then(|n| n.to_str()).ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("bad path {path}"))
+    })?;
+    let tmp = dir.join(format!(".{file_name}.tmp.{}", std::process::id()));
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(body.as_bytes())?;
+    f.sync_all()?;
+    drop(f);
+    match std::fs::rename(&tmp, dest) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
 /// Append a record to a JSON array file, creating the file on first use.
+/// The rewrite is atomic ([`atomic_write`]), so concurrent readers (CI
+/// artifact collection, plotting scripts) never see a half-written array.
 pub fn append_record(path: &str, record: &str) -> std::io::Result<()> {
     let body = match std::fs::read_to_string(path) {
         Ok(existing) => {
@@ -34,8 +63,146 @@ pub fn append_record(path: &str, record: &str) -> std::io::Result<()> {
         }
         Err(_) => format!("[\n{record}\n]\n"),
     };
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(body.as_bytes())
+    atomic_write(path, &body)
+}
+
+/// The shared envelope of a `BENCH_*.json` throughput record.
+///
+/// The harness-specific extras (`backend`, `placement_bias`, ...) ride in
+/// [`BenchRecord::extra`] as preformatted JSON members; the envelope
+/// itself is what cross-harness tooling relies on, and
+/// [`BenchRecord::parse`] round-trips it for the schema test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Free-form run label (`--label`).
+    pub label: String,
+    /// Campaign identifier (e.g. `"fig14-ff-cycle-model"`).
+    pub campaign: String,
+    /// Traces acquired.
+    pub traces: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Wall seconds of the measured pass.
+    pub seconds: f64,
+    /// Short git revision ([`git_rev`]).
+    pub git_rev: String,
+    /// Extra harness-specific members, each as `(name, raw-JSON-value)`.
+    /// Values must already be valid JSON (numbers, or quoted strings).
+    pub extra: Vec<(String, String)>,
+}
+
+impl BenchRecord {
+    /// A record with the envelope filled and no extras.
+    pub fn new(label: &str, campaign: &str, traces: u64, threads: usize, seconds: f64) -> Self {
+        BenchRecord {
+            label: label.to_owned(),
+            campaign: campaign.to_owned(),
+            traces,
+            threads,
+            seconds,
+            git_rev: git_rev(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// Attach an extra member with a raw JSON value (builder-style).
+    pub fn with(mut self, name: &str, raw_value: String) -> Self {
+        self.extra.push((name.to_owned(), raw_value));
+        self
+    }
+
+    /// Attach an extra numeric member at 3 decimal places.
+    pub fn with_f64(self, name: &str, v: f64) -> Self {
+        self.with(name, format!("{v:.3}"))
+    }
+
+    /// Derived throughput in traces per second.
+    pub fn traces_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.traces as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Serialize as the one-line JSON object [`append_record`] stores
+    /// (two-space indent to match the array layout).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(192);
+        s.push_str("  {\"label\": \"");
+        escape_into(&self.label, &mut s);
+        s.push_str("\", \"campaign\": \"");
+        escape_into(&self.campaign, &mut s);
+        s.push_str(&format!(
+            "\", \"traces\": {}, \"threads\": {}, \"seconds\": {:.3}, \
+             \"traces_per_sec\": {:.1}",
+            self.traces,
+            self.threads,
+            self.seconds,
+            self.traces_per_sec(),
+        ));
+        for (name, raw) in &self.extra {
+            s.push_str(", \"");
+            escape_into(name, &mut s);
+            s.push_str("\": ");
+            s.push_str(raw);
+        }
+        s.push_str(&format!(", \"git_rev\": \"{}\"}}", self.git_rev));
+        s
+    }
+
+    /// Parse the envelope back out of a serialized record (extras are
+    /// preserved as raw JSON). Fails with a message naming the missing
+    /// or mistyped member.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = crate::json::parse(text)?;
+        let obj = v.as_obj().ok_or("record is not an object")?;
+        let str_member = |name: &str| {
+            v.get(name)
+                .and_then(|m| m.as_str())
+                .map(str::to_owned)
+                .ok_or_else(|| format!("missing string member {name}"))
+        };
+        let num_member = |name: &str| {
+            v.get(name).and_then(|m| m.as_f64()).ok_or_else(|| format!("missing number {name}"))
+        };
+        const ENVELOPE: [&str; 7] =
+            ["label", "campaign", "traces", "threads", "seconds", "traces_per_sec", "git_rev"];
+        let extra = obj
+            .iter()
+            .filter(|(k, _)| !ENVELOPE.contains(&k.as_str()))
+            .map(|(k, val)| {
+                let raw = match val {
+                    crate::json::Json::Str(s) => format!("\"{s}\""),
+                    other => format!("{:?}", RawNum(other)),
+                };
+                (k.clone(), raw)
+            })
+            .collect();
+        Ok(BenchRecord {
+            label: str_member("label")?,
+            campaign: str_member("campaign")?,
+            traces: num_member("traces")? as u64,
+            threads: num_member("threads")? as usize,
+            seconds: num_member("seconds")?,
+            git_rev: str_member("git_rev")?,
+            extra,
+        })
+    }
+}
+
+/// Debug-formats a parsed JSON number the way the emitters wrote it
+/// (integers without a trailing `.0`, fractions at 3 places).
+struct RawNum<'a>(&'a crate::json::Json);
+
+impl std::fmt::Debug for RawNum<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0 {
+            crate::json::Json::Num(n) if n.fract() == 0.0 => write!(f, "{}", *n as i64),
+            crate::json::Json::Num(n) => write!(f, "{n:.3}"),
+            other => write!(f, "{other:?}"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -54,5 +221,75 @@ mod tests {
         let text = std::fs::read_to_string(path).unwrap();
         assert_eq!(text, "[\n{\"a\": 1},\n{\"b\": 2}\n]\n");
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join("gm_bench_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.json");
+        let path = path.to_str().unwrap();
+        atomic_write(path, "one").unwrap();
+        atomic_write(path, "two").unwrap();
+        assert_eq!(std::fs::read_to_string(path).unwrap(), "two");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must not survive: {leftovers:?}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    /// Satellite: the `BENCH_*.json` schema round-trips — serialize,
+    /// parse, compare, including the `threads`/`traces`/`git_rev`
+    /// envelope the trajectory tooling keys on.
+    #[test]
+    fn bench_record_schema_round_trips() {
+        let rec = BenchRecord {
+            label: "pr-4 \"quoted\"".to_owned(),
+            campaign: "fig14-ff-cycle-model".to_owned(),
+            traces: 100_000,
+            threads: 8,
+            seconds: 1.234,
+            git_rev: "abc1234".to_owned(),
+            extra: vec![
+                ("backend".to_owned(), "\"bitsliced\"".to_owned()),
+                ("max_abs_t1".to_owned(), "3.142".to_owned()),
+            ],
+        };
+        let json = rec.to_json();
+        let back = BenchRecord::parse(&json).expect("parses");
+        assert_eq!(back, rec);
+        // And the derived member the emitters write is present + correct.
+        let v = crate::json::parse(&json).unwrap();
+        let tps = v.get("traces_per_sec").unwrap().as_f64().unwrap();
+        assert!((tps - 100_000.0 / 1.234).abs() < 0.1);
+    }
+
+    #[test]
+    fn bench_record_appends_into_valid_array() {
+        let dir = std::env::temp_dir().join("gm_bench_record_arr_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_t.json");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+        for i in 0..3u64 {
+            let rec = BenchRecord::new("l", "c", 100 * (i + 1), 2, 0.5).with_f64("bias", 0.25);
+            append_record(path, &rec.to_json()).unwrap();
+        }
+        let text = std::fs::read_to_string(path).unwrap();
+        let v = crate::json::parse(&text).expect("whole file is valid JSON");
+        let arr = v.as_arr().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[2].get("traces").unwrap().as_u64(), Some(300));
+        assert_eq!(arr[0].get("bias").unwrap().as_f64(), Some(0.25));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn parse_rejects_missing_envelope() {
+        assert!(BenchRecord::parse("{\"label\": \"x\"}").is_err());
+        assert!(BenchRecord::parse("[1]").is_err());
     }
 }

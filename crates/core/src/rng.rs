@@ -7,6 +7,7 @@
 //! that mode: every "random" bit is 0, so shares degenerate to
 //! `(value, 0)`.
 
+use gm_obs::Counter;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
@@ -19,6 +20,7 @@ pub struct MaskRng {
     /// per-bit refresh randomness costs one PRNG step per 64 calls.
     bit_buf: u64,
     bits_left: u32,
+    words: Counter,
 }
 
 impl MaskRng {
@@ -29,17 +31,30 @@ impl MaskRng {
             enabled: true,
             bit_buf: 0,
             bits_left: 0,
+            words: Counter::new(),
         }
     }
 
     /// The paper's "PRNG switched off" sanity-check mode: every bit is 0.
     pub fn disabled() -> Self {
-        MaskRng { rng: SmallRng::seed_from_u64(0), enabled: false, bit_buf: 0, bits_left: 0 }
+        MaskRng {
+            rng: SmallRng::seed_from_u64(0),
+            enabled: false,
+            bit_buf: 0,
+            bits_left: 0,
+            words: Counter::new(),
+        }
     }
 
     /// Whether randomness is being produced.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Lifetime count of 64-bit PRNG words drawn from this stream (0
+    /// under `obs-off`; forks start their own count at 0).
+    pub fn obs_words_drawn(&self) -> u64 {
+        self.words.get()
     }
 
     /// One random bit (always `false` when disabled).
@@ -54,6 +69,7 @@ impl MaskRng {
             return false;
         }
         if self.bits_left == 0 {
+            self.words.inc();
             self.bit_buf = self.rng.random();
             self.bits_left = 64;
         }
@@ -72,6 +88,7 @@ impl MaskRng {
         if !self.enabled || n == 0 {
             return 0;
         }
+        self.words.inc();
         let raw: u64 = self.rng.random();
         if n == 64 {
             raw
@@ -135,5 +152,21 @@ mod tests {
     #[should_panic(expected = "at most 64")]
     fn too_many_bits_panics() {
         MaskRng::new(0).bits(65);
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn words_drawn_counts_prng_steps() {
+        let mut r = MaskRng::new(9);
+        for _ in 0..65 {
+            r.bit(); // two buffer refills
+        }
+        r.bits(13); // one fresh word
+        assert_eq!(r.obs_words_drawn(), 3);
+        assert_eq!(r.fork(1).obs_words_drawn(), 0, "forks start fresh");
+        let mut d = MaskRng::disabled();
+        d.bit();
+        d.bits(64);
+        assert_eq!(d.obs_words_drawn(), 0, "disabled mode draws nothing");
     }
 }

@@ -215,6 +215,12 @@ impl DesDriverCore {
         self.clocked.period_ps()
     }
 
+    /// The underlying event-simulator core (read-only; counters survive
+    /// [`DesDriverCore::reset`], so they accumulate over a campaign).
+    pub fn sim(&self) -> &gm_sim::SimCore {
+        self.clocked.sim()
+    }
+
     /// Run one full encryption, streaming switching activity into `sink`.
     /// Device state persists across calls (no reset), like back-to-back
     /// operations on the real core; time restarts at 0 per call so power

@@ -22,6 +22,7 @@ use crate::power::{CycleLaneCounters, PdLeakModel, PowerModel};
 use gm_core::MaskRng;
 use gm_leakage::{Class, TraceSource};
 use gm_netlist::bitslice::LANES;
+use gm_obs::{Counter, Report};
 use gm_sim::{CouplingModel, CouplingSink, DelayModel, MeasurementModel, PowerTrace, SimGraph};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
@@ -170,6 +171,10 @@ impl TraceSource for CycleModelSource {
         }
         self.power.trace_into(&self.cycles_buf, out);
     }
+
+    fn obs_report(&self, report: &mut Report) {
+        report.set_nonzero("rng.mask_words", self.mask_rng.obs_words_drawn());
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -196,6 +201,11 @@ pub struct BitslicedCycleSource {
     counters: CycleLaneCounters,
     cycles_buf: Vec<CycleRecord>,
     pts_buf: Vec<u64>,
+    /// ≤64-lane groups run, and how many were partial (fewer labels than
+    /// lanes: the tail chunk of a block, or single-trace calls).
+    groups: Counter,
+    groups_partial: Counter,
+    lanes_used: Counter,
 }
 
 impl BitslicedCycleSource {
@@ -235,11 +245,22 @@ impl BitslicedCycleSource {
             counters: CycleLaneCounters::new(),
             cycles_buf: Vec::with_capacity(num_samples),
             pts_buf: Vec::with_capacity(LANES),
+            groups: Counter::new(),
+            groups_partial: Counter::new(),
+            lanes_used: Counter::new(),
         }
     }
 
     /// Run one ≤64-lane group through the engine.
     fn run_group(&mut self) {
+        if gm_obs::ENABLED {
+            let n = self.pts_buf.len() as u64;
+            self.groups.inc();
+            if n < LANES as u64 {
+                self.groups_partial.inc();
+            }
+            self.lanes_used.add(n);
+        }
         if self.is_ff {
             self.engine.encrypt_ff_group(&self.pts_buf, &mut self.mask_rng, &mut self.counters);
         } else {
@@ -298,6 +319,33 @@ impl TraceSource for BitslicedCycleSource {
             }
         }
         (nf, nr)
+    }
+
+    fn obs_report(&self, report: &mut Report) {
+        report.set_nonzero("rng.mask_words", self.mask_rng.obs_words_drawn());
+        report.set_nonzero("lanes.groups", self.groups.get());
+        report.set_nonzero("lanes.groups_partial", self.groups_partial.get());
+        report.set_nonzero("lanes.used", self.lanes_used.get());
+        report.set_nonzero("lanes.idle", self.groups.get() * LANES as u64 - self.lanes_used.get());
+        let c = &self.counters;
+        report.set_nonzero(
+            "slice.words",
+            c.reg.obs_words() + c.comb.obs_words() + c.glitch.obs_words() + c.coupling.obs_words(),
+        );
+        report.set_nonzero(
+            "slice.transposes",
+            c.reg.obs_transposes()
+                + c.comb.obs_transposes()
+                + c.glitch.obs_transposes()
+                + c.coupling.obs_transposes(),
+        );
+        report.set_nonzero(
+            "slice.segments",
+            c.reg.obs_segments()
+                + c.comb.obs_segments()
+                + c.glitch.obs_segments()
+                + c.coupling.obs_segments(),
+        );
     }
 }
 
@@ -375,6 +423,13 @@ impl TraceSource for AnyCycleSource {
         match self {
             AnyCycleSource::Scalar(s) => s.trace_block(labels, fixed, random),
             AnyCycleSource::Bitsliced(s) => s.trace_block(labels, fixed, random),
+        }
+    }
+
+    fn obs_report(&self, report: &mut Report) {
+        match self {
+            AnyCycleSource::Scalar(s) => s.obs_report(report),
+            AnyCycleSource::Bitsliced(s) => s.obs_report(report),
         }
     }
 }
@@ -552,6 +607,11 @@ impl TraceSource for GateLevelSource {
             *o = self.measurement.sample(s);
         }
     }
+
+    fn obs_report(&self, report: &mut Report) {
+        report.set_nonzero("rng.mask_words", self.mask_rng.obs_words_drawn());
+        self.driver.sim().obs_report("sim", report);
+    }
 }
 
 #[cfg(test)]
@@ -644,6 +704,45 @@ mod tests {
         let mut buf = vec![0.0; src.num_samples()];
         forked.trace(Class::Fixed, &mut buf);
         assert!(buf.iter().any(|&s| s > 0.0), "power trace must be non-trivial");
+    }
+
+    /// Source observability: the observed campaign surfaces RNG draw
+    /// counts, bitsliced lane utilisation, and gate-sim event censuses.
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn source_obs_reports_populate() {
+        // Bitsliced cycle model: 100 traces = one partial block of
+        // two 64/36-lane groups (the second partial).
+        let cfg = SourceConfig::new(CoreVariant::Ff);
+        let (r, obs) =
+            Campaign::sequential(100, 4).run_observed(&BitslicedCycleSource::new(cfg.clone()));
+        assert_eq!(r.total_traces(), 100);
+        let src = &obs.source;
+        assert_eq!(src.get("lanes.groups"), Some(2));
+        assert_eq!(src.get("lanes.groups_partial"), Some(1));
+        assert_eq!(src.get("lanes.used"), Some(100));
+        assert_eq!(src.get("lanes.idle"), Some(28));
+        assert!(src.get("rng.mask_words").unwrap_or(0) > 0, "masking RNG must be drawn");
+        assert!(src.get("slice.words").unwrap_or(0) > 0);
+        assert!(src.get("slice.transposes").unwrap_or(0) > 0);
+
+        // Scalar cycle model: only the RNG counter.
+        let (_, obs) = Campaign::sequential(10, 4).run_observed(&CycleModelSource::new(cfg));
+        assert!(obs.source.get("rng.mask_words").unwrap_or(0) > 0);
+        assert_eq!(obs.source.get("lanes.groups"), None);
+
+        // Gate level: simulator event census shows up under sim.*.
+        let gate = GateLevelSource::new(SourceConfig::new(CoreVariant::Ff), 1, 0.0);
+        let (_, obs) = Campaign::sequential(4, 4).run_observed(&gate);
+        let src = &obs.source;
+        assert!(src.get("sim.events").unwrap_or(0) > 0, "gate sim pops events");
+        assert!(src.get("sim.transitions").unwrap_or(0) > 0);
+        assert!(src.get("sim.resets").unwrap_or(0) >= 4, "one reset per trace");
+        assert!(
+            src.iter().any(|(k, _)| k.starts_with("sim.toggle.")),
+            "per-gate-class census present"
+        );
+        assert!(src.iter().any(|(k, _)| k.starts_with("sim.wheel.")), "wheel stats present");
     }
 
     /// Gate-level campaigns at threads = 1 are bit-reproducible: the

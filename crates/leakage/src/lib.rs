@@ -44,4 +44,4 @@ pub use moments::{BlockScratch, TraceMoments};
 pub use snr::Snr;
 pub use trace_io::TraceSet;
 pub use ttest::{t_first_order, t_second_order, t_third_order};
-pub use tvla::{Campaign, Class, TraceSource, TvlaResult};
+pub use tvla::{Campaign, CampaignObs, Class, TraceSource, TvlaResult, WorkerObs};

@@ -9,6 +9,7 @@
 
 use crate::moments::{BlockScratch, TraceMoments};
 use crate::ttest::{t_first_order, t_second_order, t_third_order};
+use gm_obs::{Counter, LogHist, Report, Stopwatch, Timer, HIST_BUCKETS};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use std::sync::mpsc;
@@ -68,6 +69,15 @@ pub trait TraceSource: Send {
             *row += 1;
         }
         (nf, nr)
+    }
+
+    /// Export source-internal counters (simulator event census, wheel
+    /// stats, RNG draw counts, lane utilisation, …) accumulated since the
+    /// source was forked. Called once per worker at campaign end; entries
+    /// with the same name are *summed* across workers. The default
+    /// exports nothing.
+    fn obs_report(&self, report: &mut Report) {
+        let _ = report;
     }
 }
 
@@ -178,6 +188,130 @@ fn worker_rng(seed: u64, w: usize) -> SmallRng {
     SmallRng::seed_from_u64(seed ^ 0xa076_1d64_78bd_642fu64.wrapping_mul(w as u64 + 1))
 }
 
+/// What one campaign worker observed about its own acquisition loop.
+///
+/// Plain data (no live counters): a snapshot taken when the worker
+/// retires. Under `obs-off` every field is zero except `worker`.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerObs {
+    /// Worker index (= the source's fork stream).
+    pub worker: usize,
+    /// Acquisition blocks processed.
+    pub blocks: u64,
+    /// Traces acquired (fixed + random).
+    pub traces: u64,
+    /// Fixed-class traces acquired.
+    pub traces_fixed: u64,
+    /// Random-class traces acquired.
+    pub traces_random: u64,
+    /// Wall nanoseconds spent acquiring (trace blocks + moment folds).
+    pub acquire_ns: u64,
+    /// Wall nanoseconds spent waiting for a quota (0 in sequential mode;
+    /// the terminal wait before shutdown is not counted).
+    pub idle_ns: u64,
+    /// Chunks for which this worker received no quota (quota exhausted
+    /// by the chunk size before reaching it).
+    pub zero_quota_chunks: u64,
+    /// Log2 histogram of per-block acquire nanoseconds
+    /// ([`gm_obs::bucket_lo`] gives each bucket's lower bound).
+    pub block_ns_hist: [u64; HIST_BUCKETS],
+}
+
+/// Aggregate observations of one campaign run.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignObs {
+    /// Wall nanoseconds of the whole campaign (0 under `obs-off`).
+    pub wall_ns: u64,
+    /// Worker pool size (1 = sequential).
+    pub threads: usize,
+    /// Per-worker snapshots, in worker order.
+    pub workers: Vec<WorkerObs>,
+    /// Source-internal counters ([`TraceSource::obs_report`]), summed
+    /// across workers.
+    pub source: Report,
+}
+
+impl CampaignObs {
+    /// Total acquisition blocks over all workers.
+    pub fn total_blocks(&self) -> u64 {
+        self.workers.iter().map(|w| w.blocks).sum()
+    }
+
+    /// Total traces over all workers.
+    pub fn total_traces(&self) -> u64 {
+        self.workers.iter().map(|w| w.traces).sum()
+    }
+
+    /// Worker balance: min/max acquired traces over workers that were
+    /// scheduled at all (1.0 for a perfectly even split, 1.0 when at
+    /// most one worker ran, 0.0 with no observations).
+    pub fn worker_balance(&self) -> f64 {
+        let scheduled: Vec<u64> =
+            self.workers.iter().map(|w| w.traces).filter(|&t| t > 0).collect();
+        match (scheduled.iter().min(), scheduled.iter().max()) {
+            (Some(&min), Some(&max)) if max > 0 => min as f64 / max as f64,
+            _ if self.workers.is_empty() => 0.0,
+            _ => 1.0,
+        }
+    }
+
+    /// Flatten the pool aggregates into `pool.*` entries and fold in the
+    /// merged source counters.
+    pub fn report(&self) -> Report {
+        let mut r = Report::new();
+        r.set_nonzero("pool.wall_ns", self.wall_ns);
+        r.set("pool.workers", self.threads as u64);
+        r.set_nonzero("pool.blocks", self.total_blocks());
+        r.set_nonzero("pool.traces", self.total_traces());
+        r.set_nonzero("pool.acquire_ns", self.workers.iter().map(|w| w.acquire_ns).sum());
+        r.set_nonzero("pool.idle_ns", self.workers.iter().map(|w| w.idle_ns).sum());
+        r.set_nonzero("pool.zero_quota", self.workers.iter().map(|w| w.zero_quota_chunks).sum());
+        r.set_nonzero("pool.balance_pct", (self.worker_balance() * 100.0).round() as u64);
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for w in &self.workers {
+            for (b, &v) in buckets.iter_mut().zip(w.block_ns_hist.iter()) {
+                *b += v;
+            }
+        }
+        for (i, &n) in buckets.iter().enumerate() {
+            if n != 0 {
+                r.set(&format!("pool.block_ns.ge{}", gm_obs::bucket_lo(i)), n);
+            }
+        }
+        r.merge(&self.source);
+        r
+    }
+}
+
+/// Live per-worker counters behind [`WorkerObs`]; compile to ZSTs under
+/// `obs-off`.
+#[derive(Debug, Default)]
+struct WorkerTally {
+    blocks: Counter,
+    traces: Counter,
+    fixed: Counter,
+    random: Counter,
+    acquire: Stopwatch,
+    idle: Stopwatch,
+    block_hist: LogHist,
+}
+
+impl WorkerTally {
+    fn snapshot(&self, worker: usize) -> WorkerObs {
+        WorkerObs {
+            worker,
+            blocks: self.blocks.get(),
+            traces: self.traces.get(),
+            traces_fixed: self.fixed.get(),
+            traces_random: self.random.get(),
+            acquire_ns: self.acquire.ns(),
+            idle_ns: self.idle.ns(),
+            zero_quota_chunks: 0, // tracked by the coordinator
+            block_ns_hist: self.block_hist.buckets(),
+        }
+    }
+}
+
 /// Per-worker acquisition workspace: the class-label block, the two
 /// contiguous per-class `BLOCK_TRACES × num_samples` buffers, and the
 /// blocked-moments scratch. Allocated once per worker; the steady-state
@@ -214,7 +348,9 @@ fn draw_labels(rng: &mut SmallRng, n: usize, labels: &mut Vec<Class>) {
 
 /// Acquire `quota` traces block-wise: draw a block of labels, acquire the
 /// traces in label order into the per-class buffers, then fold each class
-/// buffer into `local` with one blocked-moments update per class.
+/// buffer into `local` with one blocked-moments update per class. Each
+/// block is timed into `tally` (one clock pair per 256 traces; zero cost
+/// under `obs-off`).
 fn acquire_quota<S: TraceSource>(
     src: &mut S,
     rng: &mut SmallRng,
@@ -222,14 +358,25 @@ fn acquire_quota<S: TraceSource>(
     num_samples: usize,
     bufs: &mut AcquireBufs,
     local: &mut TvlaResult,
+    tally: &mut WorkerTally,
 ) {
     let mut remaining = quota;
     while remaining > 0 {
         let n = remaining.min(BLOCK_TRACES as u64) as usize;
         draw_labels(rng, n, &mut bufs.labels);
+        let block_timer = Timer::start();
         let (nf, nr) = src.trace_block(&bufs.labels, &mut bufs.fixed, &mut bufs.random);
         local.fixed.add_block(&bufs.fixed[..nf * num_samples], &mut bufs.scratch);
         local.random.add_block(&bufs.random[..nr * num_samples], &mut bufs.scratch);
+        if gm_obs::ENABLED {
+            let ns = block_timer.elapsed_ns();
+            tally.acquire.add_ns(ns);
+            tally.block_hist.record(ns);
+            tally.blocks.inc();
+            tally.traces.add(n as u64);
+            tally.fixed.add(nf as u64);
+            tally.random.add(nr as u64);
+        }
         remaining -= n as u64;
     }
 }
@@ -248,7 +395,14 @@ impl Campaign {
 
     /// Run the whole campaign and return the accumulated result.
     pub fn run<S: TraceSource>(&self, source: &S) -> TvlaResult {
-        self.run_chunked(source, &[self.traces], |_, _| true).expect("single checkpoint provided")
+        self.run_observed(source).0
+    }
+
+    /// Like [`Campaign::run`], additionally returning what the worker
+    /// pool observed about itself ([`CampaignObs`]).
+    pub fn run_observed<S: TraceSource>(&self, source: &S) -> (TvlaResult, CampaignObs) {
+        self.run_chunked_observed(source, &[self.traces], |_, _| true)
+            .expect("single checkpoint provided")
     }
 
     /// Run the campaign in chunks, invoking `checkpoint` after every chunk
@@ -273,11 +427,30 @@ impl Campaign {
         &self,
         source: &S,
         chunk_ends: &[u64],
-        mut checkpoint: impl FnMut(u64, &TvlaResult) -> bool,
+        checkpoint: impl FnMut(u64, &TvlaResult) -> bool,
     ) -> Option<TvlaResult> {
+        self.run_chunked_observed(source, chunk_ends, checkpoint).map(|(result, _)| result)
+    }
+
+    /// Like [`Campaign::run_chunked`], additionally returning a
+    /// [`CampaignObs`] with per-worker acquisition counts, acquire/idle
+    /// wall time, and the merged [`TraceSource::obs_report`] counters.
+    ///
+    /// The observability is passive: trace order, RNG streams, and the
+    /// statistical result are bit-identical with the unobserved entry
+    /// points. Under `obs-off` the pool's own observations are all zero
+    /// (the source report still carries whatever the source exports
+    /// unconditionally).
+    pub fn run_chunked_observed<S: TraceSource>(
+        &self,
+        source: &S,
+        chunk_ends: &[u64],
+        mut checkpoint: impl FnMut(u64, &TvlaResult) -> bool,
+    ) -> Option<(TvlaResult, CampaignObs)> {
         if chunk_ends.is_empty() {
             return None;
         }
+        let wall = Timer::start();
         let threads = self.threads.max(1);
         let num_samples = source.num_samples();
         let mut result = TvlaResult::new(num_samples);
@@ -287,31 +460,56 @@ impl Campaign {
             let mut src = source.fork(0);
             let mut rng = worker_rng(self.seed, 0);
             let mut bufs = AcquireBufs::new(num_samples);
+            let mut tally = WorkerTally::default();
             for &end in chunk_ends {
                 assert!(end > done, "chunk ends must be strictly increasing");
-                acquire_quota(&mut src, &mut rng, end - done, num_samples, &mut bufs, &mut result);
+                acquire_quota(
+                    &mut src,
+                    &mut rng,
+                    end - done,
+                    num_samples,
+                    &mut bufs,
+                    &mut result,
+                    &mut tally,
+                );
                 done = end;
                 if !checkpoint(done, &result) {
                     break;
                 }
             }
-            return Some(result);
+            let mut obs = CampaignObs {
+                wall_ns: wall.elapsed_ns(),
+                threads: 1,
+                workers: vec![tally.snapshot(0)],
+                source: Report::new(),
+            };
+            src.obs_report(&mut obs.source);
+            return Some((result, obs));
         }
 
         std::thread::scope(|scope| {
             let (res_tx, res_rx) = mpsc::channel::<TvlaResult>();
+            let (obs_tx, obs_rx) = mpsc::channel::<(usize, WorkerObs, Report)>();
             // One persistent worker per thread, fed per-chunk quotas over
             // its own order channel; partial results come back on the
-            // shared result channel.
+            // shared result channel, and each worker's observations on the
+            // obs channel when its order channel closes.
             let order_txs: Vec<mpsc::Sender<u64>> = (0..threads)
                 .map(|w| {
                     let (order_tx, order_rx) = mpsc::channel::<u64>();
                     let mut src = source.fork(w as u64);
                     let mut rng = worker_rng(self.seed, w);
                     let res_tx = res_tx.clone();
+                    let obs_tx = obs_tx.clone();
                     scope.spawn(move || {
                         let mut bufs = AcquireBufs::new(num_samples);
-                        while let Ok(quota) = order_rx.recv() {
+                        let mut tally = WorkerTally::default();
+                        loop {
+                            // Time the quota wait as idle; the terminal
+                            // wait (channel closed) is not counted.
+                            let wait = Timer::start();
+                            let Ok(quota) = order_rx.recv() else { break };
+                            tally.idle.add_ns(wait.elapsed_ns());
                             let mut local = TvlaResult::new(num_samples);
                             acquire_quota(
                                 &mut src,
@@ -320,17 +518,23 @@ impl Campaign {
                                 num_samples,
                                 &mut bufs,
                                 &mut local,
+                                &mut tally,
                             );
                             if res_tx.send(local).is_err() {
                                 break;
                             }
                         }
+                        let mut src_report = Report::new();
+                        src.obs_report(&mut src_report);
+                        let _ = obs_tx.send((w, tally.snapshot(w), src_report));
                     });
                     order_tx
                 })
                 .collect();
             drop(res_tx);
+            drop(obs_tx);
 
+            let mut zero_quota = vec![0u64; threads];
             for &end in chunk_ends {
                 assert!(end > done, "chunk ends must be strictly increasing");
                 let todo = end - done;
@@ -342,6 +546,8 @@ impl Campaign {
                     if quota > 0 {
                         order_tx.send(quota).expect("worker alive");
                         outstanding += 1;
+                    } else if gm_obs::ENABLED {
+                        zero_quota[w] += 1;
                     }
                 }
                 for _ in 0..outstanding {
@@ -354,9 +560,21 @@ impl Campaign {
                 }
             }
             // Dropping the order channels ends the workers' receive loops;
-            // the scope joins them on exit.
+            // each worker then reports its observations and the scope
+            // joins them on exit.
             drop(order_txs);
-            Some(result)
+            let mut workers: Vec<WorkerObs> = Vec::with_capacity(threads);
+            let mut source_report = Report::new();
+            for _ in 0..threads {
+                let (w, mut wobs, src_report) = obs_rx.recv().expect("worker observations");
+                wobs.zero_quota_chunks = zero_quota[w];
+                source_report.merge(&src_report);
+                workers.push(wobs);
+            }
+            workers.sort_by_key(|w| w.worker);
+            let obs =
+                CampaignObs { wall_ns: wall.elapsed_ns(), threads, workers, source: source_report };
+            Some((result, obs))
         })
     }
 }
@@ -514,6 +732,99 @@ mod tests {
     fn equal_chunk_ends_panic() {
         let c = Campaign::sequential(100, 1);
         let _ = c.run_chunked(&LeakyToy::new(0.0), &[50, 50, 100], |_, _| true);
+    }
+
+    /// A toy that also exports a source-side counter (plain `u64`, so it
+    /// reports in every configuration — like a real source would with
+    /// `gm_obs::Counter` it would read zero under `obs-off`).
+    #[derive(Clone)]
+    struct CountingToy {
+        inner: LeakyToy,
+        acquired: u64,
+    }
+
+    impl TraceSource for CountingToy {
+        fn fork(&self, stream: u64) -> Self {
+            CountingToy { inner: self.inner.fork(stream), acquired: 0 }
+        }
+        fn num_samples(&self) -> usize {
+            self.inner.num_samples()
+        }
+        fn trace(&mut self, class: Class, out: &mut [f64]) {
+            self.acquired += 1;
+            self.inner.trace(class, out);
+        }
+        fn obs_report(&self, report: &mut Report) {
+            report.add("toy.traces", self.acquired);
+        }
+    }
+
+    #[test]
+    fn observed_sequential_counts_reconcile() {
+        let c = Campaign::sequential(1_000, 6);
+        let (r, obs) = c.run_observed(&LeakyToy::new(0.0));
+        assert_eq!(r.total_traces(), 1_000);
+        assert_eq!(obs.threads, 1);
+        assert_eq!(obs.workers.len(), 1);
+        if gm_obs::ENABLED {
+            assert_eq!(obs.total_traces(), 1_000);
+            assert_eq!(obs.workers[0].traces_fixed, r.fixed.count());
+            assert_eq!(obs.workers[0].traces_random, r.random.count());
+            assert_eq!(obs.total_blocks(), 1_000u64.div_ceil(BLOCK_TRACES as u64));
+            assert!(obs.wall_ns > 0);
+            assert!(obs.workers[0].acquire_ns <= obs.wall_ns);
+            assert_eq!(obs.workers[0].idle_ns, 0, "sequential mode never waits");
+            assert_eq!(obs.workers[0].block_ns_hist.iter().sum::<u64>(), obs.total_blocks());
+            assert!((obs.worker_balance() - 1.0).abs() < 1e-12);
+        } else {
+            assert_eq!(obs.total_traces(), 0);
+            assert_eq!(obs.wall_ns, 0);
+        }
+    }
+
+    #[test]
+    fn observed_result_identical_to_unobserved() {
+        let c = Campaign::sequential(2_000, 17);
+        let plain = c.run(&LeakyToy::new(0.2));
+        let (observed, _) = c.run_observed(&LeakyToy::new(0.2));
+        assert_eq!(plain.fixed.count(), observed.fixed.count());
+        assert_eq!(plain.t1(), observed.t1());
+    }
+
+    #[test]
+    fn observed_parallel_merges_worker_and_source_reports() {
+        let c = Campaign { traces: 5_000, threads: 4, seed: 8 };
+        let toy = CountingToy { inner: LeakyToy::new(0.0), acquired: 0 };
+        let (r, obs) = c.run_observed(&toy);
+        assert_eq!(r.total_traces(), 5_000);
+        assert_eq!(obs.threads, 4);
+        let ids: Vec<usize> = obs.workers.iter().map(|w| w.worker).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3], "snapshots in worker order");
+        assert_eq!(obs.source.get("toy.traces"), Some(5_000), "source counters sum over workers");
+        if gm_obs::ENABLED {
+            assert_eq!(obs.total_traces(), 5_000);
+            assert_eq!(obs.workers.iter().map(|w| w.traces_fixed).sum::<u64>(), r.fixed.count());
+            assert!(obs.worker_balance() > 0.9, "even split expected: {}", obs.worker_balance());
+            let report = obs.report();
+            assert_eq!(report.get("pool.traces"), Some(5_000));
+            assert_eq!(report.get("pool.workers"), Some(4));
+            assert_eq!(report.get("toy.traces"), Some(5_000));
+            assert!(report.get("pool.wall_ns").is_some());
+        }
+    }
+
+    #[test]
+    fn observed_zero_quota_chunks_counted() {
+        // 3 traces over 8 workers: workers 3..8 receive no quota.
+        let c = Campaign { traces: 3, threads: 8, seed: 13 };
+        let (r, obs) = c.run_observed(&LeakyToy::new(0.0));
+        assert_eq!(r.total_traces(), 3);
+        assert_eq!(obs.workers.len(), 8);
+        if gm_obs::ENABLED {
+            let zero: u64 = obs.workers.iter().map(|w| w.zero_quota_chunks).sum();
+            assert_eq!(zero, 5);
+            assert_eq!(obs.worker_balance(), 1.0, "unscheduled workers don't count");
+        }
     }
 
     #[test]

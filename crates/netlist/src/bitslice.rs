@@ -19,6 +19,7 @@ use crate::eval::EvalPlan;
 use crate::gate::{Gate, GateKind};
 use crate::netlist::{Driver, Netlist};
 use crate::GateId;
+use gm_obs::Counter;
 
 /// Number of lanes packed into one word.
 pub const LANES: usize = 64;
@@ -65,6 +66,8 @@ pub struct LaneCounter {
     buf: [u64; 64],
     n: usize,
     acc: [u32; 64],
+    words: Counter,
+    transposes: Counter,
 }
 
 impl Default for LaneCounter {
@@ -76,12 +79,19 @@ impl Default for LaneCounter {
 impl LaneCounter {
     /// An empty counter.
     pub fn new() -> Self {
-        LaneCounter { buf: [0; 64], n: 0, acc: [0; 64] }
+        LaneCounter {
+            buf: [0; 64],
+            n: 0,
+            acc: [0; 64],
+            words: Counter::new(),
+            transposes: Counter::new(),
+        }
     }
 
     /// Add one toggle word: lane `ℓ` gains `(w >> ℓ) & 1`.
     #[inline]
     pub fn push(&mut self, w: u64) {
+        self.words.inc();
         self.buf[self.n] = w;
         self.n += 1;
         if self.n == 64 {
@@ -89,7 +99,18 @@ impl LaneCounter {
         }
     }
 
+    /// Lifetime count of pushed toggle words (0 under `obs-off`).
+    pub fn obs_words(&self) -> u64 {
+        self.words.get()
+    }
+
+    /// Lifetime count of 64×64 transposes performed (0 under `obs-off`).
+    pub fn obs_transposes(&self) -> u64 {
+        self.transposes.get()
+    }
+
     fn flush(&mut self) {
+        self.transposes.inc();
         self.buf[self.n..].fill(0);
         transpose64(&mut self.buf);
         for (a, b) in self.acc.iter_mut().zip(self.buf.iter()) {
@@ -131,6 +152,9 @@ pub struct SegLaneCounter {
     open: u32,
     /// Segment-major counts: `counts[seg * 64 + lane]`.
     counts: Vec<u32>,
+    words: Counter,
+    transposes: Counter,
+    segments: Counter,
 }
 
 impl Default for SegLaneCounter {
@@ -142,7 +166,33 @@ impl Default for SegLaneCounter {
 impl SegLaneCounter {
     /// An empty counter with no closed segments.
     pub fn new() -> Self {
-        SegLaneCounter { buf: [0; 64], n: 0, marks: Vec::new(), open: 0, counts: Vec::new() }
+        SegLaneCounter {
+            buf: [0; 64],
+            n: 0,
+            marks: Vec::new(),
+            open: 0,
+            counts: Vec::new(),
+            words: Counter::new(),
+            transposes: Counter::new(),
+            segments: Counter::new(),
+        }
+    }
+
+    /// Lifetime count of pushed toggle words (0 under `obs-off`).
+    /// Survives [`Self::reset`]: campaign engines reset per trace group
+    /// but report per campaign.
+    pub fn obs_words(&self) -> u64 {
+        self.words.get()
+    }
+
+    /// Lifetime count of 64×64 transposes performed (0 under `obs-off`).
+    pub fn obs_transposes(&self) -> u64 {
+        self.transposes.get()
+    }
+
+    /// Lifetime count of segment boundaries marked (0 under `obs-off`).
+    pub fn obs_segments(&self) -> u64 {
+        self.segments.get()
     }
 
     /// Forget all words, marks, and counts.
@@ -157,6 +207,7 @@ impl SegLaneCounter {
     /// `(w >> ℓ) & 1`.
     #[inline]
     pub fn push(&mut self, w: u64) {
+        self.words.inc();
         self.buf[self.n] = w;
         self.n += 1;
         if self.n == 64 {
@@ -173,6 +224,7 @@ impl SegLaneCounter {
             self.push(b);
             return;
         }
+        self.words.add(2);
         self.buf[self.n] = a;
         self.buf[self.n + 1] = b;
         self.n += 2;
@@ -184,6 +236,7 @@ impl SegLaneCounter {
     /// Close the open segment at the current position and open the next.
     #[inline]
     pub fn mark(&mut self) {
+        self.segments.inc();
         self.marks.push((self.open, self.n as u8));
         self.open += 1;
     }
@@ -215,6 +268,7 @@ impl SegLaneCounter {
             self.marks.clear();
             return;
         }
+        self.transposes.inc();
         self.buf[self.n..].fill(0);
         transpose64(&mut self.buf);
         let need = (self.open as usize + 1) * 64;
@@ -555,6 +609,30 @@ mod tests {
         seg.mark();
         let want = plain.drain();
         assert_eq!(seg.finish(), &want[..]);
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn obs_counters_track_words_and_transposes() {
+        let mut c = LaneCounter::new();
+        for _ in 0..130 {
+            c.push(1);
+        }
+        let _ = c.drain();
+        assert_eq!(c.obs_words(), 130);
+        // Two full-block flushes plus the partial flush in drain.
+        assert_eq!(c.obs_transposes(), 3);
+
+        let mut s = SegLaneCounter::new();
+        for _ in 0..63 {
+            s.push(0);
+        }
+        s.push2(1, 2); // straddles the 64-word boundary
+        s.mark();
+        let _ = s.finish();
+        assert_eq!(s.obs_words(), 65);
+        assert_eq!(s.obs_segments(), 1);
+        assert_eq!(s.obs_transposes(), 2);
     }
 
     #[test]

@@ -144,6 +144,32 @@ impl GateKind {
         }
     }
 
+    /// Number of cell classes distinguished by [`GateKind::class_index`].
+    pub const NUM_CLASSES: usize = 11;
+
+    /// Class names, indexed by [`GateKind::class_index`].
+    pub const CLASS_NAMES: [&'static str; Self::NUM_CLASSES] =
+        ["inv", "buf", "delaybuf", "and2", "nand2", "or2", "nor2", "xor2", "xnor2", "mux2", "dff"];
+
+    /// Dense cell-class index (all [`GateKind::Dff`] configurations
+    /// collapse to one class), used by per-gate-class census counters.
+    #[inline(always)]
+    pub fn class_index(self) -> usize {
+        match self {
+            GateKind::Inv => 0,
+            GateKind::Buf => 1,
+            GateKind::DelayBuf => 2,
+            GateKind::And2 => 3,
+            GateKind::Nand2 => 4,
+            GateKind::Or2 => 5,
+            GateKind::Nor2 => 6,
+            GateKind::Xor2 => 7,
+            GateKind::Xnor2 => 8,
+            GateKind::Mux2 => 9,
+            GateKind::Dff(_) => 10,
+        }
+    }
+
     /// Area weight in gate equivalents (NAND2 = 1.0).
     pub fn area_ge(self) -> f64 {
         match self {
@@ -255,6 +281,33 @@ mod tests {
     #[should_panic(expected = "expects 2 inputs")]
     fn wrong_arity_panics() {
         GateKind::And2.eval(&[true]);
+    }
+
+    #[test]
+    fn class_index_is_dense_and_named() {
+        let kinds = [
+            GateKind::Inv,
+            GateKind::Buf,
+            GateKind::DelayBuf,
+            GateKind::And2,
+            GateKind::Nand2,
+            GateKind::Or2,
+            GateKind::Nor2,
+            GateKind::Xor2,
+            GateKind::Xnor2,
+            GateKind::Mux2,
+            GateKind::Dff(DffConfig::default()),
+            GateKind::Dff(DffConfig { has_enable: true, has_reset: true }),
+        ];
+        let mut seen = [false; GateKind::NUM_CLASSES];
+        for k in kinds {
+            let i = k.class_index();
+            assert!(i < GateKind::NUM_CLASSES);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every class index reachable");
+        assert_eq!(GateKind::CLASS_NAMES[GateKind::Nand2.class_index()], "nand2");
+        assert_eq!(GateKind::CLASS_NAMES[GateKind::Dff(DffConfig::default()).class_index()], "dff");
     }
 
     #[test]

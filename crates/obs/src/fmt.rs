@@ -1,0 +1,50 @@
+//! Human-readable formatting for end-of-run summary tables.
+
+/// Format a count with an SI suffix: `1234` → `"1.23k"`, `7` → `"7"`.
+pub fn human_count(n: u64) -> String {
+    const STEPS: [(u64, &str); 4] =
+        [(1_000_000_000_000, "T"), (1_000_000_000, "G"), (1_000_000, "M"), (1_000, "k")];
+    for (div, suffix) in STEPS {
+        if n >= div {
+            return format!("{:.2}{}", n as f64 / div as f64, suffix);
+        }
+    }
+    n.to_string()
+}
+
+/// Format nanoseconds at a readable scale: `1500` → `"1.50us"`.
+pub fn human_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        assert_eq!(human_count(7), "7");
+        assert_eq!(human_count(999), "999");
+        assert_eq!(human_count(1234), "1.23k");
+        assert_eq!(human_count(5_000_000), "5.00M");
+        assert_eq!(human_count(2_500_000_000), "2.50G");
+        assert_eq!(human_count(3_100_000_000_000), "3.10T");
+    }
+
+    #[test]
+    fn times() {
+        assert_eq!(human_ns(12), "12ns");
+        assert_eq!(human_ns(1500), "1.50us");
+        assert_eq!(human_ns(2_500_000), "2.50ms");
+        assert_eq!(human_ns(3_200_000_000), "3.20s");
+    }
+}

@@ -1,0 +1,189 @@
+//! [`Report`]: the ordered name → value bag instrumented components
+//! export and metrics sinks serialize.
+
+use crate::metrics::{bucket_lo, LogHist};
+use std::collections::BTreeMap;
+
+/// An ordered bag of named `u64` observations.
+///
+/// Instrumented components fill one via their `obs_report`-style hooks
+/// (`"sim.events"`, `"pool.w0.blocks"`, ...); sinks merge worker reports
+/// and serialize the result as a flat JSON object. Unlike the counters
+/// that feed it, `Report` is compiled in *all* configurations — under
+/// `obs-off` the counters read zero, and [`Report::set_nonzero`] keeps
+/// such entries out entirely, so an `obs-off` report is simply empty.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    entries: BTreeMap<String, u64>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Set `name` to `v` (overwrites).
+    pub fn set(&mut self, name: &str, v: u64) {
+        self.entries.insert(name.to_string(), v);
+    }
+
+    /// Set `name` to `v` unless `v` is zero (the normal way to export a
+    /// counter: `obs-off` builds and never-hit counters stay invisible).
+    pub fn set_nonzero(&mut self, name: &str, v: u64) {
+        if v != 0 {
+            self.set(name, v);
+        }
+    }
+
+    /// Add `v` to `name` (creating it at zero first).
+    pub fn add(&mut self, name: &str, v: u64) {
+        *self.entries.entry(name.to_string()).or_insert(0) += v;
+    }
+
+    /// Export a histogram under `prefix`: `<prefix>.count`,
+    /// `<prefix>.total`, `<prefix>.max`, plus one `<prefix>.ge<lo>`
+    /// entry per non-empty bucket (`lo` = inclusive bucket lower bound).
+    pub fn set_hist(&mut self, prefix: &str, h: &LogHist) {
+        if h.count() == 0 {
+            return;
+        }
+        self.set(&format!("{prefix}.count"), h.count());
+        self.set(&format!("{prefix}.total"), h.total());
+        self.set(&format!("{prefix}.max"), h.max());
+        for (i, &n) in h.buckets().iter().enumerate() {
+            if n != 0 {
+                self.set(&format!("{prefix}.ge{}", bucket_lo(i)), n);
+            }
+        }
+    }
+
+    /// Fold `other` in, summing values of matching names.
+    pub fn merge(&mut self, other: &Report) {
+        for (k, &v) in &other.entries {
+            *self.entries.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Look up one entry.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.entries.get(name).copied()
+    }
+
+    /// Iterate entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.entries.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the report has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialize as a flat JSON object (`{"a.b":1,...}`), keys in name
+    /// order. Keys are escaped, values are plain JSON integers.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(16 + self.entries.len() * 24);
+        out.push('{');
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(k, &mut out);
+            out.push_str("\":");
+            out.push_str(&v.to_string());
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Append `s` JSON-string-escaped to `out` (quotes, backslashes, and
+/// control characters; everything else passes through).
+pub fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_add_get() {
+        let mut r = Report::new();
+        r.set("a", 1);
+        r.add("a", 2);
+        r.add("b", 5);
+        r.set_nonzero("zero", 0);
+        assert_eq!(r.get("a"), Some(3));
+        assert_eq!(r.get("b"), Some(5));
+        assert_eq!(r.get("zero"), None);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn merge_sums_matching_names() {
+        let mut a = Report::new();
+        a.set("x", 1);
+        a.set("only_a", 7);
+        let mut b = Report::new();
+        b.set("x", 10);
+        b.set("only_b", 3);
+        a.merge(&b);
+        assert_eq!(a.get("x"), Some(11));
+        assert_eq!(a.get("only_a"), Some(7));
+        assert_eq!(a.get("only_b"), Some(3));
+    }
+
+    #[test]
+    fn json_is_sorted_and_escaped() {
+        let mut r = Report::new();
+        r.set("b", 2);
+        r.set("a", 1);
+        r.set("weird\"key\\", 3);
+        assert_eq!(r.to_json(), "{\"a\":1,\"b\":2,\"weird\\\"key\\\\\":3}");
+        assert_eq!(Report::new().to_json(), "{}");
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn hist_export_names_buckets_by_lower_bound() {
+        let mut h = LogHist::new();
+        h.record(0);
+        h.record(3);
+        h.record(3000);
+        let mut r = Report::new();
+        r.set_hist("lat", &h);
+        assert_eq!(r.get("lat.count"), Some(3));
+        assert_eq!(r.get("lat.total"), Some(3003));
+        assert_eq!(r.get("lat.max"), Some(3000));
+        assert_eq!(r.get("lat.ge0"), Some(1));
+        assert_eq!(r.get("lat.ge2"), Some(1));
+        assert_eq!(r.get("lat.ge2048"), Some(1));
+    }
+
+    #[test]
+    fn empty_hist_exports_nothing() {
+        let mut r = Report::new();
+        r.set_hist("lat", &LogHist::new());
+        assert!(r.is_empty());
+    }
+}

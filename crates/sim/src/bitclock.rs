@@ -16,6 +16,7 @@
 
 use gm_netlist::bitslice::{BitEvaluator, LaneCounter};
 use gm_netlist::{NetId, Netlist};
+use gm_obs::{Counter, Report};
 
 /// Per-cycle, per-lane toggle activity of one clock edge.
 #[derive(Debug, Clone, Copy)]
@@ -37,6 +38,7 @@ pub struct BitClockedSim<'a> {
     comb_nets: Vec<NetId>,
     reg_counter: LaneCounter,
     comb_counter: LaneCounter,
+    steps: Counter,
 }
 
 impl<'a> BitClockedSim<'a> {
@@ -66,7 +68,23 @@ impl<'a> BitClockedSim<'a> {
             cycle: 0,
             reg_counter: LaneCounter::new(),
             comb_counter: LaneCounter::new(),
+            steps: Counter::new(),
         })
+    }
+
+    /// Export harness counters under `<prefix>.*`: lifetime clock edges
+    /// (all 64 lanes each) and the toggle words/transposes of the two
+    /// lane counters (zeros under `obs-off`).
+    pub fn obs_report(&self, prefix: &str, r: &mut Report) {
+        r.set_nonzero(&format!("{prefix}.steps"), self.steps.get());
+        r.set_nonzero(
+            &format!("{prefix}.toggle_words"),
+            self.reg_counter.obs_words() + self.comb_counter.obs_words(),
+        );
+        r.set_nonzero(
+            &format!("{prefix}.transposes"),
+            self.reg_counter.obs_transposes() + self.comb_counter.obs_transposes(),
+        );
     }
 
     /// Number of clock edges applied so far.
@@ -110,6 +128,7 @@ impl<'a> BitClockedSim<'a> {
 
         self.ev.clock(self.netlist);
         self.cycle += 1;
+        self.steps.inc();
 
         for (i, &gid) in self.ev.ff_gates().iter().enumerate() {
             self.reg_counter.push(self.prev_ff[i] ^ self.ev.ff_state(gid));

@@ -32,9 +32,10 @@
 
 use crate::delay::DelayModel;
 use crate::power::NullSink;
-use crate::wheel::TimingWheel;
+use crate::wheel::{TimingWheel, WheelStats};
 use gm_netlist::netlist::Driver;
 use gm_netlist::{Csr, GateId, GateKind, NetId, Netlist};
+use gm_obs::{Counter, Report};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
@@ -90,6 +91,12 @@ struct Event {
 
 /// The pending-event queue: timing wheel by default, with the original
 /// binary heap kept as a differential-testing reference.
+//
+// One Queue exists per SimCore (never stored in arrays), so the size
+// gap between the inline wheel and the reference heap wastes nothing;
+// boxing the wheel would add an indirection to every push/pop on the
+// hot event path instead.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum Queue {
     Wheel(TimingWheel<Pending>),
@@ -351,6 +358,67 @@ pub struct SimCore {
     /// Gates whose schedule bookkeeping may deviate from the baseline.
     touched_gates: Vec<u32>,
     gate_mark: Vec<bool>,
+    stats: SimStats,
+}
+
+/// Lifetime event counters of a [`SimCore`] (all zero and zero-sized
+/// under `obs-off`). Counters survive [`SimCore::reset`] — a recycled
+/// per-worker core accumulates whole-campaign totals; snapshot or diff
+/// at campaign boundaries.
+#[derive(Debug, Default)]
+pub struct SimStats {
+    /// Events popped off the queue (applied + redundant + stale).
+    pub events_popped: Counter,
+    /// Net transitions actually applied (= power-sink calls).
+    pub transitions: Counter,
+    /// Popped events dropped because the net already held the value.
+    pub redundant: Counter,
+    /// Popped events dropped as cancelled pulses (stale schedule version).
+    pub stale: Counter,
+    /// Inertial annihilations (in-flight pulse narrower than the
+    /// switching time, cancelled before delivery).
+    pub annihilations: Counter,
+    /// Events scheduled by combinational propagation.
+    pub scheduled: Counter,
+    /// External edges injected via [`SimCore::schedule`].
+    pub external: Counter,
+    /// Between-trace [`SimCore::reset`] calls.
+    pub resets: Counter,
+    /// Applied transitions by driver cell class
+    /// ([`GateKind::class_index`] order).
+    kind_transitions: [Counter; GateKind::NUM_CLASSES],
+    /// Applied transitions on externally driven nets (primary inputs,
+    /// FF outputs injected by clocked harnesses).
+    pub input_transitions: Counter,
+}
+
+impl SimStats {
+    /// Applied transitions per cell class, in
+    /// [`GateKind::CLASS_NAMES`] order (zeros under `obs-off`).
+    pub fn kind_transitions(&self) -> [u64; GateKind::NUM_CLASSES] {
+        let mut out = [0u64; GateKind::NUM_CLASSES];
+        for (o, c) in out.iter_mut().zip(self.kind_transitions.iter()) {
+            *o = c.get();
+        }
+        out
+    }
+
+    /// Export all counters under `prefix` (e.g. `"sim"`); the per-class
+    /// census lands at `<prefix>.toggle.<class>`.
+    pub fn report_into(&self, prefix: &str, r: &mut Report) {
+        r.set_nonzero(&format!("{prefix}.events"), self.events_popped.get());
+        r.set_nonzero(&format!("{prefix}.transitions"), self.transitions.get());
+        r.set_nonzero(&format!("{prefix}.redundant"), self.redundant.get());
+        r.set_nonzero(&format!("{prefix}.stale"), self.stale.get());
+        r.set_nonzero(&format!("{prefix}.annihilations"), self.annihilations.get());
+        r.set_nonzero(&format!("{prefix}.scheduled"), self.scheduled.get());
+        r.set_nonzero(&format!("{prefix}.external"), self.external.get());
+        r.set_nonzero(&format!("{prefix}.resets"), self.resets.get());
+        r.set_nonzero(&format!("{prefix}.toggle.input"), self.input_transitions.get());
+        for (name, c) in GateKind::CLASS_NAMES.iter().zip(self.kind_transitions.iter()) {
+            r.set_nonzero(&format!("{prefix}.toggle.{name}"), c.get());
+        }
+    }
 }
 
 impl SimCore {
@@ -371,6 +439,29 @@ impl SimCore {
             net_mark: vec![false; graph.num_nets()],
             touched_gates: Vec::new(),
             gate_mark: vec![false; graph.num_gates()],
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Lifetime event counters (zeros under `obs-off`).
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Export engine counters under `<prefix>.*` and, when the timing
+    /// wheel is in use, queue counters under `<prefix>.wheel.*`.
+    pub fn obs_report(&self, prefix: &str, r: &mut Report) {
+        self.stats.report_into(prefix, r);
+        if let Queue::Wheel(w) = &self.queue {
+            w.stats().report_into(&format!("{prefix}.wheel"), r);
+        }
+    }
+
+    /// Queue counters of the timing wheel, when it is in use.
+    pub fn wheel_stats(&self) -> Option<&WheelStats> {
+        match &self.queue {
+            Queue::Wheel(w) => Some(w.stats()),
+            Queue::Heap(_) => None,
         }
     }
 
@@ -463,6 +554,7 @@ impl SimCore {
     /// a fresh jitter stream. Bit-for-bit equivalent to replacing the
     /// core with `SimCore::new(graph, seed)`.
     pub fn reset(&mut self, graph: &SimGraph, seed: u64) {
+        self.stats.resets.inc();
         self.restore_baseline(graph);
         self.seq = 0;
         self.time = 0;
@@ -499,6 +591,7 @@ impl SimCore {
     /// Panics when scheduling into the past.
     pub fn schedule(&mut self, net: NetId, time_ps: u64, value: bool) {
         assert!(time_ps >= self.time, "cannot schedule into the past");
+        self.stats.external.inc();
         self.seq += 1;
         self.queue.push(time_ps, self.seq, Pending { net: net.0, value, version: u32::MAX });
     }
@@ -513,6 +606,7 @@ impl SimCore {
         sink: &mut impl PowerSink,
     ) {
         while let Some((time, p)) = self.queue.pop_at_most(t_end_ps) {
+            self.stats.events_popped.inc();
             self.time = time;
             self.apply(graph, delays, time, p, sink);
         }
@@ -527,6 +621,7 @@ impl SimCore {
         sink: &mut impl PowerSink,
     ) {
         while let Some((time, p)) = self.queue.pop() {
+            self.stats.events_popped.inc();
             self.time = time;
             self.apply(graph, delays, time, p, sink);
         }
@@ -562,13 +657,26 @@ impl SimCore {
         // Stale version: this pulse was inertially annihilated after being
         // scheduled.
         if p.version != u32::MAX && self.out_version[graph.driver_gate[ni] as usize] != p.version {
+            self.stats.stale.inc();
             return;
         }
         if self.values[ni] == p.value {
+            self.stats.redundant.inc();
             return; // redundant edge
         }
         self.values[ni] = p.value;
         self.touch_net(ni);
+        self.stats.transitions.inc();
+        if gm_obs::ENABLED {
+            // Per-class glitch census: one table lookup, folded away
+            // entirely under obs-off.
+            let dg = graph.driver_gate[ni];
+            if dg == u32::MAX {
+                self.stats.input_transitions.inc();
+            } else {
+                self.stats.kind_transitions[graph.kinds[dg as usize].class_index()].inc();
+            }
+        }
         sink.transition(time, NetId(p.net), p.value, self.weights[ni]);
 
         // Re-evaluate combinational fan-out; schedule changed outputs.
@@ -592,12 +700,14 @@ impl SimCore {
                 {
                     // The in-flight pulse is narrower than the switching
                     // time: annihilate it instead of delivering both edges.
+                    self.stats.annihilations.inc();
                     self.out_version[gi] = self.out_version[gi].wrapping_add(1);
                     self.out_sched[gi] = self.values[out_net as usize];
                     if out != self.out_sched[gi] {
                         self.out_sched[gi] = out;
                         self.out_last_time[gi] = t;
                         self.seq += 1;
+                        self.stats.scheduled.inc();
                         self.queue.push(
                             t,
                             self.seq,
@@ -608,6 +718,7 @@ impl SimCore {
                     self.out_sched[gi] = out;
                     self.out_last_time[gi] = t;
                     self.seq += 1;
+                    self.stats.scheduled.inc();
                     self.queue.push(
                         t,
                         self.seq,
@@ -774,6 +885,16 @@ impl<'a> Simulator<'a> {
     /// Run until the event queue is empty (the circuit is quiescent).
     pub fn run_to_quiescence(&mut self, sink: &mut impl PowerSink) {
         self.core.run_to_quiescence(self.graph.get(), self.delays, sink);
+    }
+
+    /// Lifetime event counters (zeros under `obs-off`).
+    pub fn stats(&self) -> &SimStats {
+        self.core.stats()
+    }
+
+    /// Export engine (and wheel) counters under `<prefix>.*`.
+    pub fn obs_report(&self, prefix: &str, r: &mut Report) {
+        self.core.obs_report(prefix, r);
     }
 }
 
@@ -986,6 +1107,47 @@ mod tests {
         reused.reset(42);
         let got = record(&mut reused);
         assert_eq!(got, want, "reset must reproduce the fresh stream");
+    }
+
+    /// The engine counters reconcile: every popped event is applied,
+    /// redundant, or stale, and the per-class census sums to the applied
+    /// transitions.
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn stats_reconcile() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let p = n.and2(a, b);
+        let q0 = n.or2(a, b);
+        let q1 = n.buf(q0);
+        let q = n.buf(q1);
+        let y = n.xor2(p, q);
+        n.output("y", y);
+        let delays = DelayModel::nominal(&n);
+        let mut sim = Simulator::new(&n, &delays, 3);
+        sim.init_all_zero();
+        sim.schedule(a, 100, true);
+        sim.schedule(b, 100, true);
+        let mut c = CountingSink::default();
+        sim.run_until(50_000, &mut c);
+
+        let s = sim.stats();
+        assert_eq!(s.external.get(), 2);
+        assert_eq!(
+            s.events_popped.get(),
+            s.transitions.get() + s.redundant.get() + s.stale.get(),
+            "popped = applied + redundant + stale"
+        );
+        assert_eq!(s.transitions.get(), c.count, "census agrees with the power sink");
+        let census: u64 = s.kind_transitions().iter().sum();
+        assert_eq!(census + s.input_transitions.get(), s.transitions.get());
+        assert_eq!(s.input_transitions.get(), 2, "a and b");
+
+        let mut r = Report::new();
+        sim.obs_report("sim", &mut r);
+        assert_eq!(r.get("sim.transitions"), Some(s.transitions.get()));
+        assert!(r.get("sim.wheel.push_drain").is_some() || r.get("sim.wheel.push_ring").is_some());
     }
 
     /// A shared SimGraph behaves identically to a privately built one.

@@ -42,9 +42,9 @@ pub use bitclock::{BitClockedSim, LaneActivity};
 pub use clocked::{ClockedCore, ClockedSim};
 pub use coupling::{CouplingModel, CouplingSink};
 pub use delay::DelayModel;
-pub use engine::{PowerSink, SimCore, SimGraph, Simulator};
+pub use engine::{PowerSink, SimCore, SimGraph, SimStats, Simulator};
 pub use noise::MeasurementModel;
 pub use power::{CountingSink, NullSink, PowerTrace};
 pub use vcd::VcdSink;
 pub use waveform::WaveformRecorder;
-pub use wheel::TimingWheel;
+pub use wheel::{TimingWheel, WheelStats};

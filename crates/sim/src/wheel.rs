@@ -14,6 +14,8 @@
 //! order — identical to the ordering of the reference heap, which is
 //! what the `wheel_matches_heap` property tests pin.
 
+use gm_obs::{Counter, LogHist, Report};
+
 /// log2 of the bucket width in ps (512 ps buckets: a few transport
 /// delays per bucket for the calibrated gate library).
 pub const BUCKET_SHIFT: u32 = 9;
@@ -57,6 +59,39 @@ pub struct TimingWheel<T> {
     overflow: Vec<Entry<T>>,
     overflow_min: u64,
     len: usize,
+    stats: WheelStats,
+}
+
+/// Lifetime operation counters of a [`TimingWheel`] (all zero and
+/// zero-sized under `obs-off`). Survives [`TimingWheel::clear`], so a
+/// recycled per-worker wheel accumulates whole-campaign totals.
+#[derive(Debug, Clone, Default)]
+pub struct WheelStats {
+    /// Pushes landing in the sorted drain (current bucket).
+    pub pushes_drain: Counter,
+    /// Pushes landing in an unsorted ring slot.
+    pub pushes_ring: Counter,
+    /// Pushes beyond the ring horizon (overflow list).
+    pub pushes_overflow: Counter,
+    /// Overflow entries repatriated into the ring/drain as the cursor
+    /// approached ("spills" folded back in).
+    pub spills: Counter,
+    /// Cursor advances (bucket drains started).
+    pub advances: Counter,
+    /// Drain occupancy (events sorted per advanced bucket).
+    pub occupancy: LogHist,
+}
+
+impl WheelStats {
+    /// Export all counters under `prefix` (e.g. `"wheel"`).
+    pub fn report_into(&self, prefix: &str, r: &mut Report) {
+        r.set_nonzero(&format!("{prefix}.push_drain"), self.pushes_drain.get());
+        r.set_nonzero(&format!("{prefix}.push_ring"), self.pushes_ring.get());
+        r.set_nonzero(&format!("{prefix}.push_overflow"), self.pushes_overflow.get());
+        r.set_nonzero(&format!("{prefix}.spills"), self.spills.get());
+        r.set_nonzero(&format!("{prefix}.advances"), self.advances.get());
+        r.set_hist(&format!("{prefix}.occupancy"), &self.occupancy);
+    }
 }
 
 impl<T> Default for TimingWheel<T> {
@@ -76,7 +111,13 @@ impl<T> TimingWheel<T> {
             overflow: Vec::new(),
             overflow_min: u64::MAX,
             len: 0,
+            stats: WheelStats::default(),
         }
+    }
+
+    /// Lifetime operation counters (zeros under `obs-off`).
+    pub fn stats(&self) -> &WheelStats {
+        &self.stats
     }
 
     /// Number of queued events.
@@ -105,13 +146,16 @@ impl<T> TimingWheel<T> {
             // Insert into the sorted (descending) drain. New events land
             // at or after the last popped key, so the whole drain is a
             // valid insertion range.
+            self.stats.pushes_drain.inc();
             let pos = self.drain.partition_point(|e| (e.time, e.seq) > (time, seq));
             self.drain.insert(pos, entry);
         } else if b < self.cur + NUM_BUCKETS as u64 {
+            self.stats.pushes_ring.inc();
             let slot = (b & BUCKET_MASK) as usize;
             self.slots[slot].push(entry);
             self.occ[slot / 64] |= 1 << (slot % 64);
         } else {
+            self.stats.pushes_overflow.inc();
             self.overflow.push(entry);
             self.overflow_min = self.overflow_min.min(b);
         }
@@ -225,6 +269,7 @@ impl<T> TimingWheel<T> {
     /// the key about to be popped.
     fn advance_to(&mut self, target: u64) {
         debug_assert_ne!(target, u64::MAX, "len > 0 but no bucket found");
+        self.stats.advances.inc();
         self.cur = target;
         // Fold overflow events that now fit the ring (or the new current
         // bucket) back in.
@@ -234,6 +279,7 @@ impl<T> TimingWheel<T> {
             while i < self.overflow.len() {
                 let b = self.overflow[i].time >> BUCKET_SHIFT;
                 if b < self.cur + NUM_BUCKETS as u64 {
+                    self.stats.spills.inc();
                     let entry = self.overflow.swap_remove(i);
                     if b == self.cur {
                         self.drain.push(entry);
@@ -259,6 +305,7 @@ impl<T> TimingWheel<T> {
         if self.drain.len() > 1 {
             self.drain.sort_unstable_by_key(|e| std::cmp::Reverse((e.time, e.seq)));
         }
+        self.stats.occupancy.record(self.drain.len() as u64);
     }
 
     /// Absolute index of the first occupied ring bucket after `cur`, if
@@ -374,6 +421,30 @@ mod tests {
         assert_eq!(w.peek_time(), None);
         w.push(42, 0, 7);
         assert_eq!(w.pop(), Some((42, 0, 7)));
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn stats_census_all_three_push_routes() {
+        let mut w = TimingWheel::new();
+        let horizon = (NUM_BUCKETS as u64) << BUCKET_SHIFT;
+        w.push(3, 0, 0); // current bucket -> drain
+        w.push(1_000, 1, 1); // ring slot
+        w.push(2 * horizon, 2, 2); // beyond horizon -> overflow
+        drain_all(&mut w);
+        let s = w.stats();
+        assert_eq!(s.pushes_drain.get(), 1);
+        assert_eq!(s.pushes_ring.get(), 1);
+        assert_eq!(s.pushes_overflow.get(), 1);
+        assert_eq!(s.spills.get(), 1, "overflow entry folded back on approach");
+        assert_eq!(s.advances.get(), 2);
+        assert_eq!(s.occupancy.count(), 2);
+        w.clear();
+        assert_eq!(w.stats().pushes_ring.get(), 1, "stats survive clear");
+
+        let mut r = Report::new();
+        w.stats().report_into("wheel", &mut r);
+        assert_eq!(r.get("wheel.spills"), Some(1));
     }
 
     #[test]
