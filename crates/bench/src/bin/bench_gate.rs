@@ -1,13 +1,16 @@
 //! Gate-level campaign-throughput harness: times a fig15-gate-style
-//! placement campaign on the event-driven simulator and appends the
-//! result to `BENCH_gate.json`, mirroring `bench_tvla` for the cycle
-//! model. A Table I leaky/safe pair rides along so the record also pins
-//! that the *conclusions* of the event engine are unchanged, not just
-//! its speed.
+//! placement campaign on **both** event-simulator backends — the
+//! compiled-schedule lane engine (the recorded number) and the scalar
+//! dynamic wheel (the reference) — and appends the result to
+//! `BENCH_gate.json`, mirroring `bench_tvla` for the cycle model. The
+//! two backends must agree on the campaign's placement bias to within
+//! floating-point summation order, and a Table I leaky/safe pair rides
+//! along so the record also pins that the *conclusions* of the event
+//! engine are unchanged, not just its speed.
 //!
 //! ```text
 //! cargo run --release -p gm-bench --bin bench_gate -- \
-//!     --traces 30000 --threads 8 --label wheel-csr
+//!     --traces 200000 --threads 8 --label compiled-schedule
 //! ```
 
 use gm_bench::gate::{
@@ -72,7 +75,32 @@ fn main() {
     }
     let tps = traces as f64 / seconds;
     let bias = placement_bias(&result);
-    println!("  {seconds:.3} s -> {tps:.0} traces/s  (placement bias {bias:.3})");
+    println!(
+        "  compiled schedule: {seconds:.3} s -> {tps:.0} traces/s  (placement bias {bias:.3})"
+    );
+
+    // --- scalar-wheel reference: timed every run, and the campaign must
+    // agree with the compiled backend (same traces up to floating-point
+    // summation order inside a trace's energy). -----------------------
+    let scalar_src = PdPlacementSource::scalar(Arc::clone(&gadget), Arc::clone(&delays), args.seed);
+    let mut scalar_seconds = f64::INFINITY;
+    let mut scalar_result = campaign.run(&scalar_src);
+    for _ in 0..2u32 {
+        let start = Instant::now();
+        scalar_result = campaign.run(&scalar_src);
+        scalar_seconds = scalar_seconds.min(start.elapsed().as_secs_f64());
+    }
+    let scalar_tps = traces as f64 / scalar_seconds;
+    let scalar_bias = placement_bias(&scalar_result);
+    println!(
+        "  scalar wheel:      {scalar_seconds:.3} s -> {scalar_tps:.0} traces/s  \
+         (placement bias {scalar_bias:.3}, speedup {:.1}x)",
+        tps / scalar_tps
+    );
+    assert!(
+        (bias - scalar_bias).abs() <= 1e-9 * scalar_bias.abs().max(1.0),
+        "backends disagree on placement bias: compiled {bias} vs scalar {scalar_bias}"
+    );
 
     // --- Table I leaky/safe conclusion check ---------------------------
     let check_traces = 4_000.min(traces);
@@ -104,6 +132,8 @@ fn main() {
 
     let record = BenchRecord::new(&label, "fig15-gate-placement", traces, threads, seconds)
         .with("unit_luts", UNIT_LUTS.to_string())
+        .with("backend", "\"compiled-schedule\"".to_owned())
+        .with_f64("scalar_traces_per_sec", scalar_tps)
         .with_f64("placement_bias", bias)
         .with_f64("table1_leaky_max_t1", verdicts[0].1)
         .with_f64("table1_safe_max_t1", verdicts[1].1);

@@ -29,9 +29,10 @@ fn main() {
     let mut metrics = MetricsSink::from_args("fig15_gate", &args);
     let trials = args.trace_count(8_000, 20_000);
     let placements = if args.quick { 15 } else { 30 };
+    let backend = if args.scalar { "scalar event wheel" } else { "compiled schedule" };
     println!("FIG. 15 (gate level) — per-placement first-order exposure of secAND2-PD");
     println!(
-        "(±85% routing spread, 400 ps jitter; {placements} placements × {trials} runs each)\n"
+        "(±85% routing spread, 400 ps jitter; {placements} placements × {trials} runs each, {backend})\n"
     );
     println!("  LUTs/unit  worst |bias|  mean |bias|   placements > 0.1");
     println!("  ---------  ------------  -----------   ----------------");
@@ -48,7 +49,11 @@ fn main() {
             let device_seed = args.seed ^ (unit as u64) << 8 ^ p as u64;
             let delays =
                 Arc::new(DelayModel::with_variation(&gadget.netlist, 0.85, 400.0, device_seed));
-            let src = PdPlacementSource::new(Arc::clone(&gadget), delays, device_seed);
+            let src = if args.scalar {
+                PdPlacementSource::scalar(Arc::clone(&gadget), delays, device_seed)
+            } else {
+                PdPlacementSource::new(Arc::clone(&gadget), delays, device_seed)
+            };
             let (result, obs) = Campaign::parallel(trials, device_seed).run_observed(&src);
             unit_counters.merge(&obs.report());
             biases.push(placement_bias(&result));

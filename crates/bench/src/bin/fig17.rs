@@ -27,6 +27,10 @@ const FIXED_PLAINTEXTS: [u64; 3] = [0x0123456789ABCDEF, 0xDA39A3EE5E6B4B0D, 0x00
 fn gate_level_panels(args: &Args, metrics: &mut MetricsSink, traces: u64) {
     let variant = CoreVariant::Pd { unit_luts: 10 };
     println!("--- gate-level cross-validation (event-driven netlist, coupling on) ---");
+    // The DES netlist is clocked, so it refuses schedule compilation
+    // (`CompiledSchedule::compile` returns `None` on flip-flops) and the
+    // campaign stays on the dynamic event wheel; `--scalar` is a no-op here.
+    println!("(clocked netlist: dynamic event wheel; schedule compilation does not apply)");
     for (i, (panel, pt)) in ["a", "b", "c"].iter().zip(FIXED_PLAINTEXTS).enumerate() {
         if !(args.panel.is_none() || args.panel.as_deref() == Some(*panel)) {
             continue;

@@ -38,7 +38,8 @@ fn main() {
     let delays =
         Arc::new(DelayModel::with_variation(&bank.netlist, 0.15, 40.0, args.seed ^ 0x7a51));
 
-    println!("TABLE I — secAND2 arrival-sequence leakage ({traces} traces/sequence, {REPLICAS} replicas)");
+    let backend = if args.scalar { "scalar event wheel" } else { "compiled schedule" };
+    println!("TABLE I — secAND2 arrival-sequence leakage ({traces} traces/sequence, {REPLICAS} replicas, {backend})");
     println!();
     println!("  #  sequence (cycle 1..4)   max|t1|  leaks  glitch-bias  predicted  agree");
     println!("  -- ----------------------  -------  -----  -----------  ---------  -----");
@@ -46,7 +47,11 @@ fn main() {
     let mut agreements = 0;
     let mut rows = Vec::new();
     for (i, seq) in all_sequences().into_iter().enumerate() {
-        let src = SequenceSource::new(Arc::clone(&bank), Arc::clone(&delays), seq, args.seed);
+        let src = if args.scalar {
+            SequenceSource::scalar(Arc::clone(&bank), Arc::clone(&delays), seq, args.seed)
+        } else {
+            SequenceSource::new(Arc::clone(&bank), Arc::clone(&delays), seq, args.seed)
+        };
         let result = metrics.run(
             &format!("seq{:02}", i + 1),
             &Campaign::parallel(traces, args.seed ^ i as u64),

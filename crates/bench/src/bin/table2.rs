@@ -8,10 +8,11 @@
 //! (an `x` share arriving last, Table I's leaky pattern), which must
 //! leak.
 //!
-//! Like every glitch-domain campaign this one deliberately stays on the
-//! scalar event-driven simulator (per-edge timing cannot be packed into
-//! lanes; see DESIGN.md §2); it rides the same persistent-worker pool
-//! and blocked trace ingest as the bitsliced cycle-model campaigns.
+//! Like the other glitch-domain campaigns this one runs on the
+//! compiled-schedule lane backend (see DESIGN.md §2.9): the stimulus
+//! plan is fixed, so the event cascade is levelized once and 64 traces
+//! sweep per pass, with per-lane fallback to the scalar wheel when
+//! glitch activity diverges. `--scalar` pins the wheel throughout.
 
 use gm_bench::{Args, MetricsSink};
 use gm_core::compose::build_product_chain_pd_with_schedule;
@@ -19,7 +20,10 @@ use gm_core::schedule::{chain_delay_schedule, chain_max_units, ShareDelay};
 use gm_core::{MaskRng, MaskedBit};
 use gm_leakage::{leaks, Campaign, Class, TraceSource};
 use gm_netlist::{NetId, Netlist};
-use gm_sim::{DelayModel, MeasurementModel, PowerTrace, SimCore, SimGraph};
+use gm_sim::{
+    CompiledSchedule, DelayModel, LaneTrace, MeasurementModel, PowerTrace, SchedRunner, SimCore,
+    SimGraph, LANES,
+};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use std::sync::Arc;
@@ -77,14 +81,37 @@ struct ChainSource {
     measurement: MeasurementModel,
     sim_seed: u64,
     window_ps: u64,
-    /// Persistent event core over `bank.graph`, reset per trace.
+    /// Persistent event core over `bank.graph`, reset per trace (scalar
+    /// backend and divergent-lane fallback).
     sim: SimCore,
     /// Persistent trace buffer, cleared per trace.
     trace: PowerTrace,
+    /// Levelized stimulus cascade shared by all forks; `None` pins the
+    /// scalar wheel.
+    compiled: Option<Arc<CompiledSchedule>>,
+    runner: SchedRunner,
+    /// Persistent lane-major trace buffer, cleared per pass.
+    lane_trace: LaneTrace,
 }
 
 impl ChainSource {
     fn new(bank: Arc<ChainBank>, delays: Arc<DelayModel>, seed: u64) -> Self {
+        let stims: Vec<(NetId, u64)> =
+            bank.vars.iter().flat_map(|&(s0, s1)| [(s0, 1_000), (s1, 1_000)]).collect();
+        let compiled = CompiledSchedule::compile(&bank.graph, &delays, &stims).map(Arc::new);
+        Self::with_backend(bank, delays, seed, compiled)
+    }
+
+    fn scalar(bank: Arc<ChainBank>, delays: Arc<DelayModel>, seed: u64) -> Self {
+        Self::with_backend(bank, delays, seed, None)
+    }
+
+    fn with_backend(
+        bank: Arc<ChainBank>,
+        delays: Arc<DelayModel>,
+        seed: u64,
+        compiled: Option<Arc<CompiledSchedule>>,
+    ) -> Self {
         let window_ps =
             ((chain_max_units(bank.k) + 2) as u64 * UNIT_LUTS as u64 * 1_150 + 20_000) * 2;
         let sim = SimCore::new(&bank.graph, seed);
@@ -98,16 +125,20 @@ impl ChainSource {
             sim_seed: seed,
             window_ps,
             trace: PowerTrace::new(0, window_ps / 8, 8),
+            compiled,
+            runner: SchedRunner::new(),
+            lane_trace: LaneTrace::new(0, window_ps / 8, 8),
         }
     }
 }
 
 impl TraceSource for ChainSource {
     fn fork(&self, stream: u64) -> Self {
-        ChainSource::new(
+        ChainSource::with_backend(
             Arc::clone(&self.bank),
             Arc::clone(&self.delays),
             self.sim_seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            self.compiled.clone(),
         )
     }
 
@@ -137,9 +168,103 @@ impl TraceSource for ChainSource {
         }
     }
 
+    fn trace_block(
+        &mut self,
+        labels: &[Class],
+        fixed: &mut [f64],
+        random: &mut [f64],
+    ) -> (usize, usize) {
+        let Some(sched) = self.compiled.clone() else {
+            // Scalar backend: the default per-trace loop.
+            let (mut nf, mut nr) = (0usize, 0usize);
+            for &class in labels {
+                let (buf, row) = match class {
+                    Class::Fixed => (&mut *fixed, &mut nf),
+                    Class::Random => (&mut *random, &mut nr),
+                };
+                let start = *row * 8;
+                self.trace(class, &mut buf[start..start + 8]);
+                *row += 1;
+            }
+            return (nf, nr);
+        };
+        let k = self.bank.k;
+        let (mut nf, mut nr) = (0usize, 0usize);
+        let mut start = 0usize;
+        while start < labels.len() {
+            let chunk = (labels.len() - start).min(LANES);
+            // Draw the per-trace RNG streams in label order — identical
+            // to the scalar path — while packing the lane words.
+            let mut seeds = [0u64; LANES];
+            let mut stim_values = vec![0u64; 2 * k];
+            for l in 0..chunk {
+                let vals: Vec<bool> = match labels[start + l] {
+                    Class::Fixed => vec![true; k],
+                    Class::Random => (0..k).map(|_| self.val_rng.random()).collect(),
+                };
+                self.sim_seed = self.sim_seed.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(7);
+                seeds[l] = self.sim_seed;
+                for (i, &v) in vals.iter().enumerate() {
+                    let b = MaskedBit::mask(v, &mut self.mask_rng);
+                    if b.s0 {
+                        stim_values[2 * i] |= 1 << l;
+                    }
+                    if b.s1 {
+                        stim_values[2 * i + 1] |= 1 << l;
+                    }
+                }
+            }
+            self.lane_trace.clear();
+            let div = self.runner.run_pass(
+                &sched,
+                &self.bank.graph,
+                &self.delays,
+                self.bank.graph.weights(),
+                &seeds[..chunk],
+                &stim_values,
+                self.window_ps,
+                &mut self.lane_trace,
+            );
+            let mut bins = [0.0f64; 8];
+            for l in 0..chunk {
+                if div >> l & 1 != 0 {
+                    // Divergent glitch activity: rerun the lane on the
+                    // scalar wheel under the same seed.
+                    let _fb = self.runner.stats.fallback_ns.span();
+                    self.sim.reset(&self.bank.graph, seeds[l]);
+                    self.trace.clear();
+                    for (i, &(s0, s1)) in self.bank.vars.iter().enumerate() {
+                        self.sim.schedule(s0, 1_000, stim_values[2 * i] >> l & 1 != 0);
+                        self.sim.schedule(s1, 1_000, stim_values[2 * i + 1] >> l & 1 != 0);
+                    }
+                    self.sim.run_until(
+                        &self.bank.graph,
+                        &self.delays,
+                        self.window_ps,
+                        &mut self.trace,
+                    );
+                    bins.copy_from_slice(self.trace.samples());
+                } else {
+                    self.lane_trace.lane_into(l, &mut bins);
+                }
+                let (buf, row) = match labels[start + l] {
+                    Class::Fixed => (&mut *fixed, &mut nf),
+                    Class::Random => (&mut *random, &mut nr),
+                };
+                for (o, &s) in buf[*row * 8..(*row + 1) * 8].iter_mut().zip(bins.iter()) {
+                    *o = self.measurement.sample(s);
+                }
+                *row += 1;
+            }
+            start += chunk;
+        }
+        (nf, nr)
+    }
+
     fn obs_report(&self, report: &mut gm_obs::Report) {
         report.set_nonzero("rng.mask_words", self.mask_rng.obs_words_drawn());
         self.sim.obs_report("sim", report);
+        self.runner.obs_report("sim.sched", report);
     }
 }
 
@@ -157,8 +282,11 @@ fn main() {
     let args = Args::parse();
     let mut metrics = MetricsSink::from_args("table2", &args);
     let traces = args.trace_count(8_000, 60_000);
+    let backend = if args.scalar { "scalar event wheel" } else { "compiled schedule" };
     println!("TABLE II — DelayUnit sequences for secAND2-PD product chains");
-    println!("({traces} traces/row, {REPLICAS} replicas, DelayUnit = {UNIT_LUTS} LUTs)\n");
+    println!(
+        "({traces} traces/row, {REPLICAS} replicas, DelayUnit = {UNIT_LUTS} LUTs, {backend})\n"
+    );
     println!("  product   sequence (share@DelayUnits)");
     for k in [3, 4] {
         println!("  {k} vars    {}", schedule_row(k));
@@ -176,7 +304,11 @@ fn main() {
                 40.0,
                 args.seed ^ (k as u64) << 4 | u64::from(sabotage),
             ));
-            let src = ChainSource::new(Arc::clone(&bank), Arc::clone(&delays), args.seed);
+            let src = if args.scalar {
+                ChainSource::scalar(Arc::clone(&bank), Arc::clone(&delays), args.seed)
+            } else {
+                ChainSource::new(Arc::clone(&bank), Arc::clone(&delays), args.seed)
+            };
             let mut campaign = Campaign::parallel(traces, args.seed ^ (k as u64));
             if let Some(t) = args.threads {
                 campaign.threads = t;

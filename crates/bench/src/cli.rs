@@ -22,8 +22,11 @@ pub struct Args {
     /// `--gate-level`: run the campaign on the event-driven gate-level
     /// netlist instead of the cycle model (binaries that support both).
     pub gate_level: bool,
-    /// `--scalar`: use the scalar cycle-model reference instead of the
-    /// 64-way bitsliced backend (bit-identical results, slower).
+    /// `--scalar`: use the scalar reference backend instead of the
+    /// 64-way lane-parallel one (bit-identical results, slower). For
+    /// cycle-model campaigns that is the per-trace evaluator instead of
+    /// the bitsliced engine; for gate-level campaigns it is the dynamic
+    /// event wheel instead of the compiled schedule.
     pub scalar: bool,
     /// `--metrics PATH`: write one JSONL campaign-metrics record per
     /// observed phase to PATH (see `gm_bench::metrics`).

@@ -6,6 +6,16 @@
 //! module holds the [`gm_leakage::TraceSource`] implementations so every
 //! binary routes through the persistent-worker campaign machinery of
 //! `gm-leakage::tvla` instead of hand-rolled acquisition loops.
+//!
+//! Both sources run on the compiled-schedule lane backend by default
+//! ([`gm_sim::CompiledSchedule`] + [`gm_sim::SchedRunner`]): the stimulus
+//! plan is fixed per campaign, so the event cascade is levelized once and
+//! each [`TraceSource::trace_block`] call sweeps up to 64 traces per pass.
+//! Lanes whose glitch activity diverges from the compiled superset are
+//! re-run on the scalar wheel under the same per-trace seed, which keeps
+//! every trace bit-identical to the `--scalar` reference backend. The
+//! scalar constructors (`SequenceSource::scalar`, `PdPlacementSource::
+//! scalar`) pin that reference path for A/B checks.
 
 use gm_core::gadgets::sec_and2::build_sec_and2;
 use gm_core::gadgets::sec_and2_pd::{build_sec_and2_pd, PdConfig};
@@ -15,13 +25,39 @@ use gm_core::{MaskRng, MaskedBit};
 use gm_leakage::{Class, TraceSource, TvlaResult};
 use gm_netlist::{GateKind, NetId, Netlist};
 use gm_obs::Report;
-use gm_sim::{DelayModel, MeasurementModel, PowerTrace, SimCore, SimGraph};
+use gm_sim::{
+    CompiledSchedule, DelayModel, LaneCounting, LaneTrace, MeasurementModel, PowerTrace,
+    SchedRunner, SimCore, SimGraph, LANES,
+};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use std::sync::Arc;
 
 /// Clock period of the Table I arrival-sequence experiment, in ps.
 pub const CYCLE_PS: u64 = 50_000;
+
+/// The default per-trace block loop, kept callable so the scalar backend
+/// of each source routes through the exact same code whether or not the
+/// source overrides [`TraceSource::trace_block`].
+fn scalar_block<S: TraceSource>(
+    src: &mut S,
+    labels: &[Class],
+    fixed: &mut [f64],
+    random: &mut [f64],
+) -> (usize, usize) {
+    let ns = src.num_samples();
+    let (mut nf, mut nr) = (0usize, 0usize);
+    for &class in labels {
+        let (buf, row) = match class {
+            Class::Fixed => (&mut *fixed, &mut nf),
+            Class::Random => (&mut *random, &mut nr),
+        };
+        let start = *row * ns;
+        src.trace(class, &mut buf[start..start + ns]);
+        *row += 1;
+    }
+    (nf, nr)
+}
 
 /// A bank of replicated `secAND2` instances sharing four share inputs
 /// (the paper's SNR trick).
@@ -80,19 +116,54 @@ pub struct SequenceSource {
     val_rng: SmallRng,
     measurement: MeasurementModel,
     sim_seed: u64,
-    /// Persistent event core over `bank.graph`, reset per trace.
+    /// Persistent event core over `bank.graph`, reset per trace (scalar
+    /// backend and divergent-lane fallback).
     sim: SimCore,
     /// Persistent trace buffer, cleared per trace.
     trace: PowerTrace,
+    /// Levelized stimulus cascade shared by all forks; `None` pins the
+    /// scalar wheel.
+    compiled: Option<Arc<CompiledSchedule>>,
+    runner: SchedRunner,
+    /// Persistent lane-major trace buffer, cleared per pass.
+    lane_trace: LaneTrace,
 }
 
 impl SequenceSource {
-    /// Build a source for one arrival sequence.
+    /// Build a source for one arrival sequence on the compiled-schedule
+    /// backend (falls back to the wheel automatically if the bank refuses
+    /// compilation — it never does, the bank is combinational).
     pub fn new(
         bank: Arc<SecAnd2Bank>,
         delays: Arc<DelayModel>,
         seq: ArrivalSequence,
         seed: u64,
+    ) -> Self {
+        let stims: Vec<(NetId, u64)> = seq
+            .iter()
+            .enumerate()
+            .map(|(cycle, &share)| (bank_share_net(&bank, share), cycle as u64 * CYCLE_PS + 1_000))
+            .collect();
+        let compiled = CompiledSchedule::compile(&bank.graph, &delays, &stims).map(Arc::new);
+        Self::with_backend(bank, delays, seq, seed, compiled)
+    }
+
+    /// Build a source pinned to the scalar event wheel (`--scalar`).
+    pub fn scalar(
+        bank: Arc<SecAnd2Bank>,
+        delays: Arc<DelayModel>,
+        seq: ArrivalSequence,
+        seed: u64,
+    ) -> Self {
+        Self::with_backend(bank, delays, seq, seed, None)
+    }
+
+    fn with_backend(
+        bank: Arc<SecAnd2Bank>,
+        delays: Arc<DelayModel>,
+        seq: ArrivalSequence,
+        seed: u64,
+        compiled: Option<Arc<CompiledSchedule>>,
     ) -> Self {
         let sim = SimCore::new(&bank.graph, seed);
         SequenceSource {
@@ -105,6 +176,9 @@ impl SequenceSource {
             measurement: MeasurementModel::new(1.0, 0.8, 16, seed ^ 0xabc),
             sim_seed: seed,
             trace: PowerTrace::new(0, CYCLE_PS, 4),
+            compiled,
+            runner: SchedRunner::new(),
+            lane_trace: LaneTrace::new(0, CYCLE_PS, 4),
         }
     }
 
@@ -116,11 +190,12 @@ impl SequenceSource {
 
 impl TraceSource for SequenceSource {
     fn fork(&self, stream: u64) -> Self {
-        SequenceSource::new(
+        SequenceSource::with_backend(
             Arc::clone(&self.bank),
             Arc::clone(&self.delays),
             self.seq,
             self.sim_seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            self.compiled.clone(),
         )
     }
 
@@ -156,9 +231,101 @@ impl TraceSource for SequenceSource {
         }
     }
 
+    fn trace_block(
+        &mut self,
+        labels: &[Class],
+        fixed: &mut [f64],
+        random: &mut [f64],
+    ) -> (usize, usize) {
+        let Some(sched) = self.compiled.clone() else {
+            return scalar_block(self, labels, fixed, random);
+        };
+        let (mut nf, mut nr) = (0usize, 0usize);
+        let mut start = 0usize;
+        while start < labels.len() {
+            let chunk = (labels.len() - start).min(LANES);
+            // Draw the per-trace RNG streams in label order — identical to
+            // the scalar path — while packing the lane words.
+            let mut seeds = [0u64; LANES];
+            let mut stim_values = [0u64; 4];
+            for l in 0..chunk {
+                let (x, y) = match labels[start + l] {
+                    Class::Fixed => (true, true),
+                    Class::Random => (self.val_rng.random(), self.val_rng.random()),
+                };
+                let mx = MaskedBit::mask(x, &mut self.mask_rng);
+                let my = MaskedBit::mask(y, &mut self.mask_rng);
+                self.sim_seed = self.sim_seed.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(11);
+                seeds[l] = self.sim_seed;
+                for (s, &share) in self.seq.iter().enumerate() {
+                    let v = match share {
+                        InputShare::X0 => mx.s0,
+                        InputShare::X1 => mx.s1,
+                        InputShare::Y0 => my.s0,
+                        InputShare::Y1 => my.s1,
+                    };
+                    if v {
+                        stim_values[s] |= 1 << l;
+                    }
+                }
+            }
+            self.lane_trace.clear();
+            let div = self.runner.run_pass(
+                &sched,
+                &self.bank.graph,
+                &self.delays,
+                self.bank.graph.weights(),
+                &seeds[..chunk],
+                &stim_values,
+                4 * CYCLE_PS,
+                &mut self.lane_trace,
+            );
+            let mut bins = [0.0f64; 4];
+            for l in 0..chunk {
+                if div >> l & 1 != 0 {
+                    // Divergent glitch activity: rerun the lane on the
+                    // scalar wheel under the same seed (bit-identical by
+                    // construction).
+                    let _fb = self.runner.stats.fallback_ns.span();
+                    self.sim.reset(&self.bank.graph, seeds[l]);
+                    self.trace.clear();
+                    for (cycle, &share) in self.seq.iter().enumerate() {
+                        self.sim.schedule(
+                            bank_share_net(&self.bank, share),
+                            cycle as u64 * CYCLE_PS + 1_000,
+                            stim_values[cycle] >> l & 1 != 0,
+                        );
+                    }
+                    self.sim.run_until(
+                        &self.bank.graph,
+                        &self.delays,
+                        4 * CYCLE_PS,
+                        &mut self.trace,
+                    );
+                    bins.copy_from_slice(self.trace.samples());
+                } else {
+                    self.lane_trace.lane_into(l, &mut bins);
+                }
+                // Measurement noise is drawn in label order, after the
+                // pass — 4 draws per trace either way.
+                let (buf, row) = match labels[start + l] {
+                    Class::Fixed => (&mut *fixed, &mut nf),
+                    Class::Random => (&mut *random, &mut nr),
+                };
+                for (o, &s) in buf[*row * 4..(*row + 1) * 4].iter_mut().zip(bins.iter()) {
+                    *o = self.measurement.sample(s);
+                }
+                *row += 1;
+            }
+            start += chunk;
+        }
+        (nf, nr)
+    }
+
     fn obs_report(&self, report: &mut Report) {
         report.set_nonzero("rng.mask_words", self.mask_rng.obs_words_drawn());
         self.sim.obs_report("sim", report);
+        self.runner.obs_report("sim.sched", report);
     }
 }
 
@@ -217,11 +384,33 @@ pub struct PdPlacementSource {
     /// inputs at 0), so the per-trace energy is accumulated directly in
     /// a [`gm_sim::power::CountingSink`] — no per-net count array.
     sim: SimCore,
+    /// Levelized stimulus cascade shared by all forks; `None` pins the
+    /// scalar wheel. The lane backend takes `gadget.weights` directly.
+    compiled: Option<Arc<CompiledSchedule>>,
+    runner: SchedRunner,
 }
 
 impl PdPlacementSource {
-    /// Build a source for one placement (one sampled [`DelayModel`]).
+    /// Build a source for one placement (one sampled [`DelayModel`]) on
+    /// the compiled-schedule backend.
     pub fn new(gadget: Arc<PdGadget>, delays: Arc<DelayModel>, seed: u64) -> Self {
+        let io = gadget.io;
+        let stims = [(io.x0, 1_000), (io.x1, 1_000), (io.y0, 1_000), (io.y1, 1_000)];
+        let compiled = CompiledSchedule::compile(&gadget.graph, &delays, &stims).map(Arc::new);
+        Self::with_backend(gadget, delays, seed, compiled)
+    }
+
+    /// Build a source pinned to the scalar event wheel (`--scalar`).
+    pub fn scalar(gadget: Arc<PdGadget>, delays: Arc<DelayModel>, seed: u64) -> Self {
+        Self::with_backend(gadget, delays, seed, None)
+    }
+
+    fn with_backend(
+        gadget: Arc<PdGadget>,
+        delays: Arc<DelayModel>,
+        seed: u64,
+        compiled: Option<Arc<CompiledSchedule>>,
+    ) -> Self {
         let mut sim = SimCore::new(&gadget.graph, seed);
         for (i, &w) in gadget.weights.iter().enumerate() {
             sim.set_net_weight(NetId(i as u32), w);
@@ -232,16 +421,44 @@ impl PdPlacementSource {
             delays,
             mask_rng: MaskRng::new(seed ^ 0x77),
             sim_seed: seed,
+            compiled,
+            runner: SchedRunner::new(),
         }
     }
 }
 
+/// Scalar-wheel energy of one trace: the shared reference body for
+/// [`TraceSource::trace`] and the divergent-lane fallback (a free
+/// function so the fallback timer can hold the runner's stopwatch).
+fn pd_scalar_energy(
+    sim: &mut SimCore,
+    gadget: &PdGadget,
+    delays: &DelayModel,
+    shares: [bool; 4],
+    seed: u64,
+) -> f64 {
+    let io = gadget.io;
+    sim.reset(&gadget.graph, seed);
+    for (s, net) in [io.x0, io.x1, io.y0, io.y1].into_iter().enumerate() {
+        // Inputs rest at the all-zero baseline; a `false` edge is a
+        // no-op the engine would pop and discard (no rng draw, no
+        // transition), so skipping it leaves the stream bit-identical.
+        if shares[s] {
+            sim.schedule(net, 1_000, true);
+        }
+    }
+    let mut sink = gm_sim::power::CountingSink::default();
+    sim.run_until(&gadget.graph, delays, gadget.window_ps, &mut sink);
+    sink.weighted
+}
+
 impl TraceSource for PdPlacementSource {
     fn fork(&self, stream: u64) -> Self {
-        PdPlacementSource::new(
+        PdPlacementSource::with_backend(
             Arc::clone(&self.gadget),
             Arc::clone(&self.delays),
             self.sim_seed ^ stream.wrapping_mul(0xd192_ed03_a4ab_f2ee),
+            self.compiled.clone(),
         )
     }
 
@@ -254,24 +471,89 @@ impl TraceSource for PdPlacementSource {
         let mx = MaskedBit::mask(true, &mut self.mask_rng);
         let my = MaskedBit::mask(y, &mut self.mask_rng);
         self.sim_seed = self.sim_seed.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(7);
-        let io = self.gadget.io;
-        self.sim.reset(&self.gadget.graph, self.sim_seed);
-        for (net, v) in [(io.x0, mx.s0), (io.x1, mx.s1), (io.y0, my.s0), (io.y1, my.s1)] {
-            // Inputs rest at the all-zero baseline; a `false` edge is a
-            // no-op the engine would pop and discard (no rng draw, no
-            // transition), so skipping it leaves the stream bit-identical.
-            if v {
-                self.sim.schedule(net, 1_000, v);
+        out[0] = pd_scalar_energy(
+            &mut self.sim,
+            &self.gadget,
+            &self.delays,
+            [mx.s0, mx.s1, my.s0, my.s1],
+            self.sim_seed,
+        );
+    }
+
+    fn trace_block(
+        &mut self,
+        labels: &[Class],
+        fixed: &mut [f64],
+        random: &mut [f64],
+    ) -> (usize, usize) {
+        let Some(sched) = self.compiled.clone() else {
+            return scalar_block(self, labels, fixed, random);
+        };
+        let (mut nf, mut nr) = (0usize, 0usize);
+        let mut start = 0usize;
+        while start < labels.len() {
+            let chunk = (labels.len() - start).min(LANES);
+            // Draw the per-trace RNG streams in label order — identical to
+            // the scalar path — while packing the lane words.
+            let mut seeds = [0u64; LANES];
+            let mut stim_values = [0u64; 4];
+            for l in 0..chunk {
+                let y = labels[start + l] == Class::Fixed;
+                let mx = MaskedBit::mask(true, &mut self.mask_rng);
+                let my = MaskedBit::mask(y, &mut self.mask_rng);
+                self.sim_seed = self.sim_seed.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(7);
+                seeds[l] = self.sim_seed;
+                for (s, v) in [mx.s0, mx.s1, my.s0, my.s1].into_iter().enumerate() {
+                    if v {
+                        stim_values[s] |= 1 << l;
+                    }
+                }
             }
+            let mut counting = LaneCounting::default();
+            let div = self.runner.run_pass(
+                &sched,
+                &self.gadget.graph,
+                &self.delays,
+                &self.gadget.weights,
+                &seeds[..chunk],
+                &stim_values,
+                self.gadget.window_ps,
+                &mut counting,
+            );
+            for l in 0..chunk {
+                let e = if div >> l & 1 != 0 {
+                    // Divergent glitch activity: rerun the lane on the
+                    // scalar wheel under the same seed (bit-identical by
+                    // construction).
+                    let _fb = self.runner.stats.fallback_ns.span();
+                    let mut shares = [false; 4];
+                    for (s, sh) in shares.iter_mut().enumerate() {
+                        *sh = stim_values[s] >> l & 1 != 0;
+                    }
+                    pd_scalar_energy(&mut self.sim, &self.gadget, &self.delays, shares, seeds[l])
+                } else {
+                    counting.weighted[l]
+                };
+                match labels[start + l] {
+                    Class::Fixed => {
+                        fixed[nf] = e;
+                        nf += 1;
+                    }
+                    Class::Random => {
+                        random[nr] = e;
+                        nr += 1;
+                    }
+                }
+            }
+            start += chunk;
         }
-        let mut sink = gm_sim::power::CountingSink::default();
-        self.sim.run_until(&self.gadget.graph, &self.delays, self.gadget.window_ps, &mut sink);
-        out[0] = sink.weighted;
+        (nf, nr)
     }
 
     fn obs_report(&self, report: &mut Report) {
         report.set_nonzero("rng.mask_words", self.mask_rng.obs_words_drawn());
         self.sim.obs_report("sim", report);
+        self.runner.obs_report("sim.sched", report);
     }
 }
 
@@ -279,4 +561,66 @@ impl TraceSource for PdPlacementSource {
 /// class-mean switching-energy difference `|E[power | y=1] − E[power | y=0]|`.
 pub fn placement_bias(result: &TvlaResult) -> f64 {
     (result.fixed.mean()[0] - result.random.mean()[0]).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_core::schedule::{predicted_leaky, InputShare};
+    use gm_leakage::Campaign;
+
+    /// The compiled-schedule backend must reproduce the scalar campaign:
+    /// every non-divergent lane is multiset-identical (pinned at the sim
+    /// layer), so class means may differ only by floating-point summation
+    /// order inside a trace's energy/bins.
+    #[test]
+    fn pd_compiled_matches_scalar_campaign() {
+        let gadget = Arc::new(build_pd_gadget(3));
+        let delays = Arc::new(DelayModel::with_variation(
+            &gadget.netlist,
+            0.85,
+            400.0,
+            0x5eed ^ (3u64) << 8,
+        ));
+        let campaign = Campaign::sequential(2_000, 42);
+        let compiled =
+            campaign.run(&PdPlacementSource::new(Arc::clone(&gadget), Arc::clone(&delays), 7));
+        let scalar = campaign.run(&PdPlacementSource::scalar(gadget, delays, 7));
+        assert_eq!(compiled.total_traces(), scalar.total_traces());
+        let (bc, bs) = (placement_bias(&compiled), placement_bias(&scalar));
+        assert!(
+            (bc - bs).abs() <= 1e-9 * bs.abs().max(1.0),
+            "placement bias moved between backends: compiled {bc} vs scalar {bs}"
+        );
+        assert!(
+            (compiled.fixed.mean()[0] - scalar.fixed.mean()[0]).abs() <= 1e-9,
+            "fixed-class mean moved between backends"
+        );
+    }
+
+    /// Same contract for the Table I arrival-sequence source, on one
+    /// leaky and one safe order.
+    #[test]
+    fn sequence_compiled_matches_scalar_campaign() {
+        use InputShare::{X0, X1, Y0, Y1};
+        let bank = Arc::new(build_sec_and2_bank(4));
+        let delays = Arc::new(DelayModel::with_variation(&bank.netlist, 0.3, 60.0, 0xbead));
+        for seq in [[X0, Y0, X1, Y1], [X0, X1, Y0, Y1]] {
+            let campaign = Campaign::sequential(1_000, 9);
+            let compiled =
+                campaign.run(&SequenceSource::new(Arc::clone(&bank), Arc::clone(&delays), seq, 3));
+            let scalar = campaign.run(&SequenceSource::scalar(
+                Arc::clone(&bank),
+                Arc::clone(&delays),
+                seq,
+                3,
+            ));
+            let (tc, ts) = (compiled.max_abs_t1(), scalar.max_abs_t1());
+            assert!(
+                (tc - ts).abs() <= 1e-9 * ts.abs().max(1.0),
+                "max |t1| moved between backends for {seq:?} (leaky={}): {tc} vs {ts}",
+                predicted_leaky(&seq)
+            );
+        }
+    }
 }

@@ -1,0 +1,79 @@
+//! Microbenchmark for the compiled-schedule sweep: times `run_pass` on
+//! the fig15-gate PD gadget in isolation, outside the campaign stack.
+//!
+//! ```text
+//! cargo run --release -p gm-core --example sched_micro [passes]
+//! ```
+
+use gm_core::gadgets::sec_and2_pd::{build_sec_and2_pd, PdConfig};
+use gm_core::gadgets::AndInputs;
+use gm_netlist::Netlist;
+use gm_sim::{CompiledSchedule, DelayModel, LaneCounting, SchedRunner, SimGraph, LANES};
+use std::time::Instant;
+
+fn main() {
+    let passes: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20_000);
+    let mut n = Netlist::new("pd");
+    let io =
+        AndInputs { x0: n.input("x0"), x1: n.input("x1"), y0: n.input("y0"), y1: n.input("y1") };
+    let out = build_sec_and2_pd(&mut n, io, PdConfig { unit_luts: 3 });
+    n.output("z0", out.z0);
+    n.output("z1", out.z1);
+    n.validate().unwrap();
+    let window_ps = (2 * 3u64 * 1_150) * 3 + 30_000;
+    let graph = SimGraph::new(&n);
+    let delays = DelayModel::with_variation(&n, 0.85, 400.0, 0x5eed ^ (3u64) << 8);
+    let stims = [(io.x0, 1_000), (io.x1, 1_000), (io.y0, 1_000), (io.y1, 1_000)];
+    let sched = CompiledSchedule::compile(&graph, &delays, &stims).expect("compiles");
+    println!("schedule: {} nodes, {} stims", sched.num_nodes(), sched.num_stims());
+
+    let mut runner = SchedRunner::new();
+    let mut counting = LaneCounting::default();
+    let seeds: Vec<u64> = (0..LANES as u64).collect();
+    let mut stim_values = [0u64; 4];
+    let mut energy = 0.0f64;
+    let mut divergent_total = 0u64;
+    // Warm-up.
+    for p in 0..passes / 10 + 1 {
+        for (s, v) in stim_values.iter_mut().enumerate() {
+            *v = (p ^ s as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+        runner.run_pass(
+            &sched,
+            &graph,
+            &delays,
+            graph.weights(),
+            &seeds,
+            &stim_values,
+            window_ps,
+            &mut counting,
+        );
+    }
+    let start = Instant::now();
+    for p in 0..passes {
+        for (s, v) in stim_values.iter_mut().enumerate() {
+            *v = (p ^ s as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+        let div = runner.run_pass(
+            &sched,
+            &graph,
+            &delays,
+            graph.weights(),
+            &seeds,
+            &stim_values,
+            window_ps,
+            &mut counting,
+        );
+        divergent_total += div.count_ones() as u64;
+        energy += counting.weighted.iter().sum::<f64>();
+    }
+    let dt = start.elapsed().as_secs_f64();
+    let traces = passes * LANES as u64;
+    println!(
+        "{passes} passes ({traces} lanes) in {dt:.3} s: {:.0} ns/pass, {:.1} ns/lane, \
+         divergent {:.2}% (checksum {energy:.1})",
+        dt * 1e9 / passes as f64,
+        dt * 1e9 / traces as f64,
+        100.0 * divergent_total as f64 / traces as f64,
+    );
+}

@@ -11,9 +11,11 @@
 //! The word forms of the cell library are the obvious bitwise ones; the
 //! only non-trivial cells are the multiplexer, computed branch-free as
 //! `(a ^ b) & s ^ a`, and the flip-flop next-state select, the same
-//! formula over the enable/reset words. Glitch-aware campaigns stay on
-//! the scalar event-driven simulator in `gm-sim`: glitches are *timing*
-//! artefacts, and per-lane event times cannot share a word.
+//! formula over the enable/reset words. Glitch-aware campaigns do not
+//! evaluate through this plan: glitches are *timing* artefacts, erased
+//! by zero-delay semantics. They run on `gm-sim`'s event engines — the
+//! dynamic wheel, or its lane-parallel compiled schedule (`gm_sim::sched`)
+//! which carries per-lane event times alongside the lane words.
 
 use crate::eval::EvalPlan;
 use crate::gate::{Gate, GateKind};

@@ -9,10 +9,13 @@
 //! `count_ones` over transposed toggle words ([`LaneCounter`]) instead
 //! of per-bit accumulation.
 //!
-//! Glitch-aware campaigns deliberately stay on the scalar event engine:
-//! a glitch is a *timing* artefact and per-lane event times cannot share
-//! a word. This harness serves the non-glitch cycle-model campaigns
-//! (and cross-checks of the value-level DES cycle engines).
+//! Glitch-aware campaigns cannot use this harness — a glitch is a
+//! *timing* artefact and zero-delay cycle semantics erase it. Their
+//! lane-parallel counterpart is the compiled schedule of
+//! [`crate::sched`], which keeps per-event timing by levelizing the
+//! fixed stimulus cascade and carrying per-lane event times alongside
+//! the lane words. This harness serves the non-glitch cycle-model
+//! campaigns (and cross-checks of the value-level DES cycle engines).
 
 use gm_netlist::bitslice::{BitEvaluator, LaneCounter};
 use gm_netlist::{NetId, Netlist};

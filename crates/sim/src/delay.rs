@@ -119,6 +119,128 @@ impl DelayModel {
             self.base_fixed_ps[gate.index()]
         }
     }
+
+    /// Sample the delay of the `ordinal`-th *toggling* evaluation of
+    /// `gate` within the trace salted by `salt`.
+    ///
+    /// **Order-invariant**: the draw depends only on `(gate, ordinal,
+    /// salt)`, never on global event processing order. Two engines that
+    /// evaluate the same gate the same number of times draw identical
+    /// delays even when they interleave unrelated gates differently —
+    /// the property the compiled-schedule backend's wheel≡schedule
+    /// equivalence rests on (see `sched`). The event engine's hot loop
+    /// calls this once per scheduled output change, so the jitter draw
+    /// is a counter hash plus one quantile-table lookup — no rejection
+    /// loop like the ziggurat (which survives for the per-trace-bin
+    /// draws of `noise::MeasurementModel`).
+    #[inline]
+    pub fn sample_event_ps(&self, gate: GateId, salt: u64, ordinal: u32) -> u64 {
+        let gi = gate.index();
+        if self.jitter_sigma_ps > 0.0 {
+            let g = quantized_gaussian(event_hash(salt, gate.0, ordinal));
+            (self.base_ps[gi] + g * self.jitter_sigma_ps).max(1.0) as u64
+        } else {
+            self.base_fixed_ps[gi]
+        }
+    }
+
+    /// Jitter-free fixed delay of `gate` — the compile-time base the
+    /// compiled schedule ([`crate::sched`]) orders its sweep by.
+    pub(crate) fn base_fixed_of(&self, gate: GateId) -> u64 {
+        self.base_fixed_ps[gate.index()]
+    }
+}
+
+/// Mix `(salt, gate, ordinal)` into one uniform 64-bit word
+/// (splitmix64 finalizer over a golden-ratio index stride).
+#[inline]
+pub(crate) fn event_hash(salt: u64, gate: u32, ordinal: u32) -> u64 {
+    let idx = ((gate as u64) << 32 | ordinal as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut z = salt ^ idx;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Quantile knots of the piecewise-linear inverse normal CDF used for
+/// per-event jitter. 2048 knots keep the table L1-resident (16 KiB);
+/// the distribution is truncated at the outermost knots
+/// (±Φ⁻¹(1/4096) ≈ ±3.54σ), a deliberate model simplification: a
+/// jitter excursion beyond 3.5σ on a ~1 ns gate delay is electrically
+/// implausible, and the truncation error is invisible to every
+/// moment/quantile test at campaign scale.
+const QUANT_KNOTS: usize = 2048;
+
+fn quant_table() -> &'static [f64; QUANT_KNOTS] {
+    static TBL: std::sync::OnceLock<[f64; QUANT_KNOTS]> = std::sync::OnceLock::new();
+    TBL.get_or_init(|| {
+        let mut t = [0.0f64; QUANT_KNOTS];
+        for (i, v) in t.iter_mut().enumerate() {
+            *v = inv_norm_cdf((i as f64 + 0.5) / QUANT_KNOTS as f64);
+        }
+        t
+    })
+}
+
+/// Standard-normal draw from one uniform 64-bit word: piecewise-linear
+/// interpolation between the [`quant_table`] quantile knots.
+#[inline]
+pub(crate) fn quantized_gaussian(h: u64) -> f64 {
+    let t = quant_table();
+    // Top 53 bits -> uniform in [0, 1), scaled to the knot index range.
+    let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    let x = u * (QUANT_KNOTS - 1) as f64;
+    let i = x as usize;
+    let f = x - i as f64;
+    t[i] + f * (t[i + 1] - t[i])
+}
+
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.2e-9). Only runs at table-build time.
+fn inv_norm_cdf(p: f64) -> f64 {
+    debug_assert!(p > 0.0 && p < 1.0);
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -inv_norm_cdf(1.0 - p)
+    }
 }
 
 /// Number of ziggurat layers.
@@ -273,6 +395,77 @@ mod tests {
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    /// The per-event draw must depend only on `(gate, ordinal, salt)`:
+    /// identical inputs give identical delays regardless of call order,
+    /// and each coordinate decorrelates the stream.
+    #[test]
+    fn event_sampler_is_order_invariant() {
+        let n = tiny();
+        let m = DelayModel::with_variation(&n, 0.2, 50.0, 7);
+        let fwd: Vec<u64> = (0..32).map(|o| m.sample_event_ps(GateId(0), 0xabcd, o)).collect();
+        let rev: Vec<u64> =
+            (0..32).rev().map(|o| m.sample_event_ps(GateId(0), 0xabcd, o)).collect();
+        let mut rev = rev;
+        rev.reverse();
+        assert_eq!(fwd, rev, "draws must not depend on call order");
+        let distinct: std::collections::HashSet<_> = fwd.iter().collect();
+        assert!(distinct.len() > 25, "ordinal must vary the draw");
+        assert_ne!(
+            m.sample_event_ps(GateId(0), 0xabcd, 0),
+            m.sample_event_ps(GateId(1), 0xabcd, 0),
+            "gate must vary the draw"
+        );
+        assert_ne!(
+            m.sample_event_ps(GateId(0), 0xabcd, 0),
+            m.sample_event_ps(GateId(0), 0xabce, 0),
+            "salt must vary the draw"
+        );
+        assert!(fwd.iter().all(|&d| d >= 1));
+    }
+
+    /// With jitter off the event sampler is the clamped fixed base —
+    /// same fast path as `sample_ps`.
+    #[test]
+    fn event_sampler_jitter_free_matches_base() {
+        let n = tiny();
+        let m = DelayModel::with_variation(&n, 0.3, 0.0, 9);
+        for g in [GateId(0), GateId(1)] {
+            assert_eq!(m.sample_event_ps(g, 1, 0), m.base_ps(g).max(1.0) as u64);
+            assert_eq!(m.sample_event_ps(g, 2, 5), m.sample_event_ps(g, 3, 6));
+        }
+    }
+
+    /// The quantized inverse-CDF sampler must reproduce normal moments
+    /// and quantiles like the ziggurat it parallels, within the
+    /// table-truncation tolerance.
+    #[test]
+    fn quantized_gaussian_matches_normal() {
+        let nsamp = 200_000usize;
+        let mut mean = 0.0f64;
+        let mut var = 0.0f64;
+        let thresholds = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        let phi = [0.02275, 0.15866, 0.5, 0.84134, 0.97725];
+        let mut below = [0usize; 5];
+        for i in 0..nsamp {
+            let x = quantized_gaussian(event_hash(0x5eed, 0, i as u32));
+            mean += x;
+            var += x * x;
+            for (c, &t) in below.iter_mut().zip(&thresholds) {
+                *c += usize::from(x < t);
+            }
+            // Truncated at the outermost table knots.
+            assert!(x.abs() < 3.6, "sample {x} outside truncation");
+        }
+        mean /= nsamp as f64;
+        var = var / nsamp as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+        for ((&c, &p), &t) in below.iter().zip(&phi).zip(&thresholds) {
+            let emp = c as f64 / nsamp as f64;
+            assert!((emp - p).abs() < 0.01, "CDF({t}) = {emp}, want {p}");
+        }
     }
 
     /// The ziggurat must reproduce the normal CDF, not just its moments —

@@ -36,14 +36,17 @@ use crate::wheel::{TimingWheel, WheelStats};
 use gm_netlist::netlist::Driver;
 use gm_netlist::{Csr, GateId, GateKind, NetId, Netlist};
 use gm_obs::{Counter, Report};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Upper bound on combinational/sequential fan-in (Mux2 and configured
 /// DFFs top out at 3 pins); lets pin values live on the stack.
 pub(crate) const MAX_PINS: usize = 4;
+
+/// Folded into the trace seed to derive the jitter salt. Shared with the
+/// compiled-schedule backend ([`crate::sched`]) so both engines draw the
+/// identical per-event delay for the same `(seed, gate, ordinal)`.
+pub(crate) const JITTER_SALT_XOR: u64 = 0xd1b5_4a32_d192_ed03;
 
 /// Receiver of net-transition (switching-activity) notifications.
 ///
@@ -170,32 +173,32 @@ impl Queue {
 #[derive(Debug, Clone)]
 pub struct SimGraph {
     /// net -> combinational consumer gates, in gate/pin declaration order.
-    consumers: Csr,
+    pub(crate) consumers: Csr,
     /// gate -> input nets, in pin order (sequential gates included, for
     /// the clocked harness).
-    pins: Csr,
-    kinds: Vec<GateKind>,
+    pub(crate) pins: Csr,
+    pub(crate) kinds: Vec<GateKind>,
     /// gate -> precomputed truth table: bit `i` is the output when the
     /// pin values spell `i` (pin `k` → bit `k`). Replaces the
     /// `GateKind::eval` dispatch on the event hot path; sequential gates
     /// get 0 (register updates belong to the clocked harness).
-    truth: Vec<u16>,
+    pub(crate) truth: Vec<u16>,
     /// gate -> output net.
-    outputs: Vec<u32>,
+    pub(crate) outputs: Vec<u32>,
     /// net -> driver gate (`u32::MAX` for inputs/constants).
-    driver_gate: Vec<u32>,
+    pub(crate) driver_gate: Vec<u32>,
     /// Default per-net toggle weight (driver cell area).
-    weights: Vec<f64>,
+    pub(crate) weights: Vec<f64>,
     /// Constant-driven nets and their values.
-    constants: Vec<(u32, bool)>,
+    pub(crate) constants: Vec<(u32, bool)>,
     /// Sequential gates, in gate order.
-    ff_gates: Vec<GateId>,
+    pub(crate) ff_gates: Vec<GateId>,
     /// Combinational gates in topological order.
-    order: Vec<u32>,
+    pub(crate) order: Vec<u32>,
     /// Settled net values of the all-zero initial state.
-    baseline_values: Vec<bool>,
+    pub(crate) baseline_values: Vec<bool>,
     /// Settled per-gate scheduled-output values of the all-zero state.
-    baseline_out_sched: Vec<bool>,
+    pub(crate) baseline_out_sched: Vec<bool>,
 }
 
 impl SimGraph {
@@ -306,6 +309,13 @@ impl SimGraph {
         self.kinds.len()
     }
 
+    /// Per-net toggle weights (the compiled-schedule backend's
+    /// [`crate::sched::SchedRunner::run_pass`] takes these explicitly so
+    /// campaigns can substitute an overridden table).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
     /// Sequential gates, in gate order.
     pub fn ff_gates(&self) -> &[GateId] {
         &self.ff_gates
@@ -351,7 +361,16 @@ pub struct SimCore {
     queue: Queue,
     seq: u64,
     time: u64,
-    rng: SmallRng,
+    /// Per-trace jitter salt (`seed ^ JITTER_SALT_XOR`). Event delays are
+    /// drawn by counter hash over `(salt, gate, ordinal)` — see
+    /// [`DelayModel::sample_event_ps`] — so the jitter a gate's n-th
+    /// toggling evaluation sees is a pure function of the trace seed,
+    /// independent of how unrelated events interleave. The
+    /// compiled-schedule backend replays the identical draws.
+    salt: u64,
+    /// Per-gate count of toggling evaluations this trace (the `ordinal`
+    /// fed to the jitter hash).
+    ev_ord: Vec<u32>,
     /// Nets whose value may deviate from the baseline.
     touched_nets: Vec<u32>,
     net_mark: Vec<bool>,
@@ -434,7 +453,8 @@ impl SimCore {
             queue: Queue::Wheel(TimingWheel::new()),
             seq: 0,
             time: 0,
-            rng: SmallRng::seed_from_u64(seed ^ 0xd1b5_4a32_d192_ed03),
+            salt: seed ^ JITTER_SALT_XOR,
+            ev_ord: vec![0; graph.num_gates()],
             touched_nets: Vec::new(),
             net_mark: vec![false; graph.num_nets()],
             touched_gates: Vec::new(),
@@ -535,6 +555,7 @@ impl SimCore {
             self.out_sched[gi as usize] = graph.baseline_out_sched[gi as usize];
             self.out_last_time[gi as usize] = 0;
             self.out_version[gi as usize] = 0;
+            self.ev_ord[gi as usize] = 0;
             self.gate_mark[gi as usize] = false;
         }
         self.touched_gates.clear();
@@ -558,7 +579,7 @@ impl SimCore {
         self.restore_baseline(graph);
         self.seq = 0;
         self.time = 0;
-        self.rng = SmallRng::seed_from_u64(seed ^ 0xd1b5_4a32_d192_ed03);
+        self.salt = seed ^ JITTER_SALT_XOR;
     }
 
     /// Silently settle combinational logic from the current initial values
@@ -689,7 +710,9 @@ impl SimCore {
             let out = graph.truth[gi] >> idx & 1 != 0;
             if out != self.out_sched[gi] {
                 self.touch_gate(gi);
-                let d = delays.sample_ps(GateId(gi_u), &mut self.rng);
+                let ord = self.ev_ord[gi];
+                self.ev_ord[gi] = ord + 1;
+                let d = delays.sample_event_ps(GateId(gi_u), self.salt, ord);
                 // A single driver's edges stay ordered even under jitter.
                 let t = (time + d).max(self.out_last_time[gi] + 1);
                 let pending = self.out_last_time[gi] > time;

@@ -15,6 +15,10 @@
 //! * [`power`] — capacitance-weighted toggle counting into time bins: the
 //!   standard dynamic-power proxy, playing the role of the shunt-resistor
 //!   measurement on the SAKURA-G board.
+//! * [`sched`] — the compiled-schedule backend: levelizes the event
+//!   cascade once per trace-set and sweeps it for 64 traces at a time,
+//!   falling back to the dynamic engine for the rare jitter-divergent
+//!   lanes.
 //! * [`noise`] — amplifier gain, Gaussian noise, and ADC quantisation, so
 //!   traces look like the "raw oscilloscope ADC output" of Fig. 13/16.
 //! * [`coupling`] — a Miller-capacitance model of crosstalk between
@@ -34,6 +38,7 @@ pub mod delay;
 pub mod engine;
 pub mod noise;
 pub mod power;
+pub mod sched;
 pub mod vcd;
 pub mod waveform;
 pub mod wheel;
@@ -44,7 +49,8 @@ pub use coupling::{CouplingModel, CouplingSink};
 pub use delay::DelayModel;
 pub use engine::{PowerSink, SimCore, SimGraph, SimStats, Simulator};
 pub use noise::MeasurementModel;
-pub use power::{CountingSink, NullSink, PowerTrace};
+pub use power::{CountingSink, LaneCounting, LaneSink, LaneTrace, NullSink, PowerTrace};
+pub use sched::{CompiledSchedule, SchedRunner, SchedStats, LANES};
 pub use vcd::VcdSink;
 pub use waveform::WaveformRecorder;
 pub use wheel::{TimingWheel, WheelStats};

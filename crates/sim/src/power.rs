@@ -110,6 +110,114 @@ impl PowerSink for NetToggleSink {
     }
 }
 
+/// Lane-parallel counterpart of [`PowerSink`] for the compiled-schedule
+/// backend ([`crate::sched`]): one call delivers the same net transition
+/// for up to 64 traces at once.
+///
+/// `applied` selects the lanes in which the transition actually fired;
+/// `times[lane]` is its per-lane absolute time (jitter makes these
+/// differ) and bit `lane` of `values` its new value. Implementations
+/// must ignore lanes outside `applied`, whose entries are unspecified.
+pub trait LaneSink {
+    /// Deliver one net transition across lanes.
+    fn transitions(&mut self, net: NetId, weight: f64, applied: u64, values: u64, times: &[u64]);
+}
+
+/// Per-lane [`CountingSink`]: raw and weighted toggle totals per trace.
+#[derive(Debug, Clone)]
+pub struct LaneCounting {
+    /// Applied transitions per lane.
+    pub count: [u64; 64],
+    /// Weighted activity per lane.
+    pub weighted: [f64; 64],
+}
+
+impl Default for LaneCounting {
+    fn default() -> Self {
+        LaneCounting { count: [0; 64], weighted: [0.0; 64] }
+    }
+}
+
+impl LaneCounting {
+    /// Zero all lanes for reuse.
+    pub fn clear(&mut self) {
+        self.count = [0; 64];
+        self.weighted = [0.0; 64];
+    }
+}
+
+impl LaneSink for LaneCounting {
+    #[inline]
+    fn transitions(
+        &mut self,
+        _net: NetId,
+        weight: f64,
+        applied: u64,
+        _values: u64,
+        _times: &[u64],
+    ) {
+        // Branchless across all 64 lanes: autovectorizes, and the masked
+        // lanes contribute exact zeros.
+        for l in 0..64 {
+            let bit = applied >> l & 1;
+            self.count[l] += bit;
+            self.weighted[l] += weight * bit as f64;
+        }
+    }
+}
+
+/// Per-lane [`PowerTrace`]: `num_bins` time bins per lane, stored
+/// lane-major (`samples[bin * 64 + lane]`) so one transition's scatter
+/// across lanes stays within a few cache lines.
+#[derive(Debug, Clone)]
+pub struct LaneTrace {
+    bin_ps: u64,
+    start_ps: u64,
+    num_bins: usize,
+    samples: Vec<f64>,
+}
+
+impl LaneTrace {
+    /// A 64-lane trace block with `num_bins` bins of `bin_ps` width
+    /// starting at `start_ps`; transitions outside the window are dropped
+    /// (same convention as [`PowerTrace`]).
+    pub fn new(start_ps: u64, bin_ps: u64, num_bins: usize) -> Self {
+        assert!(bin_ps > 0, "bin width must be positive");
+        LaneTrace { bin_ps, start_ps, num_bins, samples: vec![0.0; num_bins * 64] }
+    }
+
+    /// Zero all bins for reuse.
+    pub fn clear(&mut self) {
+        self.samples.iter_mut().for_each(|s| *s = 0.0);
+    }
+
+    /// Copy one lane's binned samples into `out` (must hold `num_bins`).
+    pub fn lane_into(&self, lane: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.num_bins);
+        for (b, o) in out.iter_mut().enumerate() {
+            *o = self.samples[b * 64 + lane];
+        }
+    }
+}
+
+impl LaneSink for LaneTrace {
+    #[inline]
+    fn transitions(&mut self, _net: NetId, weight: f64, applied: u64, _values: u64, times: &[u64]) {
+        let mut m = applied;
+        while m != 0 {
+            let l = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let t = times[l];
+            if t >= self.start_ps {
+                let idx = ((t - self.start_ps) / self.bin_ps) as usize;
+                if idx < self.num_bins {
+                    self.samples[idx * 64 + l] += weight;
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +246,38 @@ mod tests {
     #[should_panic(expected = "bin width")]
     fn zero_bin_rejected() {
         let _ = PowerTrace::new(0, 0, 1);
+    }
+
+    #[test]
+    fn lane_counting_masks_lanes() {
+        let mut s = LaneCounting::default();
+        let times = [0u64; 64];
+        s.transitions(NetId(0), 2.5, 0b101, 0b001, &times);
+        s.transitions(NetId(1), 1.0, 0b100, 0b100, &times);
+        assert_eq!(s.count[0], 1);
+        assert_eq!(s.count[1], 0);
+        assert_eq!(s.count[2], 2);
+        assert_eq!(s.weighted[0], 2.5);
+        assert_eq!(s.weighted[2], 3.5);
+    }
+
+    #[test]
+    fn lane_trace_bins_per_lane_times() {
+        let mut t = LaneTrace::new(1_000, 500, 4);
+        let mut times = [0u64; 64];
+        times[0] = 1_100; // bin 0
+        times[3] = 2_700; // bin 3
+        times[5] = 900; // before window
+        times[6] = 3_000; // past the end
+        t.transitions(NetId(0), 2.0, 1 | 1 << 3 | 1 << 5 | 1 << 6, 0, &times);
+        let mut lane = [0.0; 4];
+        t.lane_into(0, &mut lane);
+        assert_eq!(lane, [2.0, 0.0, 0.0, 0.0]);
+        t.lane_into(3, &mut lane);
+        assert_eq!(lane, [0.0, 0.0, 0.0, 2.0]);
+        t.lane_into(5, &mut lane);
+        assert_eq!(lane, [0.0; 4]);
+        t.lane_into(6, &mut lane);
+        assert_eq!(lane, [0.0; 4]);
     }
 }

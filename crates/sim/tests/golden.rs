@@ -2,9 +2,10 @@
 //! (time, net, value per applied transition) across refactors of the
 //! queue, fanout, and delay-table internals. The nominal train was
 //! recorded from the original `BinaryHeap` + `Vec<Vec<u32>>` engine and
-//! must never move; the jittered train additionally pins the ziggurat
-//! jitter sampler's stream. Any change to them means glitch trains
-//! moved.
+//! must never move; the jittered train additionally pins the
+//! order-invariant per-event jitter sampler (counter hash + quantile
+//! table, see `DelayModel::sample_event_ps`). Any change to them means
+//! glitch trains moved.
 
 use gm_netlist::{NetId, Netlist};
 use gm_sim::{DelayModel, PowerSink, Simulator};
@@ -80,20 +81,18 @@ fn varied_jittered_glitch_train_pinned() {
     let want = vec![
         (1000, 0, true),
         (1200, 1, true),
-        (1386, 3, true),
-        (1478, 2, true),
-        (1619, 4, true),
-        (1865, 5, true),
-        (1967, 6, true),
-        (2469, 6, false),
+        (1281, 3, true),
+        (1436, 4, true),
+        (1490, 2, true),
+        (1605, 5, true),
         (20000, 0, false),
-        (20329, 2, false),
-        (20812, 6, true),
+        (20274, 2, false),
+        (20767, 6, true),
         (28000, 1, false),
-        (28316, 3, false),
-        (28508, 4, false),
-        (28671, 5, false),
-        (29225, 6, false),
+        (28361, 3, false),
+        (28528, 4, false),
+        (28754, 5, false),
+        (29258, 6, false),
     ];
     assert_eq!(got, want, "jittered glitch train moved");
 }

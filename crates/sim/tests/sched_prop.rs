@@ -1,0 +1,152 @@
+//! Property tests for the compiled-schedule lane backend: on random
+//! combinational cones with random stimulus plans and jittered delay
+//! models, every non-divergent lane of [`SchedRunner::run_pass`] must
+//! reproduce the dynamic wheel's timed-transition multiset and final
+//! net values bit-for-bit under the same per-trace seed (the wheel is
+//! itself pinned against the reference heap in `prop.rs`, so the chain
+//! closes transitively). Divergent lanes are the documented fallback:
+//! the caller re-runs them on the wheel, which is trivially identical.
+
+use gm_netlist::{NetId, Netlist};
+use gm_sim::{CompiledSchedule, DelayModel, LaneSink, PowerSink, SchedRunner, SimCore, SimGraph};
+use proptest::prelude::*;
+
+/// Lanes per property case: enough to exercise the lane-word paths
+/// (including bits past 32) while keeping the scalar reference cheap.
+const TEST_LANES: usize = 40;
+
+#[derive(Default)]
+struct RecordingSink(Vec<(u64, u32, bool, u64)>);
+
+impl PowerSink for RecordingSink {
+    fn transition(&mut self, time_ps: u64, net: NetId, new_value: bool, weight: f64) {
+        self.0.push((time_ps, net.0, new_value, weight.to_bits()));
+    }
+}
+
+struct LaneRecording(Vec<Vec<(u64, u32, bool, u64)>>);
+
+impl LaneSink for LaneRecording {
+    fn transitions(&mut self, net: NetId, weight: f64, applied: u64, values: u64, times: &[u64]) {
+        let mut m = applied;
+        while m != 0 {
+            let l = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.0[l].push((times[l], net.0, values >> l & 1 != 0, weight.to_bits()));
+        }
+    }
+}
+
+/// Same generator as `prop.rs`: a random combinational cone over 4
+/// primary inputs, acyclic by construction, reconvergence included.
+fn random_cone(gates: &[(u8, u8, u8)]) -> (Netlist, [NetId; 4]) {
+    let mut n = Netlist::new("cone");
+    let inputs = [n.input("i0"), n.input("i1"), n.input("i2"), n.input("i3")];
+    let mut nets: Vec<NetId> = inputs.to_vec();
+    for &(kind, a, b) in gates {
+        let x = nets[a as usize % nets.len()];
+        let y = nets[b as usize % nets.len()];
+        let out = match kind % 8 {
+            0 => n.and2(x, y),
+            1 => n.or2(x, y),
+            2 => n.xor2(x, y),
+            3 => n.nand2(x, y),
+            4 => n.nor2(x, y),
+            5 => n.xnor2(x, y),
+            6 => n.inv(x),
+            _ => n.buf(x),
+        };
+        nets.push(out);
+    }
+    let z = *nets.last().expect("at least the inputs");
+    n.output("z", z);
+    n.validate().expect("random cone validates");
+    (n, inputs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Compiled lanes ≡ scalar wheel: per-lane sorted transition
+    /// multiset and final values, across jitter-free and jittered delay
+    /// models, arbitrary stimulus plans (narrow pulses included — that
+    /// exercises inertial annihilation under compilation), and a
+    /// mid-cascade window cut.
+    #[test]
+    fn compiled_lanes_match_wheel(
+        gates in prop::collection::vec((0u8..8, 0u8..32, 0u8..32), 3..20),
+        slots in prop::collection::vec((0u8..4, 0u64..60_000), 1..12),
+        lane_vals in prop::collection::vec(any::<u64>(), 12..13),
+        jitter_idx in 0usize..3,
+        seed in any::<u64>(),
+        t_end in 2_000u64..120_000,
+    ) {
+        let (n, inputs) = random_cone(&gates);
+        let jitter = [0.0f64, 60.0, 250.0][jitter_idx];
+        let delays = DelayModel::with_variation(&n, 0.3, jitter, seed);
+        let graph = SimGraph::new(&n);
+        let stims: Vec<(NetId, u64)> =
+            slots.iter().map(|&(i, t)| (inputs[i as usize % 4], t)).collect();
+        let sched = CompiledSchedule::compile(&graph, &delays, &stims)
+            .expect("combinational input-driven cone compiles");
+        prop_assert_eq!(sched.num_stims(), stims.len());
+
+        let seeds: Vec<u64> = (0..TEST_LANES as u64)
+            .map(|l| seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(l * 1729 + 5))
+            .collect();
+        let stim_values: Vec<u64> = lane_vals[..stims.len()].to_vec();
+
+        let mut runner = SchedRunner::new();
+        let mut rec = LaneRecording(vec![Vec::new(); gm_sim::LANES]);
+        let div = runner.run_pass(
+            &sched, &graph, &delays, graph_weights(&graph), &seeds, &stim_values, t_end, &mut rec,
+        );
+        prop_assert_eq!(div >> TEST_LANES, 0, "divergence outside the lane mask");
+
+        let mut scalar = SimCore::new(&graph, 0);
+        for (l, &lane_seed) in seeds.iter().enumerate().take(TEST_LANES) {
+            if div >> l & 1 != 0 {
+                continue; // documented fallback: caller reruns on the wheel
+            }
+            scalar.reset(&graph, lane_seed);
+            for (s, &(net, t)) in stims.iter().enumerate() {
+                scalar.schedule(net, t, stim_values[s] >> l & 1 != 0);
+            }
+            let mut want = RecordingSink::default();
+            scalar.run_until(&graph, &delays, t_end, &mut want);
+            want.0.sort_unstable();
+            let mut got = rec.0[l].clone();
+            got.sort_unstable();
+            prop_assert_eq!(&got, &want.0, "lane {} transition multiset", l);
+            for net in 0..graph.num_nets() as u32 {
+                prop_assert_eq!(
+                    runner.value(NetId(net)) >> l & 1 != 0,
+                    scalar.value(NetId(net)),
+                    "lane {} final value of net {}", l, net
+                );
+            }
+        }
+    }
+}
+
+/// The runner only sees the graph's own weight table here; campaigns
+/// pass their overridden copy.
+fn graph_weights(graph: &SimGraph) -> &[f64] {
+    graph.weights()
+}
+
+/// Clocked netlists must refuse to compile — flip-flop sequencing
+/// belongs to the clocked harness, and the caller falls back to the
+/// dynamic engine wholesale.
+#[test]
+fn clocked_netlist_refuses_compilation() {
+    let mut n = Netlist::new("clk");
+    let d = n.input("d");
+    let q = n.dff(d);
+    let y = n.xor2(d, q);
+    n.output("y", y);
+    n.validate().unwrap();
+    let graph = SimGraph::new(&n);
+    let delays = DelayModel::nominal(&n);
+    assert!(CompiledSchedule::compile(&graph, &delays, &[(d, 1_000)]).is_none());
+}
