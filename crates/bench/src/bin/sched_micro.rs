@@ -1,18 +1,37 @@
-//! Microbenchmark for the compiled-schedule sweep: times `run_pass` on
-//! the fig15-gate PD gadget in isolation, outside the campaign stack.
+//! Microbenchmark for the compiled-schedule sweep: times
+//! [`SchedRunner::run_pass`] on the fig15-gate PD gadget in isolation,
+//! outside the campaign stack, and splits the cost into the jitter-draw
+//! and sweep-bookkeeping phases.
 //!
 //! ```text
-//! cargo run --release -p gm-core --example sched_micro [passes]
+//! cargo run --release -p gm-bench --bin sched_micro -- \
+//!     [--traces PASSES] [--scalar] [--metrics PATH] [--progress]
 //! ```
+//!
+//! `--traces` counts *passes* here (64 lanes each; default 20 000).
+//! `--scalar` forces the in-loop scalar jitter draw instead of the
+//! batched tile sampler (bit-identical output either way).
+//! The draw-count breakdown — batched vs scalar — comes from the
+//! runner's own `sim.sched.*` counters and lands in the `--metrics`
+//! JSONL, not just stdout; A/B the two paths by running once plain and
+//! once with `--scalar` to split jitter cost from sweep bookkeeping.
 
+use gm_bench::{Args, MetricsSink};
 use gm_core::gadgets::sec_and2_pd::{build_sec_and2_pd, PdConfig};
 use gm_core::gadgets::AndInputs;
 use gm_netlist::Netlist;
-use gm_sim::{CompiledSchedule, DelayModel, LaneCounting, SchedRunner, SimGraph, LANES};
+use gm_obs::Report;
+use gm_sim::{
+    set_wide_jitter, CompiledSchedule, DelayModel, LaneCounting, SchedRunner, SimGraph, LANES,
+};
 use std::time::Instant;
 
 fn main() {
-    let passes: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20_000);
+    let args = Args::parse();
+    let passes: u64 = args.trace_count(2_000, 20_000);
+    set_wide_jitter(!args.scalar);
+    let mut sink = MetricsSink::from_args("sched_micro", &args);
+
     let mut n = Netlist::new("pd");
     let io =
         AndInputs { x0: n.input("x0"), x1: n.input("x1"), y0: n.input("y0"), y1: n.input("y1") };
@@ -25,7 +44,13 @@ fn main() {
     let delays = DelayModel::with_variation(&n, 0.85, 400.0, 0x5eed ^ (3u64) << 8);
     let stims = [(io.x0, 1_000), (io.x1, 1_000), (io.y0, 1_000), (io.y1, 1_000)];
     let sched = CompiledSchedule::compile(&graph, &delays, &stims).expect("compiles");
-    println!("schedule: {} nodes, {} stims", sched.num_nodes(), sched.num_stims());
+    println!(
+        "schedule: {} nodes, {} stims, {} jitter slots ({} path)",
+        sched.num_nodes(),
+        sched.num_stims(),
+        sched.num_jitter_slots(),
+        if args.scalar { "scalar" } else { "wide" },
+    );
 
     let mut runner = SchedRunner::new();
     let mut counting = LaneCounting::default();
@@ -49,6 +74,7 @@ fn main() {
             &mut counting,
         );
     }
+    runner.stats = Default::default();
     let start = Instant::now();
     for p in 0..passes {
         for (s, v) in stim_values.iter_mut().enumerate() {
@@ -76,4 +102,21 @@ fn main() {
         dt * 1e9 / traces as f64,
         100.0 * divergent_total as f64 / traces as f64,
     );
+    // Jitter-vs-sweep split from the runner's own counters (all zero
+    // under obs-off; the wall-clock numbers above still stand).
+    let mut counters = Report::new();
+    runner.obs_report("sim.sched", &mut counters);
+    let pass_ns = counters.get("sim.sched.pass_ns").unwrap_or(0);
+    if pass_ns > 0 {
+        let batched = counters.get("sim.sched.jitter.batched").unwrap_or(0);
+        let scalar = counters.get("sim.sched.jitter.scalar").unwrap_or(0);
+        println!(
+            "breakdown: pass {:.1} ns/lane, {:.2} batched + {:.2} scalar draws/lane",
+            pass_ns as f64 / traces as f64,
+            batched as f64 / traces as f64,
+            scalar as f64 / traces as f64,
+        );
+    }
+    sink.record_phase("sched-micro", dt, traces, counters);
+    sink.finish().expect("metrics written");
 }

@@ -488,7 +488,7 @@ impl Campaign {
         }
 
         std::thread::scope(|scope| {
-            let (res_tx, res_rx) = mpsc::channel::<TvlaResult>();
+            let (res_tx, res_rx) = mpsc::channel::<(usize, TvlaResult)>();
             let (obs_tx, obs_rx) = mpsc::channel::<(usize, WorkerObs, Report)>();
             // One persistent worker per thread, fed per-chunk quotas over
             // its own order channel; partial results come back on the
@@ -520,7 +520,7 @@ impl Campaign {
                                 &mut local,
                                 &mut tally,
                             );
-                            if res_tx.send(local).is_err() {
+                            if res_tx.send((w, local)).is_err() {
                                 break;
                             }
                         }
@@ -550,9 +550,20 @@ impl Campaign {
                         zero_quota[w] += 1;
                     }
                 }
+                // Partials arrive in scheduler-dependent completion
+                // order; merging them as they land would reorder the
+                // floating-point moment sums and move the campaign
+                // result by a few ULPs between identical runs. Sorting
+                // by worker index first makes the whole parallel
+                // campaign a pure function of (seed, traces, threads) —
+                // the reproducibility `bench_gate` asserts at scale.
+                let mut partials: Vec<(usize, TvlaResult)> = Vec::with_capacity(outstanding);
                 for _ in 0..outstanding {
-                    let partial = res_rx.recv().expect("worker panicked");
-                    result.merge(&partial);
+                    partials.push(res_rx.recv().expect("worker panicked"));
+                }
+                partials.sort_by_key(|&(w, _)| w);
+                for (_, partial) in &partials {
+                    result.merge(partial);
                 }
                 done = end;
                 if !checkpoint(done, &result) {

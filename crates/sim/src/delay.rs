@@ -14,6 +14,7 @@
 use gm_netlist::{GateId, Netlist};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Default inertial pulse-rejection width: pulses narrower than this are
 /// annihilated rather than propagated. Physically the gate's output
@@ -149,14 +150,213 @@ impl DelayModel {
     pub(crate) fn base_fixed_of(&self, gate: GateId) -> u64 {
         self.base_fixed_ps[gate.index()]
     }
+
+    /// Batched [`DelayModel::sample_event_ps`] over the first `n` keys
+    /// of `tile` (one gate, per-draw `(salt, ordinal)` inputs): fills
+    /// `tile.d[..n]` with the same `u64` picoseconds the scalar sampler
+    /// draws for each `(gate, tile.salt[j], tile.ord[j])`.
+    ///
+    /// **Bit-identical** by construction: every arithmetic step either
+    /// is the scalar op itself or provably computes the same value (see
+    /// the stage comments). The work is split into flat stages over the
+    /// tile so the hash and float pipelines autovectorize under the
+    /// repo's x86-64-v3 baseline — the scalar chain's ~15-cycle serial
+    /// tail is the hottest per-event cost in a glitch campaign.
+    pub fn sample_event_tile(&self, gate: GateId, n: usize, tile: &mut JitterTile) {
+        debug_assert!(n <= TILE);
+        let gi = gate.index();
+        if self.jitter_sigma_ps <= 0.0 {
+            tile.d[..n].fill(self.base_fixed_ps[gi]);
+            return;
+        }
+        // Stage 1 — hash, uniform conversion, knot index and fraction in
+        // one element-wise loop (everything up to the table gather, so
+        // the whole chain autovectorizes with values held in registers).
+        //
+        // The hash is `event_hash` verbatim. The u64→f64 conversion
+        // splits the 53-bit value at 2^52: `v as f64` is exact for
+        // v < 2^53, and so are both halves and their sum (all integers
+        // under 2^53), so `lo + hi` equals the scalar's single
+        // conversion bit-for-bit — AVX2 has no packed u64→f64, but the
+        // split form vectorizes. `x as u32` truncates to the same
+        // integer as the scalar's `x as usize` (x ∈ [0, 2047)).
+        const EXP52: u64 = 0x4330_0000_0000_0000; // 2^52 as f64 bits
+        const TWO52: f64 = 4_503_599_627_370_496.0;
+        let gate_hi = (gate.0 as u64) << 32;
+        for j in 0..n {
+            let idx = (gate_hi | tile.ord[j] as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let mut z = tile.salt[j] ^ idx;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            let v = (z ^ (z >> 31)) >> 11;
+            let lo = f64::from_bits((v & (TWO52 as u64 - 1)) | EXP52) - TWO52;
+            let hi = ((v >> 52) as u32 as f64) * TWO52;
+            let u = (lo + hi) * (1.0 / (1u64 << 53) as f64);
+            let x = u * (QUANT_KNOTS - 1) as f64;
+            let i = x as u32;
+            tile.knot[j] = i;
+            tile.frac[j] = x - i as f64;
+        }
+        // Stage 2 — gathered lerp and the delay clamp. The masks are
+        // no-ops (i ≤ 2046) that let the fixed-size table index without
+        // bounds checks; `as i64 as u64` equals the scalar's `as u64`
+        // for the clamped range [1, 2^63) and compiles to the bare
+        // conversion instead of the unsigned fix-up sequence.
+        let t = quant_table();
+        let base = self.base_ps[gi];
+        let sigma = self.jitter_sigma_ps;
+        for j in 0..n {
+            let i = tile.knot[j] as usize & (QUANT_KNOTS - 1);
+            let t0 = t[i];
+            let t1 = t[(i + 1) & (QUANT_KNOTS - 1)];
+            let q = t0 + tile.frac[j] * (t1 - t0);
+            tile.d[j] = (base + q * sigma).max(1.0) as i64 as u64;
+        }
+    }
+
+    /// Batched [`DelayModel::sample_event_ps`] over one trace salt and
+    /// up to 8 distinct `(gate, ordinal)` keys — the dynamic engine's
+    /// burst draw when one popped event toggles several fan-out gates.
+    /// Elements past `n` are untouched. Bit-identical to the scalar
+    /// sampler, per key (same stage arithmetic as
+    /// [`DelayModel::sample_event_tile`]).
+    pub fn sample_event_ps_x8(
+        &self,
+        salt: u64,
+        gates: &[u32; WIDE],
+        ords: &[u32; WIDE],
+        n: usize,
+        out: &mut [u64; WIDE],
+    ) {
+        debug_assert!(n <= WIDE);
+        if self.jitter_sigma_ps <= 0.0 {
+            for i in 0..n {
+                out[i] = self.base_fixed_ps[gates[i] as usize];
+            }
+            return;
+        }
+        let mut h8 = [0u64; WIDE];
+        for i in 0..WIDE {
+            let idx =
+                ((gates[i] as u64) << 32 | ords[i] as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let mut z = salt ^ idx;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            h8[i] = z ^ (z >> 31);
+        }
+        let sigma = self.jitter_sigma_ps;
+        for i in 0..n {
+            let q = quantized_gaussian(h8[i]);
+            out[i] = (self.base_ps[gates[i] as usize] + q * sigma).max(1.0) as u64;
+        }
+    }
+}
+
+/// Lane width of the dynamic engine's burst draw
+/// ([`DelayModel::sample_event_ps_x8`]).
+pub const WIDE: usize = 8;
+
+/// Tile width of the staged batch sampler
+/// ([`DelayModel::sample_event_tile`]): one draw per sweep lane.
+pub const TILE: usize = 64;
+
+/// Reusable stage buffers for [`DelayModel::sample_event_tile`]. Owned
+/// by each sweep runner so the arrays stay cache-hot and are never
+/// re-zeroed: every stage writes `..n` before anything reads it.
+#[derive(Debug, Clone)]
+pub struct JitterTile {
+    /// Input: per-draw trace salt.
+    pub salt: [u64; TILE],
+    /// Input: per-draw toggling-evaluation ordinal.
+    pub ord: [u32; TILE],
+    /// Output: sampled delays in integer ps.
+    pub d: [u64; TILE],
+    frac: [f64; TILE],
+    knot: [u32; TILE],
+}
+
+impl Default for JitterTile {
+    fn default() -> Self {
+        JitterTile {
+            salt: [0; TILE],
+            ord: [0; TILE],
+            d: [0; TILE],
+            frac: [0.0; TILE],
+            knot: [0; TILE],
+        }
+    }
+}
+
+impl JitterTile {
+    /// A fresh tile (buffers zeroed once; stages overwrite before use).
+    pub fn new() -> Self {
+        JitterTile::default()
+    }
+}
+
+/// Runtime switch for the batched jitter path. Three states so the env
+/// var is read once, lazily: 0 = undecided, 1 = wide, 2 = scalar.
+static WIDE_JITTER: AtomicU8 = AtomicU8::new(0);
+
+/// Whether the batched (8-wide) jitter path is active. Decided once from
+/// `GM_JITTER_WIDE` (`0`/`off` forces the scalar fallback, `1`/`on`
+/// forces wide) or, unset, from runtime CPU detection: on x86-64 the
+/// wide path wants AVX2 (the repo builds at x86-64-v3, but a generic
+/// build on an older machine should keep the scalar loop); elsewhere the
+/// portable wide code is enabled — it is never incorrect, only possibly
+/// not faster. Both paths draw bit-identical samples, so this gate is a
+/// performance choice, never a correctness one.
+pub fn wide_jitter_enabled() -> bool {
+    match WIDE_JITTER.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let on = match std::env::var("GM_JITTER_WIDE") {
+                Ok(v) if v == "0" || v.eq_ignore_ascii_case("off") => false,
+                Ok(v) if v == "1" || v.eq_ignore_ascii_case("on") => true,
+                _ => detect_wide_default(),
+            };
+            WIDE_JITTER.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect_wide_default() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect_wide_default() -> bool {
+    true
+}
+
+/// Force the batched jitter path on or off, overriding the env/CPU
+/// default (benchmarks A/B the two paths in-process; the CI scalar
+/// smoke pins the fallback). Takes effect for subsequent passes.
+pub fn set_wide_jitter(enabled: bool) {
+    WIDE_JITTER.store(if enabled { 1 } else { 2 }, Ordering::Relaxed);
 }
 
 /// Mix `(salt, gate, ordinal)` into one uniform 64-bit word
 /// (splitmix64 finalizer over a golden-ratio index stride).
 #[inline]
 pub(crate) fn event_hash(salt: u64, gate: u32, ordinal: u32) -> u64 {
-    let idx = ((gate as u64) << 32 | ordinal as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    let mut z = salt ^ idx;
+    splitmix(salt ^ event_index(gate, ordinal))
+}
+
+/// The golden-ratio index stride of [`event_hash`], shared with the
+/// wide variants so per-`(gate, ordinal)` work is hoisted out of lane
+/// loops.
+#[inline]
+fn event_index(gate: u32, ordinal: u32) -> u64 {
+    ((gate as u64) << 32 | ordinal as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// splitmix64 finalizer (the mixing tail of [`event_hash`]).
+#[inline]
+fn splitmix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
@@ -435,6 +635,87 @@ mod tests {
             assert_eq!(m.sample_event_ps(g, 1, 0), m.base_ps(g).max(1.0) as u64);
             assert_eq!(m.sample_event_ps(g, 2, 5), m.sample_event_ps(g, 3, 6));
         }
+    }
+
+    /// The staged tile sampler must be **bit-identical** to the scalar
+    /// event sampler for every `(salt, gate, ordinal)` — the acceptance
+    /// criterion the compiled≡wheel equivalence and the golden trains
+    /// rest on. Covers full and partial tiles, adversarial salts
+    /// (extreme hash values exercise the split conversion's high half
+    /// and the table edges), and the jitter-free fast path.
+    #[test]
+    fn sample_event_tile_matches_scalar_sampler() {
+        let n = tiny();
+        for (sigma, salt_seed) in [(400.0, 0x5eed_u64), (50.0, 0xabcd), (0.0, 99)] {
+            let m = DelayModel::with_variation(&n, 0.85, sigma, 7);
+            let mut tile = JitterTile::new();
+            for nt in [1usize, 7, 64] {
+                for g in [GateId(0), GateId(1)] {
+                    for j in 0..nt {
+                        tile.salt[j] =
+                            salt_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (j as u64 * 1729 + 5);
+                        tile.ord[j] = (j * 3) as u32;
+                    }
+                    m.sample_event_tile(g, nt, &mut tile);
+                    for j in 0..nt {
+                        assert_eq!(
+                            tile.d[j],
+                            m.sample_event_ps(g, tile.salt[j], tile.ord[j]),
+                            "sigma {sigma} tile {nt} gate {} draw {j}",
+                            g.0
+                        );
+                    }
+                }
+            }
+            // Adversarial keys: salts crafted so the hash lands near the
+            // uniform extremes (sweep many salts; the table's first/last
+            // knots and the 2^52 conversion boundary get hit by volume).
+            let mut tile = JitterTile::new();
+            for round in 0..64u64 {
+                for j in 0..TILE {
+                    tile.salt[j] = round.wrapping_mul(0x243f_6a88_85a3_08d3) ^ (j as u64) << 55;
+                    tile.ord[j] = (round as u32) << 10 | j as u32;
+                }
+                m.sample_event_tile(GateId(1), TILE, &mut tile);
+                for j in 0..TILE {
+                    assert_eq!(tile.d[j], m.sample_event_ps(GateId(1), tile.salt[j], tile.ord[j]));
+                }
+            }
+        }
+    }
+
+    /// The burst variant (one salt, 8 distinct keys) must also match the
+    /// scalar sampler bit-for-bit, including short bursts.
+    #[test]
+    fn sample_event_ps_x8_matches_scalar_sampler() {
+        let n = tiny();
+        for sigma in [400.0, 0.0] {
+            let m = DelayModel::with_variation(&n, 0.85, sigma, 7);
+            for (salt, start) in [(0xdead_beef_u64, 0u32), (42, 1000)] {
+                let gates = [0u32, 1, 0, 1, 0, 1, 0, 1];
+                let ords: [u32; WIDE] = std::array::from_fn(|i| start + i as u32);
+                for nb in [3usize, WIDE] {
+                    let mut out = [0u64; WIDE];
+                    m.sample_event_ps_x8(salt, &gates, &ords, nb, &mut out);
+                    for i in 0..nb {
+                        assert_eq!(
+                            out[i],
+                            m.sample_event_ps(GateId(gates[i]), salt, ords[i]),
+                            "sigma {sigma} burst {nb} elem {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The runtime gate honors programmatic override in both directions.
+    #[test]
+    fn wide_jitter_gate_overrides() {
+        set_wide_jitter(false);
+        assert!(!wide_jitter_enabled());
+        set_wide_jitter(true);
+        assert!(wide_jitter_enabled());
     }
 
     /// The quantized inverse-CDF sampler must reproduce normal moments

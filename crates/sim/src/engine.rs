@@ -30,7 +30,7 @@
 //! * [`Simulator`] — a thin convenience wrapper binding a graph, a
 //!   [`DelayModel`] and a core, keeping the original borrow-style API.
 
-use crate::delay::DelayModel;
+use crate::delay::{wide_jitter_enabled, DelayModel, WIDE};
 use crate::power::NullSink;
 use crate::wheel::{TimingWheel, WheelStats};
 use gm_netlist::netlist::Driver;
@@ -409,6 +409,12 @@ pub struct SimStats {
     /// Applied transitions on externally driven nets (primary inputs,
     /// FF outputs injected by clocked harnesses).
     pub input_transitions: Counter,
+    /// Jitter draws taken through the 8-wide burst sampler
+    /// ([`DelayModel::sample_event_ps_x8`]).
+    pub jitter_batched: Counter,
+    /// Jitter draws taken through the scalar sampler (wide path off,
+    /// single-consumer fan-out, or jitter-free model).
+    pub jitter_scalar: Counter,
 }
 
 impl SimStats {
@@ -434,6 +440,8 @@ impl SimStats {
         r.set_nonzero(&format!("{prefix}.external"), self.external.get());
         r.set_nonzero(&format!("{prefix}.resets"), self.resets.get());
         r.set_nonzero(&format!("{prefix}.toggle.input"), self.input_transitions.get());
+        r.set_nonzero(&format!("{prefix}.jitter.batched"), self.jitter_batched.get());
+        r.set_nonzero(&format!("{prefix}.jitter.scalar"), self.jitter_scalar.get());
         for (name, c) in GateKind::CLASS_NAMES.iter().zip(self.kind_transitions.iter()) {
             r.set_nonzero(&format!("{prefix}.toggle.{name}"), c.get());
         }
@@ -701,6 +709,17 @@ impl SimCore {
         sink.transition(time, NetId(p.net), p.value, self.weights[ni]);
 
         // Re-evaluate combinational fan-out; schedule changed outputs.
+        // Multi-consumer deliveries under jitter take the burst variant,
+        // which draws all the toggling gates' delays through the 8-wide
+        // sampler; the in-loop scalar draw survives as the exact
+        // fallback (both orderings of the same bit-identical draws).
+        if graph.consumers.row(ni).len() >= 2
+            && delays.jitter_sigma_ps() > 0.0
+            && wide_jitter_enabled()
+        {
+            self.apply_fanout_burst(graph, delays, time, ni);
+            return;
+        }
         for &gi_u in graph.consumers.row(ni) {
             let gi = gi_u as usize;
             let mut idx = 0usize;
@@ -712,44 +731,106 @@ impl SimCore {
                 self.touch_gate(gi);
                 let ord = self.ev_ord[gi];
                 self.ev_ord[gi] = ord + 1;
+                self.stats.jitter_scalar.inc();
                 let d = delays.sample_event_ps(GateId(gi_u), self.salt, ord);
-                // A single driver's edges stay ordered even under jitter.
-                let t = (time + d).max(self.out_last_time[gi] + 1);
-                let pending = self.out_last_time[gi] > time;
-                let out_net = graph.outputs[gi];
-                if pending
-                    && t.saturating_sub(self.out_last_time[gi])
-                        < delays.pulse_reject_of(GateId(gi_u))
-                {
-                    // The in-flight pulse is narrower than the switching
-                    // time: annihilate it instead of delivering both edges.
-                    self.stats.annihilations.inc();
-                    self.out_version[gi] = self.out_version[gi].wrapping_add(1);
-                    self.out_sched[gi] = self.values[out_net as usize];
-                    if out != self.out_sched[gi] {
-                        self.out_sched[gi] = out;
-                        self.out_last_time[gi] = t;
-                        self.seq += 1;
-                        self.stats.scheduled.inc();
-                        self.queue.push(
-                            t,
-                            self.seq,
-                            Pending { net: out_net, value: out, version: self.out_version[gi] },
-                        );
-                    }
-                } else {
-                    self.out_sched[gi] = out;
-                    self.out_last_time[gi] = t;
-                    self.seq += 1;
-                    self.stats.scheduled.inc();
-                    self.queue.push(
-                        t,
-                        self.seq,
-                        Pending { net: out_net, value: out, version: self.out_version[gi] },
-                    );
-                }
+                self.schedule_output(graph, delays, time, gi_u, out, d);
             }
         }
+    }
+
+    /// Burst form of the consumer loop in [`SimCore::apply`]: phase 1
+    /// evaluates the fan-out gates and collects the toggling ones with
+    /// their ordinals, phase 2 draws the whole chunk through
+    /// [`DelayModel::sample_event_ps_x8`], phase 3 replays the exact
+    /// scalar scheduling per gate. Chunks keep the consumer order, and
+    /// phase 3 runs in that order, so queue contents — time, seq,
+    /// version — are bit-identical to the scalar loop's.
+    fn apply_fanout_burst(&mut self, graph: &SimGraph, delays: &DelayModel, time: u64, ni: usize) {
+        let row = graph.consumers.row(ni);
+        let mut gates = [0u32; WIDE];
+        let mut ords = [0u32; WIDE];
+        let mut vals = [false; WIDE];
+        let mut ds = [0u64; WIDE];
+        let mut pos = 0usize;
+        while pos < row.len() {
+            let mut nb = 0usize;
+            while pos < row.len() && nb < WIDE {
+                let gi_u = row[pos];
+                pos += 1;
+                // The consumer table carries one entry per connected
+                // pin, so a gate fed twice by `ni` appears twice. The
+                // scalar loop's second visit sees `out_sched` already
+                // updated and drops out; here that update is deferred
+                // to phase 3, so the duplicate is skipped explicitly.
+                if (0..nb).any(|j| gates[j] == gi_u) {
+                    continue;
+                }
+                let gi = gi_u as usize;
+                let mut idx = 0usize;
+                for (k, &pn) in graph.pins.row(gi).iter().enumerate() {
+                    idx |= usize::from(self.values[pn as usize]) << k;
+                }
+                let out = graph.truth[gi] >> idx & 1 != 0;
+                if out != self.out_sched[gi] {
+                    self.touch_gate(gi);
+                    gates[nb] = gi_u;
+                    ords[nb] = self.ev_ord[gi];
+                    vals[nb] = out;
+                    self.ev_ord[gi] += 1;
+                    nb += 1;
+                }
+            }
+            if nb == 0 {
+                continue;
+            }
+            delays.sample_event_ps_x8(self.salt, &gates, &ords, nb, &mut ds);
+            self.stats.jitter_batched.add(nb as u64);
+            for j in 0..nb {
+                self.schedule_output(graph, delays, time, gates[j], vals[j], ds[j]);
+            }
+        }
+    }
+
+    /// Schedule one gate's output change at `time + d` — transport
+    /// ordering, inertial annihilation, version bump and queue push.
+    /// The tail both the scalar consumer loop and the burst variant
+    /// funnel into.
+    #[inline]
+    fn schedule_output(
+        &mut self,
+        graph: &SimGraph,
+        delays: &DelayModel,
+        time: u64,
+        gi_u: u32,
+        out: bool,
+        d: u64,
+    ) {
+        let gi = gi_u as usize;
+        // A single driver's edges stay ordered even under jitter.
+        let t = (time + d).max(self.out_last_time[gi] + 1);
+        let pending = self.out_last_time[gi] > time;
+        let out_net = graph.outputs[gi];
+        if pending
+            && t.saturating_sub(self.out_last_time[gi]) < delays.pulse_reject_of(GateId(gi_u))
+        {
+            // The in-flight pulse is narrower than the switching
+            // time: annihilate it instead of delivering both edges.
+            self.stats.annihilations.inc();
+            self.out_version[gi] = self.out_version[gi].wrapping_add(1);
+            self.out_sched[gi] = self.values[out_net as usize];
+            if out == self.out_sched[gi] {
+                return;
+            }
+        }
+        self.out_sched[gi] = out;
+        self.out_last_time[gi] = t;
+        self.seq += 1;
+        self.stats.scheduled.inc();
+        self.queue.push(
+            t,
+            self.seq,
+            Pending { net: out_net, value: out, version: self.out_version[gi] },
+        );
     }
 }
 
@@ -1130,6 +1211,58 @@ mod tests {
         reused.reset(42);
         let got = record(&mut reused);
         assert_eq!(got, want, "reset must reproduce the fresh stream");
+    }
+
+    /// The burst consumer loop (wide jitter path) must reproduce the
+    /// scalar loop's transition stream exactly — same nets, times and
+    /// order — on a fan-out-heavy netlist with annihilation-width
+    /// jitter. Toggling the global gate is benign for concurrently
+    /// running tests precisely because the two paths are bit-identical.
+    #[test]
+    fn burst_fanout_matches_scalar() {
+        use crate::delay::set_wide_jitter;
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        // One net (a) fans out to many consumers so bursts exceed one
+        // chunk; xor tree keeps everything toggling.
+        let mut accs = Vec::new();
+        for k in 0..10 {
+            let p = if k % 2 == 0 { n.and2(a, b) } else { n.or2(a, b) };
+            accs.push(n.xor2(p, a));
+        }
+        let mut acc = accs[0];
+        for &x in &accs[1..] {
+            acc = n.xor2(acc, x);
+        }
+        n.output("o", acc);
+        n.validate().unwrap();
+        let delays = DelayModel::with_variation(&n, 0.6, 300.0, 0x77);
+
+        let record = |wide: bool, seed: u64| {
+            set_wide_jitter(wide);
+            let mut rec: Vec<(u64, u32, bool)> = Vec::new();
+            struct R<'v>(&'v mut Vec<(u64, u32, bool)>);
+            impl PowerSink for R<'_> {
+                fn transition(&mut self, t: u64, net: NetId, v: bool, _w: f64) {
+                    self.0.push((t, net.0, v));
+                }
+            }
+            let mut sim = Simulator::new(&n, &delays, seed);
+            sim.init_all_zero();
+            sim.schedule(a, 1_000, true);
+            sim.schedule(b, 1_100, true);
+            sim.schedule(a, 9_000, false);
+            sim.run_until(200_000, &mut R(&mut rec));
+            set_wide_jitter(true);
+            rec
+        };
+        for seed in 0..16u64 {
+            let wide = record(true, seed);
+            let scalar = record(false, seed);
+            assert_eq!(wide, scalar, "seed {seed}: burst and scalar streams must be identical");
+            assert!(wide.len() > 6, "seed {seed}: fan-out must actually glitch");
+        }
     }
 
     /// The engine counters reconcile: every popped event is applied,

@@ -46,7 +46,7 @@ pub mod wheel;
 pub use bitclock::{BitClockedSim, LaneActivity};
 pub use clocked::{ClockedCore, ClockedSim};
 pub use coupling::{CouplingModel, CouplingSink};
-pub use delay::DelayModel;
+pub use delay::{set_wide_jitter, wide_jitter_enabled, DelayModel, JitterTile, TILE, WIDE};
 pub use engine::{PowerSink, SimCore, SimGraph, SimStats, Simulator};
 pub use noise::MeasurementModel;
 pub use power::{CountingSink, LaneCounting, LaneSink, LaneTrace, NullSink, PowerTrace};

@@ -42,7 +42,7 @@
 //! bench gadget under Fig. 15 jitter (σ = 400 ps) about 2% of lanes
 //! diverge, so the fallback is a small fraction of campaign time.
 
-use crate::delay::{event_hash, quantized_gaussian, DelayModel};
+use crate::delay::{event_hash, quantized_gaussian, wide_jitter_enabled, DelayModel, JitterTile};
 use crate::engine::{SimGraph, JITTER_SALT_XOR, MAX_PINS};
 use crate::power::LaneSink;
 use gm_netlist::{Csr, GateId, NetId};
@@ -56,6 +56,11 @@ pub const LANES: usize = 64;
 /// stops paying for itself and [`CompiledSchedule::compile`] hands the
 /// netlist back to the dynamic wheel.
 const NODE_CAP: usize = 1 << 14;
+
+/// Below this many toggled lanes a node visit draws jitter through the
+/// scalar chain instead of the staged tile: four short stage loops cost
+/// more than they save when only a couple of lanes toggle.
+const TILE_MIN_DRAWS: u32 = 4;
 
 /// Marks a stimulus node's `gate` field.
 const STIM: u32 = u32::MAX;
@@ -131,6 +136,13 @@ pub struct CompiledSchedule {
     /// node -> dependent gate evaluations.
     children: Csr,
     num_stims: usize,
+    /// Gates the cascade evaluates, with their visit counts: the
+    /// runner's per-pass reset list (only these gates' lane state is
+    /// ever read) and the bound on per-lane jitter ordinals.
+    visited_gates: Vec<(u32, u32)>,
+    /// Total gate visits of one pass (upper bound on per-lane jitter
+    /// draws).
+    num_slots: u32,
 }
 
 impl CompiledSchedule {
@@ -248,7 +260,25 @@ impl CompiledSchedule {
         }
         child_pairs.sort_unstable();
         let children = Csr::from_pairs(nodes.len(), &child_pairs);
-        Some(CompiledSchedule { nodes, children, num_stims: stims.len() })
+        // Visited-gate census: the per-lane jitter ordinal advances at
+        // most once per visit, so a gate visited `v` times never draws
+        // past ordinal `v - 1`, and only these gates' lane state needs
+        // resetting between passes.
+        let mut visits = vec![0u32; graph.num_gates()];
+        for node in &nodes {
+            if node.gate != STIM {
+                visits[node.gate as usize] += 1;
+            }
+        }
+        let mut visited_gates = Vec::new();
+        let mut num_slots = 0u32;
+        for (g, &v) in visits.iter().enumerate() {
+            if v > 0 {
+                visited_gates.push((g as u32, v));
+                num_slots += v;
+            }
+        }
+        Some(CompiledSchedule { nodes, children, num_stims: stims.len(), visited_gates, num_slots })
     }
 
     /// Number of potential events per sweep (stimulus slots included).
@@ -259,6 +289,12 @@ impl CompiledSchedule {
     /// Number of external stimulus slots.
     pub fn num_stims(&self) -> usize {
         self.num_stims
+    }
+
+    /// Total gate visits of one sweep — the upper bound on per-lane
+    /// jitter draws (0 means no gate is ever evaluated).
+    pub fn num_jitter_slots(&self) -> usize {
+        self.num_slots as usize
     }
 }
 
@@ -279,6 +315,12 @@ pub struct SchedStats {
     /// (public so trace sources can wrap their fallback loop in
     /// `stats.fallback_ns.span()`).
     pub fallback_ns: Stopwatch,
+    /// Jitter draws taken through the staged tile sampler (the wide
+    /// path: every draw is consumed, nothing is over-drawn).
+    pub jitter_batched: Counter,
+    /// Jitter draws taken scalar inside the sweep loop (wide path off,
+    /// or too few toggled lanes for a tile to pay).
+    pub jitter_scalar: Counter,
 }
 
 impl SchedStats {
@@ -290,6 +332,8 @@ impl SchedStats {
         r.set_nonzero(&format!("{prefix}.fallback_lanes"), self.fallback_lanes.get());
         r.set_nonzero(&format!("{prefix}.pass_ns"), self.pass_ns.ns());
         r.set_nonzero(&format!("{prefix}.fallback_ns"), self.fallback_ns.ns());
+        r.set_nonzero(&format!("{prefix}.jitter.batched"), self.jitter_batched.get());
+        r.set_nonzero(&format!("{prefix}.jitter.scalar"), self.jitter_scalar.get());
     }
 }
 
@@ -316,6 +360,13 @@ pub struct SchedRunner {
     out_sched: Vec<u64>,
     // Per (gate, lane): interleaved sweep state.
     glanes: Vec<GateLane>,
+    // Stage scratch of the batched jitter sampler (persistent so the
+    // buffers stay cache-hot across node visits).
+    tile: JitterTile,
+    // Deferred candidate times of inertially-rejected lanes (persistent
+    // scratch: a visit writes `tarr[l]` before phase 3 reads it, only
+    // for lanes in that visit's `rej` mask — stale entries are dead).
+    tarr: [u64; LANES],
     salts: [u64; LANES],
     /// Sweep counters; `stats.fallback_ns` is the caller's to feed.
     pub stats: SchedStats,
@@ -333,6 +384,8 @@ impl Default for SchedRunner {
             values: Vec::new(),
             out_sched: Vec::new(),
             glanes: Vec::new(),
+            tile: JitterTile::new(),
+            tarr: [0; LANES],
             salts: [0; LANES],
             stats: SchedStats::default(),
         }
@@ -408,7 +461,6 @@ impl SchedRunner {
             self.salts[l] = s ^ JITTER_SALT_XOR;
         }
         let nn = sched.nodes.len();
-        let ng = graph.num_gates();
         self.fired[..nn].fill(0);
         self.cancelled[..nn].fill(0);
         self.applied[..nn].fill(0);
@@ -419,7 +471,23 @@ impl SchedRunner {
         for (v, &b) in self.out_sched.iter_mut().zip(graph.baseline_out_sched.iter()) {
             *v = if b { !0 } else { 0 };
         }
-        self.glanes[..ng * LANES].fill(GateLane::default());
+        // Per-gate lane state is reset only for gates the schedule can
+        // visit — no other gate's [`GateLane`] is ever read in a pass —
+        // so the reset cost tracks the cascade, not the netlist.
+        for &(g, _) in &sched.visited_gates {
+            let gl = g as usize * LANES;
+            self.glanes[gl..gl + LANES].fill(GateLane::default());
+        }
+        // Per-visit staged tile draws: a node visit that toggles enough
+        // lanes compacts them into the runner's [`JitterTile`] and draws
+        // all of them through the batched sampler, which is bit-identical
+        // to the in-loop scalar chain — a pure performance fork. Unlike
+        // a whole-pass pre-drawn plane this never over-draws: the
+        // superset schedule visits gates ~3× more often than lanes
+        // actually toggle.
+        let use_tile = delays.jitter_sigma_ps() > 0.0 && wide_jitter_enabled();
+        let mut batched_draws = 0u64;
+        let mut scalar_draws = 0u64;
         let mut divergent = 0u64;
 
         for k in 0..nn {
@@ -491,20 +559,27 @@ impl SchedRunner {
                 } else {
                     let gls = &mut self.glanes[gl..gl + LANES];
                     let mut viol = 0u64;
-                    for (l, gle) in gls.iter_mut().enumerate() {
-                        let active = commit & (1u64 << l) != 0;
+                    // Iterate the committed lanes only (typically a
+                    // fraction of 64): inactive lanes keep their state
+                    // untouched either way.
+                    let mut b = commit;
+                    while b != 0 {
+                        let l = b.trailing_zeros() as usize;
+                        b &= b - 1;
+                        let gle = &mut gls[l];
                         let t = times[l] as u32;
                         let src = gle.src;
                         let lpl = gle.last_pin;
                         // Tie (`t == lpl`): fine from the same trigger
-                        // and fine after a stimulus slot; stale `times`
-                        // of inactive lanes are discarded by the selects.
-                        let bad = src != NO_SRC
-                            && (t < lpl || (t == lpl && src != idx_enc && src != STIM_SRC));
-                        let upd = active && !bad;
-                        viol |= u64::from(active && bad) << l;
-                        gle.last_pin = if upd { t } else { lpl };
-                        gle.src = if upd { idx_enc } else { src };
+                        // and fine after a stimulus slot.
+                        if src != NO_SRC
+                            && (t < lpl || (t == lpl && src != idx_enc && src != STIM_SRC))
+                        {
+                            viol |= 1u64 << l;
+                        } else {
+                            gle.last_pin = t;
+                            gle.src = idx_enc;
+                        }
                     }
                     divergent |= viol;
                     commit & !viol
@@ -522,13 +597,18 @@ impl SchedRunner {
                 let truth = graph.truth[g];
                 let mut out = 0u64;
                 for idx in 0..1u16 << row.len() {
-                    if truth >> idx & 1 != 0 {
-                        let mut m = !0u64;
-                        for (p, &v) in pv.iter().enumerate().take(row.len()) {
-                            m &= if idx >> p & 1 != 0 { v } else { !v };
-                        }
-                        out |= m;
+                    // Skip zero minterms outright: the truth pattern
+                    // repeats every visit of the same gate, so the
+                    // branch predicts — and it halves the AND-chains
+                    // for AND-like cells.
+                    if truth >> idx & 1 == 0 {
+                        continue;
                     }
+                    let mut m = !0u64;
+                    for (p, &v) in pv.iter().enumerate().take(row.len()) {
+                        m &= if idx >> p & 1 != 0 { v } else { !v };
+                    }
+                    out |= m;
                 }
                 self.node_value[c] = out;
                 let toggle = (out ^ self.out_sched[g]) & eval;
@@ -536,22 +616,70 @@ impl SchedRunner {
                     continue;
                 }
 
-                // Phase 1 — per-lane jitter draws and candidate times.
-                // Iterations are fully independent (each lane appears
-                // once per node visit), so the hash/table chains of
-                // different lanes overlap instead of serializing behind
-                // the bookkeeping: this loop is the single hottest code
-                // in a glitch campaign. The draw itself replicates
-                // `DelayModel::sample_event_ps` with the per-gate pieces
-                // hoisted out of the loop.
+                // Phases 1+2 merged — per-lane jitter draw, candidate
+                // time, inertial check, and plain-fire commit in one
+                // walk over the toggled lanes: this loop is the single
+                // hottest code in a glitch campaign. When enough lanes
+                // toggle the draws go through the staged tile sampler
+                // (hash/convert/lerp pipelines batched so they
+                // autovectorize); the in-loop chain survives as the
+                // exact fallback, replicating
+                // `DelayModel::sample_event_ps` with the per-gate
+                // pieces hoisted out of the loop.
                 let gid = GateId(g as u32);
                 let reject = delays.pulse_reject_of(gid);
                 let base = delays.base_ps(gid);
                 let base_fixed = delays.base_fixed_of(gid);
                 let sigma = delays.jitter_sigma_ps();
-                let mut tarr = [0u64; LANES];
+                let cl = c * LANES;
+                let c_enc = c as u16 + 1;
                 let mut rej = 0u64;
-                {
+                let mut ok = 0u64;
+                let nt = toggle.count_ones();
+                if use_tile && nt >= TILE_MIN_DRAWS {
+                    // Compact the toggled lanes into the tile, draw the
+                    // whole visit in one batched call, then do the
+                    // bookkeeping over the compacted list.
+                    let mut lanes = [0u8; LANES];
+                    {
+                        let gls = &self.glanes[gl..gl + LANES];
+                        let mut b = toggle;
+                        let mut j = 0usize;
+                        while b != 0 {
+                            let l = b.trailing_zeros() as usize;
+                            b &= b - 1;
+                            lanes[j] = l as u8;
+                            self.tile.salt[j] = self.salts[l];
+                            self.tile.ord[j] = gls[l].ord as u32;
+                            j += 1;
+                        }
+                    }
+                    delays.sample_event_tile(gid, nt as usize, &mut self.tile);
+                    batched_draws += nt as u64;
+                    let gls = &mut self.glanes[gl..gl + LANES];
+                    for (&lb, &d) in lanes[..nt as usize].iter().zip(&self.tile.d) {
+                        let l = lb as usize;
+                        let gle = &mut gls[l];
+                        // The ordinal advances for every toggling
+                        // evaluation, annihilated or not — exactly like
+                        // the scalar engine.
+                        gle.ord += 1;
+                        let tj = times[l];
+                        let ol = gle.out_last as u64;
+                        let t = (tj + d).max(ol + 1);
+                        if ol > tj && t - ol < reject {
+                            // Rare inertial rejection: defer to phase 3.
+                            self.tarr[l] = t;
+                            rej |= 1u64 << l;
+                        } else {
+                            ok |= 1u64 << l;
+                            ctimes[l] = t;
+                            self.prev_fire[cl + l] = gle.last_node;
+                            gle.out_last = t as u32;
+                            gle.last_node = c_enc;
+                        }
+                    }
+                } else {
                     let gls = &mut self.glanes[gl..gl + LANES];
                     let mut b = toggle;
                     while b != 0 {
@@ -559,6 +687,7 @@ impl SchedRunner {
                         b &= b - 1;
                         let gle = &mut gls[l];
                         let d = if sigma > 0.0 {
+                            scalar_draws += 1;
                             let q = quantized_gaussian(event_hash(
                                 self.salts[l],
                                 g as u32,
@@ -568,36 +697,23 @@ impl SchedRunner {
                         } else {
                             base_fixed
                         };
-                        // The ordinal advances for every toggling
-                        // evaluation, annihilated or not — exactly like
-                        // the scalar engine.
                         gle.ord += 1;
                         let tj = times[l];
                         let ol = gle.out_last as u64;
                         let t = (tj + d).max(ol + 1);
-                        tarr[l] = t;
-                        rej |= u64::from(ol > tj && t - ol < reject) << l;
+                        if ol > tj && t - ol < reject {
+                            self.tarr[l] = t;
+                            rej |= 1u64 << l;
+                        } else {
+                            ok |= 1u64 << l;
+                            ctimes[l] = t;
+                            self.prev_fire[cl + l] = gle.last_node;
+                            gle.out_last = t as u32;
+                            gle.last_node = c_enc;
+                        }
                     }
                 }
-
-                // Phase 2 — bulk-commit the plain fires (no inertial
-                // rejection): pure stores plus two lane-word updates.
-                let ok = toggle & !rej;
                 if ok != 0 {
-                    let cl = c * LANES;
-                    let c_enc = c as u16 + 1;
-                    let gls = &mut self.glanes[gl..gl + LANES];
-                    let mut b = ok;
-                    while b != 0 {
-                        let l = b.trailing_zeros() as usize;
-                        b &= b - 1;
-                        let t = tarr[l];
-                        let gle = &mut gls[l];
-                        ctimes[l] = t;
-                        self.prev_fire[cl + l] = gle.last_node;
-                        gle.out_last = t as u32;
-                        gle.last_node = c_enc;
-                    }
                     self.fired[c] |= ok;
                     self.out_sched[g] = (self.out_sched[g] & !ok) | (out & ok);
                 }
@@ -609,7 +725,7 @@ impl SchedRunner {
                     b &= b - 1;
                     let bit = 1u64 << l;
                     let tj = times[l];
-                    let t = tarr[l];
+                    let t = self.tarr[l];
                     let out_bit = out >> l & 1 != 0;
                     // Scalar annihilation is a version bump: every
                     // event of this driver still in flight at `tj`
@@ -692,6 +808,8 @@ impl SchedRunner {
         self.stats.passes.inc();
         self.stats.nodes_swept.add(nn as u64);
         self.stats.lanes.add(seeds.len() as u64);
+        self.stats.jitter_batched.add(batched_draws);
+        self.stats.jitter_scalar.add(scalar_draws);
         divergent &= lane_mask;
         self.stats.fallback_lanes.add(divergent.count_ones() as u64);
         divergent
@@ -904,6 +1022,50 @@ mod tests {
         // Lane 1: a up + buf up = 2.
         assert_eq!(counting.count[1], 2);
         assert_eq!(runner.value(buf), 0b11);
+    }
+
+    /// The batched-tile (wide) path and the in-loop scalar path must
+    /// produce identical transition streams, final values and divergence
+    /// masks — the runtime gate is a pure performance fork. (Safe to
+    /// toggle the global gate concurrently with other tests precisely
+    /// because of this identity.)
+    #[test]
+    fn wide_and_scalar_jitter_paths_agree() {
+        let (n, ins) = hazard();
+        let graph = SimGraph::new(&n);
+        let delays = DelayModel::with_variation(&n, 0.4, 400.0, 0xfeed);
+        let stims: Vec<(NetId, u64)> = vec![(ins[0], 1_000), (ins[1], 1_400)];
+        let sched = CompiledSchedule::compile(&graph, &delays, &stims).unwrap();
+        assert!(sched.num_jitter_slots() > 0);
+        let seeds: Vec<u64> = (0..LANES as u64).map(|l| l * 77 + 3).collect();
+        let stim_vals = [0x5555_5555_5555_5555u64, 0x3333_3333_3333_3333];
+        let mut streams = Vec::new();
+        for wide in [true, false] {
+            crate::delay::set_wide_jitter(wide);
+            let mut runner = SchedRunner::new();
+            let mut rec = LaneRec::new();
+            let div = runner.run_pass(
+                &sched,
+                &graph,
+                &delays,
+                &graph.weights,
+                &seeds,
+                &stim_vals,
+                60_000,
+                &mut rec,
+            );
+            let finals: Vec<u64> =
+                (0..graph.num_nets()).map(|i| runner.value(NetId(i as u32))).collect();
+            #[cfg(not(feature = "obs-off"))]
+            assert_eq!(
+                runner.stats.jitter_batched.get() > 0,
+                wide,
+                "tile draws must follow the gate"
+            );
+            streams.push((div, rec.0, finals));
+        }
+        crate::delay::set_wide_jitter(true);
+        assert_eq!(streams[0], streams[1], "wide and scalar jitter paths must be bit-identical");
     }
 
     /// Clocked netlists and gate-driven stimulus nets refuse to compile.

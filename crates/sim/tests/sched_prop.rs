@@ -99,7 +99,7 @@ proptest! {
         let mut runner = SchedRunner::new();
         let mut rec = LaneRecording(vec![Vec::new(); gm_sim::LANES]);
         let div = runner.run_pass(
-            &sched, &graph, &delays, graph_weights(&graph), &seeds, &stim_values, t_end, &mut rec,
+            &sched, &graph, &delays, graph.weights(), &seeds, &stim_values, t_end, &mut rec,
         );
         prop_assert_eq!(div >> TEST_LANES, 0, "divergence outside the lane mask");
 
@@ -129,10 +129,116 @@ proptest! {
     }
 }
 
-/// The runner only sees the graph's own weight table here; campaigns
-/// pass their overridden copy.
-fn graph_weights(graph: &SimGraph) -> &[f64] {
-    graph.weights()
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// High-sigma campaign composition: with jitter far above the
+    /// process spread the base order lies often, so lanes diverge —
+    /// and the campaign recipe (sweep for the clean lanes, a *reused*
+    /// scalar core re-run per divergent lane, exactly like the bench
+    /// trace sources) must reproduce a fresh-core wheel reference
+    /// bit-for-bit on **every** lane, divergent or not.
+    #[test]
+    fn high_sigma_fallback_composes_exactly(
+        gates in prop::collection::vec((0u8..8, 0u8..32, 0u8..32), 8..24),
+        slots in prop::collection::vec((0u8..4, 0u64..8_000), 2..10),
+        lane_vals in prop::collection::vec(any::<u64>(), 10..11),
+        seed in any::<u64>(),
+    ) {
+        let (n, inputs) = random_cone(&gates);
+        // Sigma of 500 ps against ~350-1200 ps base delays: adjacent
+        // arrivals swap routinely, which is what forces divergence.
+        let delays = DelayModel::with_variation(&n, 0.3, 500.0, seed);
+        let graph = SimGraph::new(&n);
+        let stims: Vec<(NetId, u64)> =
+            slots.iter().map(|&(i, t)| (inputs[i as usize % 4], t)).collect();
+        let sched = CompiledSchedule::compile(&graph, &delays, &stims)
+            .expect("combinational input-driven cone compiles");
+        let t_end = 400_000u64;
+
+        let seeds: Vec<u64> = (0..TEST_LANES as u64)
+            .map(|l| seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(l * 1729 + 5))
+            .collect();
+        let stim_values: Vec<u64> = lane_vals[..stims.len()].to_vec();
+
+        let mut runner = SchedRunner::new();
+        let mut rec = LaneRecording(vec![Vec::new(); gm_sim::LANES]);
+        let div = runner.run_pass(
+            &sched, &graph, &delays, graph.weights(), &seeds, &stim_values, t_end, &mut rec,
+        );
+
+        // One recycled fallback core for all divergent lanes, as in the
+        // bench trace sources — reset-reuse must not leak state between
+        // lanes.
+        let mut fallback = SimCore::new(&graph, 0);
+        let mut composed: Vec<Vec<(u64, u32, bool, u64)>> = Vec::new();
+        for (l, &lane_seed) in seeds.iter().enumerate().take(TEST_LANES) {
+            if div >> l & 1 != 0 {
+                fallback.reset(&graph, lane_seed);
+                for (s, &(net, t)) in stims.iter().enumerate() {
+                    fallback.schedule(net, t, stim_values[s] >> l & 1 != 0);
+                }
+                let mut sink = RecordingSink::default();
+                fallback.run_until(&graph, &delays, t_end, &mut sink);
+                sink.0.sort_unstable();
+                composed.push(sink.0);
+            } else {
+                let mut lane = rec.0[l].clone();
+                lane.sort_unstable();
+                composed.push(lane);
+            }
+        }
+
+        for (l, &lane_seed) in seeds.iter().enumerate().take(TEST_LANES) {
+            let mut fresh = SimCore::new(&graph, lane_seed);
+            for (s, &(net, t)) in stims.iter().enumerate() {
+                fresh.schedule(net, t, stim_values[s] >> l & 1 != 0);
+            }
+            let mut want = RecordingSink::default();
+            fresh.run_until(&graph, &delays, t_end, &mut want);
+            want.0.sort_unstable();
+            prop_assert_eq!(&composed[l], &want.0, "lane {} composed transition multiset", l);
+        }
+    }
+}
+
+/// High jitter must *actually* force divergence — otherwise the
+/// composition property above would pass vacuously. A deterministic
+/// seed sweep over a reconvergent cone: some pass within the budget has
+/// to report a non-empty divergent mask.
+#[test]
+fn high_sigma_actually_diverges() {
+    let gates: Vec<(u8, u8, u8)> = (0..18u8).map(|k| (k % 6, k % 7, (k * 5 + 2) % 11)).collect();
+    let (n, inputs) = random_cone(&gates);
+    let graph = SimGraph::new(&n);
+    let stims: Vec<(NetId, u64)> = (0..4).map(|i| (inputs[i], 1_000 + 40 * i as u64)).collect();
+    let mut total_div = 0u64;
+    for device in 0..20u64 {
+        let delays = DelayModel::with_variation(&n, 0.3, 600.0, device);
+        let sched = CompiledSchedule::compile(&graph, &delays, &stims).expect("cone compiles");
+        let mut runner = SchedRunner::new();
+        let seeds: Vec<u64> = (0..TEST_LANES as u64)
+            .map(|l| device.wrapping_mul(0x243f_6a88_85a3_08d3) ^ (l * 977 + 13))
+            .collect();
+        let stim_values = vec![!0u64, 0x5555_5555_5555_5555, 0x0f0f_0f0f_0f0f_0f0f, !0u64];
+        let mut rec = LaneRecording(vec![Vec::new(); gm_sim::LANES]);
+        let div = runner.run_pass(
+            &sched,
+            &graph,
+            &delays,
+            graph.weights(),
+            &seeds,
+            &stim_values,
+            400_000,
+            &mut rec,
+        );
+        total_div += div.count_ones() as u64;
+    }
+    assert!(
+        total_div > 0,
+        "600 ps sigma over 20 devices x {TEST_LANES} lanes never diverged — \
+         the fallback path is untested dead code"
+    );
 }
 
 /// Clocked netlists must refuse to compile — flip-flop sequencing
