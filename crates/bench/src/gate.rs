@@ -26,8 +26,8 @@ use gm_leakage::{Class, TraceSource, TvlaResult};
 use gm_netlist::{GateKind, NetId, Netlist};
 use gm_obs::Report;
 use gm_sim::{
-    CompiledSchedule, DelayModel, LaneCounting, LaneTrace, MeasurementModel, PowerTrace,
-    SchedRunner, SimCore, SimGraph, LANES,
+    repair_batch_enabled, CompiledSchedule, DelayModel, LaneBinTrace, LaneEnergy, MeasurementModel,
+    PowerTrace, RepairQueue, SchedRunner, SimCore, SimGraph, LANES,
 };
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
@@ -125,8 +125,15 @@ pub struct SequenceSource {
     /// scalar wheel.
     compiled: Option<Arc<CompiledSchedule>>,
     runner: SchedRunner,
-    /// Persistent lane-major trace buffer, cleared per pass.
-    lane_trace: LaneTrace,
+    /// Persistent word-level binned sink, cleared per pass.
+    lane_bins: LaneBinTrace,
+    /// Deferred divergent-lane repair, drained once per pass (the
+    /// measurement-noise stream is pinned in label order and the ADC
+    /// chain is nonlinear in the noise, so bins must exist before the
+    /// label loop samples them).
+    repairs: RepairQueue,
+    /// Repaired bins per lane slot (`lane * 4 ..`), filled by the drain.
+    repair_bins: Vec<f64>,
 }
 
 impl SequenceSource {
@@ -166,6 +173,7 @@ impl SequenceSource {
         compiled: Option<Arc<CompiledSchedule>>,
     ) -> Self {
         let sim = SimCore::new(&bank.graph, seed);
+        let lane_bins = LaneBinTrace::new(0, CYCLE_PS, 4, bank.graph.weights());
         SequenceSource {
             sim,
             bank,
@@ -178,7 +186,9 @@ impl SequenceSource {
             trace: PowerTrace::new(0, CYCLE_PS, 4),
             compiled,
             runner: SchedRunner::new(),
-            lane_trace: LaneTrace::new(0, CYCLE_PS, 4),
+            lane_bins,
+            repairs: RepairQueue::new(),
+            repair_bins: vec![0.0; 4 * LANES],
         }
     }
 
@@ -267,7 +277,7 @@ impl TraceSource for SequenceSource {
                     }
                 }
             }
-            self.lane_trace.clear();
+            self.lane_bins.clear();
             let div = self.runner.run_pass(
                 &sched,
                 &self.bank.graph,
@@ -276,33 +286,80 @@ impl TraceSource for SequenceSource {
                 &seeds[..chunk],
                 &stim_values,
                 4 * CYCLE_PS,
-                &mut self.lane_trace,
+                &mut self.lane_bins,
             );
+            self.lane_bins.finish_pass();
+            let batch = repair_batch_enabled();
+            if batch && div != 0 {
+                // Deferred repair: queue every divergent lane of this
+                // pass, then drain the batch in one hoisted span (the
+                // rerun is a pure function of the ticket, so deferral
+                // never changes a byte). Draining before the label loop
+                // keeps the measurement-noise stream in label order.
+                for (l, &seed) in seeds.iter().enumerate().take(chunk) {
+                    if div >> l & 1 != 0 {
+                        let mut sb = 0u32;
+                        for (s, &v) in stim_values.iter().enumerate() {
+                            sb |= ((v >> l & 1) as u32) << s;
+                        }
+                        self.repairs.push(seed, sb, l as u32);
+                    }
+                }
+                let SequenceSource {
+                    sim,
+                    bank,
+                    delays,
+                    seq,
+                    trace,
+                    runner,
+                    repairs,
+                    repair_bins,
+                    ..
+                } = self;
+                repairs.drain(&mut runner.stats, |t| {
+                    sim.reset(&bank.graph, t.seed);
+                    trace.clear();
+                    for (cycle, &share) in seq.iter().enumerate() {
+                        sim.schedule(
+                            bank_share_net(bank, share),
+                            cycle as u64 * CYCLE_PS + 1_000,
+                            t.stim_bits >> cycle & 1 != 0,
+                        );
+                    }
+                    sim.run_until(&bank.graph, delays, 4 * CYCLE_PS, trace);
+                    repair_bins[t.slot as usize * 4..t.slot as usize * 4 + 4]
+                        .copy_from_slice(trace.samples());
+                });
+            }
             let mut bins = [0.0f64; 4];
             for l in 0..chunk {
                 if div >> l & 1 != 0 {
-                    // Divergent glitch activity: rerun the lane on the
-                    // scalar wheel under the same seed (bit-identical by
-                    // construction).
-                    let _fb = self.runner.stats.fallback_ns.span();
-                    self.sim.reset(&self.bank.graph, seeds[l]);
-                    self.trace.clear();
-                    for (cycle, &share) in self.seq.iter().enumerate() {
-                        self.sim.schedule(
-                            bank_share_net(&self.bank, share),
-                            cycle as u64 * CYCLE_PS + 1_000,
-                            stim_values[cycle] >> l & 1 != 0,
+                    if batch {
+                        bins.copy_from_slice(&self.repair_bins[l * 4..l * 4 + 4]);
+                    } else {
+                        // Legacy inline fallback (`GM_REPAIR_BATCH=0`):
+                        // rerun the lane on the scalar wheel under the
+                        // same seed, one span per lane.
+                        let _fb = self.runner.stats.fallback_ns.span();
+                        self.sim.reset(&self.bank.graph, seeds[l]);
+                        self.trace.clear();
+                        for (cycle, &share) in self.seq.iter().enumerate() {
+                            self.sim.schedule(
+                                bank_share_net(&self.bank, share),
+                                cycle as u64 * CYCLE_PS + 1_000,
+                                stim_values[cycle] >> l & 1 != 0,
+                            );
+                        }
+                        self.sim.run_until(
+                            &self.bank.graph,
+                            &self.delays,
+                            4 * CYCLE_PS,
+                            &mut self.trace,
                         );
+                        bins.copy_from_slice(self.trace.samples());
                     }
-                    self.sim.run_until(
-                        &self.bank.graph,
-                        &self.delays,
-                        4 * CYCLE_PS,
-                        &mut self.trace,
-                    );
-                    bins.copy_from_slice(self.trace.samples());
                 } else {
-                    self.lane_trace.lane_into(l, &mut bins);
+                    self.lane_bins.lane_into(l, &mut bins);
                 }
                 // Measurement noise is drawn in label order, after the
                 // pass — 4 draws per trace either way.
@@ -322,6 +379,7 @@ impl TraceSource for SequenceSource {
         report.set_nonzero("rng.mask_words", self.mask_rng.obs_words_drawn());
         self.sim.obs_report("sim", report);
         self.runner.obs_report("sim.sched", report);
+        self.lane_bins.stats.report_into("sim.pack", report);
     }
 }
 
@@ -384,6 +442,14 @@ pub struct PdPlacementSource {
     /// scalar wheel. The lane backend takes `gadget.weights` directly.
     compiled: Option<Arc<CompiledSchedule>>,
     runner: SchedRunner,
+    /// Word-level (weight-class)-major energy accumulator, cleared per
+    /// pass; converts to per-lane f64 once per pass.
+    energy: LaneEnergy,
+    /// Deferred divergent-lane tickets. Energies see no measurement
+    /// noise, so repair can defer across *all* passes of a block and
+    /// drain once — the slot encodes the destination row (bit 31 picks
+    /// the fixed buffer).
+    repairs: RepairQueue,
 }
 
 impl PdPlacementSource {
@@ -411,6 +477,7 @@ impl PdPlacementSource {
         for (i, &w) in gadget.weights.iter().enumerate() {
             sim.set_net_weight(NetId(i as u32), w);
         }
+        let energy = LaneEnergy::new(&gadget.weights);
         PdPlacementSource {
             sim,
             gadget,
@@ -419,6 +486,8 @@ impl PdPlacementSource {
             sim_seed: seed,
             compiled,
             runner: SchedRunner::new(),
+            energy,
+            repairs: RepairQueue::new(),
         }
     }
 }
@@ -485,6 +554,7 @@ impl TraceSource for PdPlacementSource {
         let Some(sched) = self.compiled.clone() else {
             return scalar_block(self, labels, fixed, random);
         };
+        let batch = repair_batch_enabled();
         let (mut nf, mut nr) = (0usize, 0usize);
         let mut start = 0usize;
         while start < labels.len() {
@@ -505,7 +575,7 @@ impl TraceSource for PdPlacementSource {
                     }
                 }
             }
-            let mut counting = LaneCounting::default();
+            self.energy.clear();
             let div = self.runner.run_pass(
                 &sched,
                 &self.gadget.graph,
@@ -514,13 +584,35 @@ impl TraceSource for PdPlacementSource {
                 &seeds[..chunk],
                 &stim_values,
                 self.gadget.window_ps,
-                &mut counting,
+                &mut self.energy,
             );
+            let mut energies = [0.0f64; LANES];
+            self.energy.energies_into(&mut energies);
             for l in 0..chunk {
+                let (row, is_fixed) = match labels[start + l] {
+                    Class::Fixed => {
+                        nf += 1;
+                        (nf - 1, true)
+                    }
+                    Class::Random => {
+                        nr += 1;
+                        (nr - 1, false)
+                    }
+                };
                 let e = if div >> l & 1 != 0 {
-                    // Divergent glitch activity: rerun the lane on the
-                    // scalar wheel under the same seed (bit-identical by
-                    // construction).
+                    if batch {
+                        // Queue the repair; the drain below overwrites
+                        // this row, so nothing is written yet.
+                        let mut sb = 0u32;
+                        for (s, &v) in stim_values.iter().enumerate() {
+                            sb |= ((v >> l & 1) as u32) << s;
+                        }
+                        self.repairs.push(seeds[l], sb, row as u32 | u32::from(is_fixed) << 31);
+                        continue;
+                    }
+                    // Legacy inline fallback (`GM_REPAIR_BATCH=0`): rerun
+                    // the lane on the scalar wheel under the same seed
+                    // (bit-identical by construction), one span per lane.
                     let _fb = self.runner.stats.fallback_ns.span();
                     let mut shares = [false; 4];
                     for (s, sh) in shares.iter_mut().enumerate() {
@@ -528,20 +620,33 @@ impl TraceSource for PdPlacementSource {
                     }
                     pd_scalar_energy(&mut self.sim, &self.gadget, &self.delays, shares, seeds[l])
                 } else {
-                    counting.weighted[l]
+                    energies[l]
                 };
-                match labels[start + l] {
-                    Class::Fixed => {
-                        fixed[nf] = e;
-                        nf += 1;
-                    }
-                    Class::Random => {
-                        random[nr] = e;
-                        nr += 1;
-                    }
+                if is_fixed {
+                    fixed[row] = e;
+                } else {
+                    random[row] = e;
                 }
             }
             start += chunk;
+        }
+        // Energies carry no label-ordered downstream RNG (no measurement
+        // noise), so the whole block's repairs drain in one batch.
+        if batch {
+            let PdPlacementSource { sim, gadget, delays, runner, repairs, .. } = self;
+            repairs.drain(&mut runner.stats, |t| {
+                let mut shares = [false; 4];
+                for (s, sh) in shares.iter_mut().enumerate() {
+                    *sh = t.stim_bits >> s & 1 != 0;
+                }
+                let e = pd_scalar_energy(sim, gadget, delays, shares, t.seed);
+                let row = (t.slot & !(1 << 31)) as usize;
+                if t.slot >> 31 != 0 {
+                    fixed[row] = e;
+                } else {
+                    random[row] = e;
+                }
+            });
         }
         (nf, nr)
     }
@@ -550,6 +655,7 @@ impl TraceSource for PdPlacementSource {
         report.set_nonzero("rng.mask_words", self.mask_rng.obs_words_drawn());
         self.sim.obs_report("sim", report);
         self.runner.obs_report("sim.sched", report);
+        self.energy.stats.report_into("sim.pack", report);
     }
 }
 

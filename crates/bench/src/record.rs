@@ -125,8 +125,21 @@ impl BenchRecord {
         }
     }
 
+    /// Derived wall cost per trace in nanoseconds — the unit the
+    /// phase-floor analysis in EXPERIMENTS.md is written in.
+    pub fn ns_per_trace(&self) -> f64 {
+        if self.traces > 0 {
+            self.seconds * 1e9 / self.traces as f64
+        } else {
+            0.0
+        }
+    }
+
     /// Serialize as the one-line JSON object [`append_record`] stores
-    /// (two-space indent to match the array layout).
+    /// (two-space indent to match the array layout). `seconds` is stored
+    /// at full precision (`{}` is shortest-round-trip for f64): the old
+    /// `{:.3}` truncation collapsed a 0.0400369 s run to `0.04`, a 0.9%
+    /// error that poisoned every derived ratio.
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(192);
         s.push_str("  {\"label\": \"");
@@ -134,12 +147,13 @@ impl BenchRecord {
         s.push_str("\", \"campaign\": \"");
         escape_into(&self.campaign, &mut s);
         s.push_str(&format!(
-            "\", \"traces\": {}, \"threads\": {}, \"seconds\": {:.3}, \
-             \"traces_per_sec\": {:.1}",
+            "\", \"traces\": {}, \"threads\": {}, \"seconds\": {}, \
+             \"traces_per_sec\": {:.1}, \"ns_per_trace\": {:.2}",
             self.traces,
             self.threads,
             self.seconds,
             self.traces_per_sec(),
+            self.ns_per_trace(),
         ));
         for (name, raw) in &self.extra {
             s.push_str(", \"");
@@ -166,8 +180,16 @@ impl BenchRecord {
         let num_member = |name: &str| {
             v.get(name).and_then(|m| m.as_f64()).ok_or_else(|| format!("missing number {name}"))
         };
-        const ENVELOPE: [&str; 7] =
-            ["label", "campaign", "traces", "threads", "seconds", "traces_per_sec", "git_rev"];
+        const ENVELOPE: [&str; 8] = [
+            "label",
+            "campaign",
+            "traces",
+            "threads",
+            "seconds",
+            "traces_per_sec",
+            "ns_per_trace",
+            "git_rev",
+        ];
         let extra = obj
             .iter()
             .filter(|(k, _)| !ENVELOPE.contains(&k.as_str()))
@@ -251,7 +273,9 @@ mod tests {
             campaign: "fig14-ff-cycle-model".to_owned(),
             traces: 100_000,
             threads: 8,
-            seconds: 1.234,
+            // Full-precision wall time: `{:.3}` used to truncate this to
+            // 0.040 and the round trip would not have noticed.
+            seconds: 0.0400369,
             git_rev: "abc1234".to_owned(),
             extra: vec![
                 ("backend".to_owned(), "\"bitsliced\"".to_owned()),
@@ -261,10 +285,13 @@ mod tests {
         let json = rec.to_json();
         let back = BenchRecord::parse(&json).expect("parses");
         assert_eq!(back, rec);
-        // And the derived member the emitters write is present + correct.
+        assert_eq!(back.seconds, 0.0400369, "seconds must round-trip at full precision");
+        // And the derived members the emitters write are present + correct.
         let v = crate::json::parse(&json).unwrap();
         let tps = v.get("traces_per_sec").unwrap().as_f64().unwrap();
-        assert!((tps - 100_000.0 / 1.234).abs() < 0.1);
+        assert!((tps - 100_000.0 / 0.0400369).abs() < 0.1);
+        let npt = v.get("ns_per_trace").unwrap().as_f64().unwrap();
+        assert!((npt - 0.0400369 * 1e9 / 100_000.0).abs() < 0.01);
     }
 
     #[test]

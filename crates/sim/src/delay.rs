@@ -183,19 +183,44 @@ impl DelayModel {
         const EXP52: u64 = 0x4330_0000_0000_0000; // 2^52 as f64 bits
         const TWO52: f64 = 4_503_599_627_370_496.0;
         let gate_hi = (gate.0 as u64) << 32;
-        for j in 0..n {
-            let idx = (gate_hi | tile.ord[j] as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-            let mut z = tile.salt[j] ^ idx;
-            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-            let v = (z ^ (z >> 31)) >> 11;
-            let lo = f64::from_bits((v & (TWO52 as u64 - 1)) | EXP52) - TWO52;
-            let hi = ((v >> 52) as u32 as f64) * TWO52;
-            let u = (lo + hi) * (1.0 / (1u64 << 53) as f64);
-            let x = u * (QUANT_KNOTS - 1) as f64;
-            let i = x as u32;
-            tile.knot[j] = i;
-            tile.frac[j] = x - i as f64;
+        // Lanes of one visit usually share the toggling-evaluation
+        // ordinal (they advance in lockstep until glitch trains split
+        // them), and the index stride depends only on `(gate, ordinal)`
+        // — when all ordinals match, its 64-bit multiply hoists out of
+        // the loop, leaving the salt mix as the only per-draw u64
+        // multiplies. Identical arithmetic per element either way.
+        let ord0 = tile.ord[0];
+        let uniform = tile.ord[..n].iter().all(|&o| o == ord0);
+        if uniform {
+            let idx = (gate_hi | ord0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            for j in 0..n {
+                let mut z = tile.salt[j] ^ idx;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                let v = (z ^ (z >> 31)) >> 11;
+                let lo = f64::from_bits((v & (TWO52 as u64 - 1)) | EXP52) - TWO52;
+                let hi = ((v >> 52) as u32 as f64) * TWO52;
+                let u = (lo + hi) * (1.0 / (1u64 << 53) as f64);
+                let x = u * (QUANT_KNOTS - 1) as f64;
+                let i = x as u32;
+                tile.knot[j] = i;
+                tile.frac[j] = x - i as f64;
+            }
+        } else {
+            for j in 0..n {
+                let idx = (gate_hi | tile.ord[j] as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                let mut z = tile.salt[j] ^ idx;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                let v = (z ^ (z >> 31)) >> 11;
+                let lo = f64::from_bits((v & (TWO52 as u64 - 1)) | EXP52) - TWO52;
+                let hi = ((v >> 52) as u32 as f64) * TWO52;
+                let u = (lo + hi) * (1.0 / (1u64 << 53) as f64);
+                let x = u * (QUANT_KNOTS - 1) as f64;
+                let i = x as u32;
+                tile.knot[j] = i;
+                tile.frac[j] = x - i as f64;
+            }
         }
         // Stage 2 — gathered lerp and the delay clamp. The masks are
         // no-ops (i ≤ 2046) that let the fixed-size table index without

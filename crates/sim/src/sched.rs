@@ -47,9 +47,114 @@ use crate::engine::{SimGraph, JITTER_SALT_XOR, MAX_PINS};
 use crate::power::LaneSink;
 use gm_netlist::{Csr, GateId, NetId};
 use gm_obs::{Counter, Report, Stopwatch};
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Traces per sweep pass (one bit per lane in every net-value word).
 pub const LANES: usize = 64;
+
+/// Runtime switch for deferred divergence repair. Three states so the
+/// env var is read once, lazily: 0 = undecided, 1 = batched, 2 = inline.
+static REPAIR_BATCH: AtomicU8 = AtomicU8::new(0);
+
+/// Whether divergent-lane repair is deferred into a [`RepairQueue`] and
+/// drained in batches. Decided once from `GM_REPAIR_BATCH` (`0`/`off`
+/// pins the legacy inline per-lane fallback, anything else — including
+/// unset — the batched drain). Either way every abandoned lane re-runs
+/// the same seed on the same scalar wheel, so the gate is a performance
+/// choice, never a correctness one; CI diffs campaign stdout across it
+/// byte-for-byte.
+pub fn repair_batch_enabled() -> bool {
+    match REPAIR_BATCH.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let on = !matches!(std::env::var("GM_REPAIR_BATCH"),
+                Ok(v) if v == "0" || v.eq_ignore_ascii_case("off"));
+            REPAIR_BATCH.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Force deferred repair on or off, overriding the env default (the
+/// equivalence tests and benchmarks A/B both paths in-process).
+pub fn set_repair_batch(enabled: bool) {
+    REPAIR_BATCH.store(if enabled { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// One abandoned divergent lane, queued for deferred scalar repair:
+/// everything the wheel rerun needs (the per-trace seed and the lane's
+/// stimulus-slot values) plus the caller's label slot, so the repaired
+/// result lands exactly where the inline fallback would have written it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairTicket {
+    /// Per-trace simulation seed of the abandoned lane.
+    pub seed: u64,
+    /// Stimulus-slot values, bit `s` = slot `s` (campaign schedules hold
+    /// a handful of slots; 32 is far above any compiled plan in use).
+    pub stim_bits: u32,
+    /// Caller-defined output slot; the class/row encoding is the
+    /// caller's own and is never interpreted here.
+    pub slot: u32,
+}
+
+/// Deferred divergence-repair queue: divergent `(seed, stim, slot)`
+/// tuples collected across sweep passes and drained in one batch. The
+/// batching amortizes the stopwatch span over the whole drain and keeps
+/// the scalar wheel's working set hot across consecutive reruns instead
+/// of interleaving one cold rerun per lane into the sweep loop.
+///
+/// Ordering contract: [`RepairQueue::drain`] visits tickets in push
+/// order, and every rerun is a pure function of its ticket (the wheel
+/// is reset to the ticket's seed), so deferring repair never changes a
+/// campaign's bytes — results land in the same label slots with the
+/// same values the inline fallback would have produced.
+#[derive(Debug, Default)]
+pub struct RepairQueue {
+    tickets: Vec<RepairTicket>,
+}
+
+impl RepairQueue {
+    /// An empty queue (capacity grows on first use and is recycled).
+    pub fn new() -> Self {
+        RepairQueue::default()
+    }
+
+    /// Queue one divergent lane for deferred repair.
+    pub fn push(&mut self, seed: u64, stim_bits: u32, slot: u32) {
+        self.tickets.push(RepairTicket { seed, stim_bits, slot });
+    }
+
+    /// Tickets currently queued.
+    pub fn len(&self) -> usize {
+        self.tickets.len()
+    }
+
+    /// Whether no repair is pending.
+    pub fn is_empty(&self) -> bool {
+        self.tickets.is_empty()
+    }
+
+    /// Drain every queued ticket in push order under **one** hoisted
+    /// `fallback_ns` span, calling `repair` per ticket, and account the
+    /// batch in `stats` (`repair.lanes` / `repair.drains`). Returns the
+    /// batch size (0 for an empty queue, which opens no span).
+    pub fn drain(&mut self, stats: &mut SchedStats, mut repair: impl FnMut(RepairTicket)) -> usize {
+        if self.tickets.is_empty() {
+            return 0;
+        }
+        let span = stats.fallback_ns.span();
+        for &t in &self.tickets {
+            repair(t);
+        }
+        drop(span);
+        let n = self.tickets.len();
+        stats.repair_drains.inc();
+        stats.repair_lanes.add(n as u64);
+        self.tickets.clear();
+        n
+    }
+}
 
 /// Compiled-cascade size cap: past this the superset cascade (deeply
 /// reconvergent fan-out rings up exponentially many potential events)
@@ -79,25 +184,34 @@ const SRC_BIAS: u16 = 2;
 /// for the memset; a live node index `c` encodes as `c + 1`.
 const NO_NODE: u16 = 0;
 
-/// Per-(gate, lane) sweep state, interleaved so the hot loops touch one
-/// cache line per four lanes instead of five parallel arrays, and so
-/// the per-pass reset is a single zero-fill (every sentinel is 0).
-/// Times are `u32`: compilation refuses schedules whose worst-case time
-/// bound overflows, so in-pass actual times always fit.
+/// Per-(gate, lane) fire-side sweep state — the fields the draw/commit
+/// loop reads and writes for every toggled lane. Split from
+/// [`PinLane`] so the hottest loop touches an 8-byte record (one cache
+/// line per eight lanes) and so the per-pass reset per plane is a
+/// single zero-fill (every sentinel is 0). Times are `u32`:
+/// compilation refuses schedules whose worst-case time bound
+/// overflows, so in-pass actual times always fit.
 #[derive(Debug, Clone, Copy, Default)]
 struct GateLane {
     /// Last *scheduled* output-fire time (never reset by annihilation —
     /// scalar `out_last` parity).
     out_last: u32,
-    /// Newest pin-arrival time seen by the pin-order check.
-    last_pin: u32,
-    /// Source tag of that arrival ([`NO_SRC`]/[`STIM_SRC`]/`k + SRC_BIAS`).
-    src: u16,
     /// Newest live fire of this gate (head of the `prev_fire` chain,
     /// node index + 1, [`NO_NODE`] when empty).
     last_node: u16,
     /// Toggling-evaluation ordinal this pass (the jitter-draw counter).
     ord: u16,
+}
+
+/// Per-(gate, lane) pin-arrival state — read only by the multi-source
+/// monotonicity check, which most visits skip wholesale (`mono`), so
+/// it lives apart from the fire-side [`GateLane`] plane.
+#[derive(Debug, Clone, Copy, Default)]
+struct PinLane {
+    /// Newest pin-arrival time seen by the pin-order check.
+    last_pin: u32,
+    /// Source tag of that arrival ([`NO_SRC`]/[`STIM_SRC`]/`k + SRC_BIAS`).
+    src: u16,
     _pad: u16,
 }
 
@@ -321,6 +435,12 @@ pub struct SchedStats {
     /// Jitter draws taken scalar inside the sweep loop (wide path off,
     /// or too few toggled lanes for a tile to pay).
     pub jitter_scalar: Counter,
+    /// Divergent lanes repaired through a deferred [`RepairQueue`]
+    /// drain (inline fallbacks count only in `fallback_lanes`).
+    pub repair_lanes: Counter,
+    /// Batched drains of the repair queue; `repair_lanes / repair_drains`
+    /// is the realized batch size.
+    pub repair_drains: Counter,
 }
 
 impl SchedStats {
@@ -334,6 +454,11 @@ impl SchedStats {
         r.set_nonzero(&format!("{prefix}.fallback_ns"), self.fallback_ns.ns());
         r.set_nonzero(&format!("{prefix}.jitter.batched"), self.jitter_batched.get());
         r.set_nonzero(&format!("{prefix}.jitter.scalar"), self.jitter_scalar.get());
+        r.set_nonzero(&format!("{prefix}.repair.lanes"), self.repair_lanes.get());
+        r.set_nonzero(&format!("{prefix}.repair.drains"), self.repair_drains.get());
+        // The drain span feeds `fallback_ns`, exported above; mirror it
+        // under the repair prefix so the floor reads off one namespace.
+        r.set_nonzero(&format!("{prefix}.repair.ns"), self.fallback_ns.ns());
     }
 }
 
@@ -368,6 +493,8 @@ pub struct SchedRunner {
     // for lanes in that visit's `rej` mask — stale entries are dead).
     tarr: [u64; LANES],
     salts: [u64; LANES],
+    // Per (gate, lane): pin-arrival state of the monotonicity check.
+    planes_pin: Vec<PinLane>,
     /// Sweep counters; `stats.fallback_ns` is the caller's to feed.
     pub stats: SchedStats,
 }
@@ -387,6 +514,7 @@ impl Default for SchedRunner {
             tile: JitterTile::new(),
             tarr: [0; LANES],
             salts: [0; LANES],
+            planes_pin: Vec::new(),
             stats: SchedStats::default(),
         }
     }
@@ -423,6 +551,7 @@ impl SchedRunner {
         if self.glanes.len() < ng * LANES {
             self.out_sched.resize(ng, 0);
             self.glanes.resize(ng * LANES, GateLane::default());
+            self.planes_pin.resize(ng * LANES, PinLane::default());
         }
         if self.values.len() < graph.num_nets() {
             self.values.resize(graph.num_nets(), 0);
@@ -477,6 +606,7 @@ impl SchedRunner {
         for &(g, _) in &sched.visited_gates {
             let gl = g as usize * LANES;
             self.glanes[gl..gl + LANES].fill(GateLane::default());
+            self.planes_pin[gl..gl + LANES].fill(PinLane::default());
         }
         // Per-visit staged tile draws: a node visit that toggles enough
         // lanes compacts them into the runner's [`JitterTile`] and draws
@@ -557,7 +687,7 @@ impl SchedRunner {
                 let eval = if cn.mono {
                     commit
                 } else {
-                    let gls = &mut self.glanes[gl..gl + LANES];
+                    let pls = &mut self.planes_pin[gl..gl + LANES];
                     let mut viol = 0u64;
                     // Iterate the committed lanes only (typically a
                     // fraction of 64): inactive lanes keep their state
@@ -566,10 +696,10 @@ impl SchedRunner {
                     while b != 0 {
                         let l = b.trailing_zeros() as usize;
                         b &= b - 1;
-                        let gle = &mut gls[l];
+                        let ple = &mut pls[l];
                         let t = times[l] as u32;
-                        let src = gle.src;
-                        let lpl = gle.last_pin;
+                        let src = ple.src;
+                        let lpl = ple.last_pin;
                         // Tie (`t == lpl`): fine from the same trigger
                         // and fine after a stimulus slot.
                         if src != NO_SRC
@@ -577,8 +707,8 @@ impl SchedRunner {
                         {
                             viol |= 1u64 << l;
                         } else {
-                            gle.last_pin = t;
-                            gle.src = idx_enc;
+                            ple.last_pin = t;
+                            ple.src = idx_enc;
                         }
                     }
                     divergent |= viol;

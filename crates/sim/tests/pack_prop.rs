@@ -1,0 +1,109 @@
+//! Property tests for the lane-major word-level packing sinks: on
+//! random transition streams (random nets, lane masks, and per-lane
+//! times, windows cut mid-stream), [`LaneEnergy`] and [`LaneBinTrace`]
+//! must agree with the obvious scalar references — a per-lane weighted
+//! sum and a per-lane [`PowerTrace`] — to 1e-9, well inside the
+//! campaign's compiled-vs-scalar agreement band. The bit-plane ripple
+//! counters and the per-(weight-class × bin) popcount conversion are
+//! exactly the machinery the trace sources lean on for per-pass energy
+//! packing, so any drift here is a campaign-level wrong answer.
+
+use gm_netlist::NetId;
+use gm_sim::{LaneBinTrace, LaneEnergy, LaneSink, PowerTrace};
+use proptest::prelude::*;
+
+const LANES: usize = gm_sim::LANES;
+
+/// One random sink call: which net toggles, in which lanes, and when.
+#[derive(Debug, Clone)]
+struct Tx {
+    net: usize,
+    applied: u64,
+    values: u64,
+    times: Vec<u64>,
+}
+
+fn tx_strategy(num_nets: usize) -> impl Strategy<Value = Tx> {
+    (
+        0..num_nets,
+        any::<u64>(),
+        any::<u64>(),
+        // Times straddle the 1 000..3 000 ps window used below so both
+        // in-window and dropped transitions occur.
+        prop::collection::vec(0u64..4_000, LANES..LANES + 1),
+    )
+        .prop_map(|(net, applied, values, times)| Tx { net, applied, values, times })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Word-level energy totals ≡ per-lane scalar weighted sums. Heavy
+    /// repetition on few nets drives the ripple counters past plane 1,
+    /// so carry chains are exercised, not just the low bit.
+    #[test]
+    fn lane_energy_matches_scalar_sum(
+        weights in prop::collection::vec(0.05f64..25.0, 1..6),
+        txs in prop::collection::vec(tx_strategy(6), 1..220),
+    ) {
+        let mut word = LaneEnergy::new(&weights);
+        let mut want = [0.0f64; LANES];
+        for tx in &txs {
+            let net = tx.net % weights.len();
+            word.transitions(NetId(net as u32), weights[net], tx.applied, tx.values, &tx.times);
+            let mut m = tx.applied;
+            while m != 0 {
+                let l = m.trailing_zeros() as usize;
+                m &= m - 1;
+                want[l] += weights[net];
+            }
+        }
+        let mut got = [0.0f64; LANES];
+        word.energies_into(&mut got);
+        for (l, (&g, &w)) in got.iter().zip(&want).enumerate() {
+            prop_assert!(
+                (g - w).abs() <= 1e-9 * w.abs().max(1.0),
+                "lane {} energy: got {} want {}", l, g, w
+            );
+        }
+    }
+
+    /// Word-level time-binned packing ≡ one scalar [`PowerTrace`] per
+    /// lane, including the window cut and multiple clear/finish passes
+    /// over a reused sink.
+    #[test]
+    fn lane_bin_trace_matches_scalar_power_trace(
+        weights in prop::collection::vec(0.05f64..25.0, 1..6),
+        passes in prop::collection::vec(
+            prop::collection::vec(tx_strategy(6), 1..60), 1..4),
+    ) {
+        const BINS: usize = 4;
+        let mut word = LaneBinTrace::new(1_000, 500, BINS, &weights);
+        for txs in &passes {
+            word.clear();
+            let mut want: Vec<PowerTrace> =
+                (0..LANES).map(|_| PowerTrace::new(1_000, 500, BINS)).collect();
+            for tx in txs {
+                let net = tx.net % weights.len();
+                word.transitions(NetId(net as u32), weights[net], tx.applied, tx.values, &tx.times);
+                let mut m = tx.applied;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    want[l].add(tx.times[l], weights[net]);
+                }
+            }
+            word.finish_pass();
+            let mut got = [0.0f64; BINS];
+            for (l, want_l) in want.iter().enumerate() {
+                word.lane_into(l, &mut got);
+                for (b, (&g, &w)) in got.iter().zip(want_l.samples()).enumerate() {
+                    prop_assert!(
+                        (g - w).abs() <= 1e-9 * w.abs().max(1.0),
+                        "lane {} bin {}: got {} want {}", l, b, g, w
+                    );
+                }
+            }
+        }
+    }
+}

@@ -8,15 +8,20 @@
 //! the caller re-runs them on the wheel, which is trivially identical.
 
 use gm_netlist::{NetId, Netlist};
-use gm_sim::{CompiledSchedule, DelayModel, LaneSink, PowerSink, SchedRunner, SimCore, SimGraph};
+use gm_sim::{
+    CompiledSchedule, DelayModel, LaneSink, PowerSink, RepairQueue, SchedRunner, SimCore, SimGraph,
+};
 use proptest::prelude::*;
 
 /// Lanes per property case: enough to exercise the lane-word paths
 /// (including bits past 32) while keeping the scalar reference cheap.
 const TEST_LANES: usize = 40;
 
+/// One sorted (time, net, value, weight-bits) transition stream.
+type Stream = Vec<(u64, u32, bool, u64)>;
+
 #[derive(Default)]
-struct RecordingSink(Vec<(u64, u32, bool, u64)>);
+struct RecordingSink(Stream);
 
 impl PowerSink for RecordingSink {
     fn transition(&mut self, time_ps: u64, net: NetId, new_value: bool, weight: f64) {
@@ -24,7 +29,7 @@ impl PowerSink for RecordingSink {
     }
 }
 
-struct LaneRecording(Vec<Vec<(u64, u32, bool, u64)>>);
+struct LaneRecording(Vec<Stream>);
 
 impl LaneSink for LaneRecording {
     fn transitions(&mut self, net: NetId, weight: f64, applied: u64, values: u64, times: &[u64]) {
@@ -169,9 +174,13 @@ proptest! {
 
         // One recycled fallback core for all divergent lanes, as in the
         // bench trace sources — reset-reuse must not leak state between
-        // lanes.
+        // lanes. Inline repair (the legacy `GM_REPAIR_BATCH=0` path) is
+        // computed per lane; the deferred batch goes through a
+        // [`RepairQueue`] exactly like the trace sources and must land
+        // the same bytes in the same label slots.
         let mut fallback = SimCore::new(&graph, 0);
-        let mut composed: Vec<Vec<(u64, u32, bool, u64)>> = Vec::new();
+        let mut composed: Vec<Stream> = Vec::new();
+        let mut repairs = RepairQueue::new();
         for (l, &lane_seed) in seeds.iter().enumerate().take(TEST_LANES) {
             if div >> l & 1 != 0 {
                 fallback.reset(&graph, lane_seed);
@@ -182,10 +191,43 @@ proptest! {
                 fallback.run_until(&graph, &delays, t_end, &mut sink);
                 sink.0.sort_unstable();
                 composed.push(sink.0);
+                let mut sb = 0u32;
+                for (s, v) in stim_values.iter().enumerate() {
+                    sb |= ((v >> l & 1) as u32) << s;
+                }
+                repairs.push(lane_seed, sb, l as u32);
             } else {
                 let mut lane = rec.0[l].clone();
                 lane.sort_unstable();
                 composed.push(lane);
+            }
+        }
+
+        // Deferred drain: every queued lane repaired in one batch, into
+        // its original label slot, bit-identical to the inline repair.
+        let queued = repairs.len();
+        let mut batched: Vec<Option<Stream>> = vec![None; TEST_LANES];
+        let drained = repairs.drain(&mut runner.stats, |ticket| {
+            fallback.reset(&graph, ticket.seed);
+            for (s, &(net, t)) in stims.iter().enumerate() {
+                fallback.schedule(net, t, ticket.stim_bits >> s & 1 != 0);
+            }
+            let mut sink = RecordingSink::default();
+            fallback.run_until(&graph, &delays, t_end, &mut sink);
+            sink.0.sort_unstable();
+            batched[ticket.slot as usize] = Some(sink.0);
+        });
+        prop_assert_eq!(drained, queued, "drain must repair every queued ticket");
+        prop_assert!(repairs.is_empty(), "drain must leave the queue empty");
+        for l in 0..TEST_LANES {
+            if div >> l & 1 != 0 {
+                prop_assert_eq!(
+                    batched[l].as_ref().expect("divergent lane was queued"),
+                    &composed[l],
+                    "lane {} batched repair != inline fallback", l
+                );
+            } else {
+                prop_assert!(batched[l].is_none(), "clean lane {} must not be repaired", l);
             }
         }
 
@@ -238,6 +280,79 @@ fn high_sigma_actually_diverges() {
         total_div > 0,
         "600 ps sigma over 20 devices x {TEST_LANES} lanes never diverged — \
          the fallback path is untested dead code"
+    );
+}
+
+/// Deferred repair must actually amortise: at least one per-pass drain
+/// has to carry more than one lane, or the batched path degenerates to
+/// the inline fallback with extra bookkeeping and the hoisted-span
+/// accounting measures nothing. Same deterministic sweep as
+/// [`high_sigma_actually_diverges`], with every pass's divergent lanes
+/// queued and drained; the drained results must match a per-lane wheel
+/// rerun bit-for-bit.
+#[test]
+fn repair_drain_batches_multiple_lanes() {
+    let gates: Vec<(u8, u8, u8)> = (0..18u8).map(|k| (k % 6, k % 7, (k * 5 + 2) % 11)).collect();
+    let (n, inputs) = random_cone(&gates);
+    let graph = SimGraph::new(&n);
+    let stims: Vec<(NetId, u64)> = (0..4).map(|i| (inputs[i], 1_000 + 40 * i as u64)).collect();
+    let stim_values = vec![!0u64, 0x5555_5555_5555_5555, 0x0f0f_0f0f_0f0f_0f0f, !0u64];
+    let mut max_batch = 0usize;
+    for device in 0..20u64 {
+        let delays = DelayModel::with_variation(&n, 0.3, 600.0, device);
+        let sched = CompiledSchedule::compile(&graph, &delays, &stims).expect("cone compiles");
+        let mut runner = SchedRunner::new();
+        let seeds: Vec<u64> = (0..TEST_LANES as u64)
+            .map(|l| device.wrapping_mul(0x243f_6a88_85a3_08d3) ^ (l * 977 + 13))
+            .collect();
+        let mut rec = LaneRecording(vec![Vec::new(); gm_sim::LANES]);
+        let div = runner.run_pass(
+            &sched,
+            &graph,
+            &delays,
+            graph.weights(),
+            &seeds,
+            &stim_values,
+            400_000,
+            &mut rec,
+        );
+        let mut repairs = RepairQueue::new();
+        for (l, &seed) in seeds.iter().enumerate().take(TEST_LANES) {
+            if div >> l & 1 != 0 {
+                let mut sb = 0u32;
+                for (s, v) in stim_values.iter().enumerate() {
+                    sb |= ((v >> l & 1) as u32) << s;
+                }
+                repairs.push(seed, sb, l as u32);
+            }
+        }
+        let mut fallback = SimCore::new(&graph, 0);
+        let batch = repairs.drain(&mut runner.stats, |ticket| {
+            fallback.reset(&graph, ticket.seed);
+            for (s, &(net, t)) in stims.iter().enumerate() {
+                fallback.schedule(net, t, ticket.stim_bits >> s & 1 != 0);
+            }
+            let mut got = RecordingSink::default();
+            fallback.run_until(&graph, &delays, 400_000, &mut got);
+            got.0.sort_unstable();
+
+            let l = ticket.slot as usize;
+            let mut fresh = SimCore::new(&graph, seeds[l]);
+            for (s, &(net, t)) in stims.iter().enumerate() {
+                fresh.schedule(net, t, stim_values[s] >> l & 1 != 0);
+            }
+            let mut want = RecordingSink::default();
+            fresh.run_until(&graph, &delays, 400_000, &mut want);
+            want.0.sort_unstable();
+            assert_eq!(got.0, want.0, "device {device} lane {l} drained repair");
+        });
+        assert_eq!(batch, (div & ((1u64 << TEST_LANES) - 1)).count_ones() as usize);
+        max_batch = max_batch.max(batch);
+    }
+    assert!(
+        max_batch > 1,
+        "no drain ever carried more than one lane — deferred repair \
+         never amortises over this sweep and the batching is untested"
     );
 }
 
