@@ -47,7 +47,7 @@ fn main() {
             None => println!("NO DETECTION — setup broken!"),
         }
         let src = AnyCycleSource::new(cfg, args.scalar);
-        let r = metrics.run(
+        let r = metrics.run_streamed(
             "fig14a-prng-off",
             &Campaign::parallel(12_000.min(traces), args.seed ^ 0xa),
             &src,
@@ -65,7 +65,7 @@ fn main() {
         cfg.fixed_pt = pt;
         cfg.seed = args.seed ^ (i as u64) << 8;
         let src = AnyCycleSource::new(cfg, args.scalar);
-        let r = metrics.run(
+        let r = metrics.run_streamed(
             &format!("fig14{panel}-pt{i}"),
             &Campaign::parallel(traces, args.seed ^ (0xb + i as u64)),
             &src,

@@ -43,7 +43,7 @@ fn gate_level_panels(args: &Args, metrics: &mut MetricsSink, traces: u64) {
         if let Some(t) = args.threads {
             campaign.threads = t;
         }
-        let r = metrics.run(&format!("fig17{panel}-gate"), &campaign, &src);
+        let r = metrics.run_streamed(&format!("fig17{panel}-gate"), &campaign, &src);
         print_panel(
             &format!("panel ({panel}) gate level: PRNG on, fixed plaintext {pt:#018x}"),
             &r,
@@ -82,7 +82,7 @@ fn main() {
         cfg.fixed_pt = pt;
         cfg.seed = args.seed ^ (i as u64) << 8;
         let src = AnyCycleSource::new(cfg.clone(), args.scalar);
-        let r = metrics.run(
+        let r = metrics.run_streamed(
             &format!("fig17{panel}-pt{i}"),
             &Campaign::parallel(traces, args.seed ^ (0x17 + i as u64)),
             &src,
@@ -147,7 +147,7 @@ fn main() {
             None => println!("NO DETECTION — setup broken!"),
         }
         let src = AnyCycleSource::new(cfg, args.scalar);
-        let r = metrics.run(
+        let r = metrics.run_streamed(
             "fig17d-prng-off",
             &Campaign::parallel(12_000.min(traces), args.seed ^ 0x17e),
             &src,
@@ -163,7 +163,7 @@ fn main() {
         let mut leak = PdLeakModel::optimal();
         leak.coupling_eps = 0.0;
         let src = AnyCycleSource::with_pd_leak(cfg, leak, args.scalar);
-        let r = metrics.run(
+        let r = metrics.run_streamed(
             "ablation-no-coupling",
             &Campaign::parallel(traces, args.seed ^ 0xab2),
             &src,

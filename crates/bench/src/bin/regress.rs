@@ -1,0 +1,262 @@
+//! Bench regression gate over the `BENCH_*.json` trajectories (CI).
+//!
+//! Usage:
+//!
+//! ```text
+//! regress [--file PATH ...] [--max-drop PCT]
+//! regress --inject slow|flip --file PATH
+//! ```
+//!
+//! Gate mode (the default) checks the newest row of each trajectory
+//! against its baseline — the most recent earlier row of the same
+//! campaign, thread count, trace count, and backend (rows measured under
+//! different conditions are not comparable and never gate each other).
+//! The gate fails when:
+//!
+//! * throughput dropped by more than `--max-drop` percent (default 30,
+//!   sized to catch real regressions over CI machine noise), or
+//! * a leakage conclusion flipped: any `max_abs_t1` /
+//!   `table1_leaky_max_t1` / `table1_safe_max_t1` member present in both
+//!   rows moved across the ±4.5 decision threshold.
+//!
+//! With no `--file`, both standard trajectories (`BENCH_tvla.json`,
+//! `BENCH_gate.json`) are gated. A trajectory with no comparable
+//! baseline passes vacuously (first row after a harness change).
+//!
+//! Inject mode appends a synthetic defective row (label
+//! `synthetic-regression`) cloned from the newest: `slow` multiplies the
+//! wall time by 20, `flip` moves every t-conclusion member across the
+//! threshold. CI uses it to prove the gate actually fails — offline, no
+//! slow re-run needed.
+//!
+//! Exit codes: 0 pass, 1 regression detected, 2 usage or read error.
+
+use gm_bench::record::append_record;
+use gm_bench::{read_records, BenchRecord};
+use gm_leakage::THRESHOLD;
+
+const DEFAULT_FILES: [&str; 2] = ["BENCH_tvla.json", "BENCH_gate.json"];
+const DEFAULT_MAX_DROP: f64 = 30.0;
+
+/// The extras whose above/below-±4.5 state is a campaign conclusion.
+const CONCLUSION_KEYS: [&str; 3] = ["max_abs_t1", "table1_leaky_max_t1", "table1_safe_max_t1"];
+
+fn extra_f64(rec: &BenchRecord, key: &str) -> Option<f64> {
+    rec.extra.iter().find(|(k, _)| k == key).and_then(|(_, raw)| raw.trim().parse().ok())
+}
+
+fn extra_raw<'a>(rec: &'a BenchRecord, key: &str) -> Option<&'a str> {
+    rec.extra.iter().find(|(k, _)| k == key).map(|(_, raw)| raw.as_str())
+}
+
+/// Whether `cand` was measured under the same conditions as `newest`.
+fn comparable(cand: &BenchRecord, newest: &BenchRecord) -> bool {
+    cand.campaign == newest.campaign
+        && cand.threads == newest.threads
+        && cand.traces == newest.traces
+        && extra_raw(cand, "backend") == extra_raw(newest, "backend")
+}
+
+/// Gate one trajectory. `Ok` carries the human-readable verdict lines;
+/// `Err` carries the regression message(s).
+fn gate(rows: &[BenchRecord], max_drop: f64) -> Result<String, String> {
+    let Some(newest) = rows.last() else {
+        return Ok("empty trajectory — nothing to gate".to_owned());
+    };
+    let Some(baseline) = rows[..rows.len() - 1].iter().rev().find(|r| comparable(r, newest)) else {
+        return Ok(format!(
+            "newest row \"{}\" has no comparable baseline ({} @ {} traces, {} threads) — \
+             pass (vacuous)",
+            newest.label, newest.campaign, newest.traces, newest.threads
+        ));
+    };
+
+    let mut failures = Vec::new();
+    let (new_tps, base_tps) = (newest.traces_per_sec(), baseline.traces_per_sec());
+    let drop_pct = 100.0 * (1.0 - new_tps / base_tps.max(f64::MIN_POSITIVE));
+    if drop_pct > max_drop {
+        failures.push(format!(
+            "throughput regression: \"{}\" runs {:.0} traces/s vs baseline \"{}\" at {:.0} \
+             ({:.1}% drop, bound {max_drop}%)",
+            newest.label, new_tps, baseline.label, base_tps, drop_pct
+        ));
+    }
+    for key in CONCLUSION_KEYS {
+        let (Some(new_t), Some(base_t)) = (extra_f64(newest, key), extra_f64(baseline, key)) else {
+            continue;
+        };
+        if (new_t > THRESHOLD) != (base_t > THRESHOLD) {
+            failures.push(format!(
+                "conclusion flip: {key} moved across ±{THRESHOLD} \
+                 (baseline \"{}\": {base_t:.3}, newest \"{}\": {new_t:.3})",
+                baseline.label, newest.label
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(format!(
+            "\"{}\" vs baseline \"{}\": {:.0} vs {:.0} traces/s ({:+.1}%), conclusions stable",
+            newest.label, baseline.label, new_tps, base_tps, -drop_pct
+        ))
+    } else {
+        Err(failures.join("\n  "))
+    }
+}
+
+/// Build the synthetic defective row for `--inject`.
+fn injected(newest: &BenchRecord, mode: &str) -> BenchRecord {
+    let mut row = newest.clone();
+    row.label = "synthetic-regression".to_owned();
+    match mode {
+        "slow" => row.seconds *= 20.0,
+        "flip" => {
+            for (key, raw) in &mut row.extra {
+                if !CONCLUSION_KEYS.contains(&key.as_str()) {
+                    continue;
+                }
+                let Ok(v) = raw.trim().parse::<f64>() else { continue };
+                let flipped = if v > THRESHOLD { THRESHOLD / 4.0 } else { THRESHOLD * 2.0 + 0.5 };
+                *raw = format!("{flipped:.3}");
+            }
+        }
+        other => usage(&format!("unknown --inject mode {other} (use slow|flip)")),
+    }
+    row
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("regress: {msg}");
+    eprintln!("usage: regress [--file PATH ...] [--max-drop PCT] [--inject slow|flip]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut files: Vec<String> = Vec::new();
+    let mut max_drop = DEFAULT_MAX_DROP;
+    let mut inject: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = || it.next().unwrap_or_else(|| usage(&format!("flag {flag} needs a value")));
+        match flag.as_str() {
+            "--file" => files.push(grab()),
+            "--max-drop" => {
+                max_drop = grab().parse().unwrap_or_else(|_| usage("--max-drop takes a percent"))
+            }
+            "--inject" => inject = Some(grab()),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    if let Some(mode) = inject {
+        let [file] = files.as_slice() else {
+            usage("--inject needs exactly one --file");
+        };
+        let rows = read_records(file).unwrap_or_else(|e| usage(&e));
+        let Some(newest) = rows.last() else {
+            usage(&format!("{file}: empty trajectory, nothing to clone"));
+        };
+        let row = injected(newest, &mode);
+        append_record(file, &row.to_json()).unwrap_or_else(|e| usage(&format!("{file}: {e}")));
+        println!("{file}: appended synthetic `{mode}` regression row (from \"{}\")", newest.label);
+        return;
+    }
+
+    if files.is_empty() {
+        files = DEFAULT_FILES.iter().map(|s| (*s).to_owned()).collect();
+    }
+    let mut failed = false;
+    for file in &files {
+        let rows = match read_records(file) {
+            Ok(rows) => rows,
+            Err(e) => {
+                eprintln!("regress: {e}");
+                std::process::exit(2);
+            }
+        };
+        match gate(&rows, max_drop) {
+            Ok(verdict) => println!("{file}: {verdict}"),
+            Err(msg) => {
+                eprintln!("{file}: REGRESSION\n  {msg}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("regress: {} trajectory file(s): OK", files.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(label: &str, seconds: f64, safe_t: f64) -> BenchRecord {
+        let mut r = BenchRecord::new(label, "fig15-gate-placement", 200_000, 8, seconds);
+        r.git_rev = "test".to_owned();
+        r.with("backend", "\"compiled-schedule\"".to_owned()).with_f64("table1_safe_max_t1", safe_t)
+    }
+
+    #[test]
+    fn empty_and_single_row_trajectories_pass() {
+        assert!(gate(&[], 30.0).is_ok());
+        assert!(gate(&[row("only", 0.05, 1.5)], 30.0).is_ok());
+    }
+
+    #[test]
+    fn stable_trajectory_passes() {
+        let rows = vec![row("a", 0.050, 1.5), row("b", 0.052, 1.6)];
+        gate(&rows, 30.0).unwrap();
+    }
+
+    #[test]
+    fn throughput_drop_fails() {
+        let rows = vec![row("a", 0.05, 1.5), row("slow", 0.05 * 20.0, 1.5)];
+        let err = gate(&rows, 30.0).unwrap_err();
+        assert!(err.contains("throughput regression"), "{err}");
+    }
+
+    #[test]
+    fn conclusion_flip_fails_even_at_same_speed() {
+        let rows = vec![row("a", 0.05, 1.5), row("flip", 0.05, 9.5)];
+        let err = gate(&rows, 30.0).unwrap_err();
+        assert!(err.contains("conclusion flip"), "{err}");
+        assert!(err.contains("table1_safe_max_t1"), "{err}");
+    }
+
+    #[test]
+    fn incomparable_rows_never_gate_each_other() {
+        // Different thread count: a slower single-thread row is not a
+        // regression against an 8-thread baseline.
+        let mut single = row("one-thread", 1.0, 1.5);
+        single.threads = 1;
+        let rows = vec![row("a", 0.05, 1.5), single];
+        let verdict = gate(&rows, 30.0).unwrap();
+        assert!(verdict.contains("no comparable baseline"), "{verdict}");
+        // Different backend: same condition.
+        let mut scalar = row("scalar", 1.0, 1.5);
+        scalar.extra[0] = ("backend".to_owned(), "\"scalar\"".to_owned());
+        let rows = vec![row("a", 0.05, 1.5), scalar];
+        assert!(gate(&rows, 30.0).unwrap().contains("no comparable baseline"));
+    }
+
+    #[test]
+    fn baseline_skips_incomparable_middle_rows() {
+        let mut single = row("one-thread", 1.0, 1.5);
+        single.threads = 1;
+        let rows = vec![row("a", 0.05, 1.5), single, row("c", 0.048, 1.4)];
+        let verdict = gate(&rows, 30.0).unwrap();
+        assert!(verdict.contains("baseline \"a\""), "{verdict}");
+    }
+
+    #[test]
+    fn injected_rows_trip_the_gate() {
+        let base = row("good", 0.05, 1.5);
+        let slow = injected(&base, "slow");
+        assert_eq!(slow.label, "synthetic-regression");
+        assert!(gate(&[base.clone(), slow], 30.0).is_err());
+        let flip = injected(&base, "flip");
+        assert!(extra_f64(&flip, "table1_safe_max_t1").unwrap() > THRESHOLD);
+        assert!(gate(&[base, flip], 30.0).is_err());
+    }
+}

@@ -1,38 +1,57 @@
-//! Validate a `--metrics` JSONL file (CI gate).
+//! Validate `--metrics` JSONL files and `--trace-out` Chrome trace
+//! exports (CI gate).
 //!
-//! Usage: `validate_metrics <metrics.jsonl> [more.jsonl ...]`
+//! Usage: `validate_metrics <file> [more ...]`
 //!
-//! Each line must parse as a JSON object carrying the shared envelope
-//! (`bin`, `phase`, `git_rev`, `seed`, `traces`, `threads`, `seconds`,
-//! `traces_per_sec`, `balance_pct`, `counters`), with `counters` a flat
-//! object of non-negative integers. Exits non-zero naming the first
-//! offending file/line so CI fails loudly on schema drift.
+//! Each file is sniffed: a whole-file JSON object carrying `traceEvents`
+//! is validated as a Chrome trace-event export (event envelope plus
+//! per-thread begin/end stack discipline; an empty event array is valid —
+//! that is what an `obs-off` build exports). Anything else is validated
+//! line-by-line as campaign-metrics JSONL, dispatching on the record's
+//! `kind`: `phase` records carry the `traces`/`threads`/`counters`
+//! envelope, `progress` records the live-convergence snapshot members.
+//! Exits non-zero naming the first offending file/line so CI fails
+//! loudly on schema drift.
 
 use gm_bench::json::{self, Json};
 
-fn validate_line(line: &str) -> Result<(), String> {
-    let v = json::parse(line)?;
-    if v.as_obj().is_none() {
-        return Err("record is not an object".to_owned());
+fn str_member(v: &Json, name: &str) -> Result<String, String> {
+    v.get(name)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing string member '{name}'"))
+}
+
+fn u64_member(v: &Json, name: &str) -> Result<u64, String> {
+    v.get(name).and_then(Json::as_u64).ok_or_else(|| format!("missing integer member '{name}'"))
+}
+
+fn finite_member(v: &Json, name: &str) -> Result<f64, String> {
+    let n = v
+        .get(name)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing number member '{name}'"))?;
+    if !n.is_finite() || n < 0.0 {
+        return Err(format!("member '{name}' is not a finite non-negative number"));
     }
+    Ok(n)
+}
+
+fn validate_envelope(v: &Json) -> Result<(), String> {
     for name in ["bin", "phase", "git_rev"] {
-        v.get(name)
-            .and_then(Json::as_str)
-            .ok_or_else(|| format!("missing string member '{name}'"))?;
+        str_member(v, name)?;
     }
-    for name in ["seed", "traces", "threads", "balance_pct"] {
-        v.get(name)
-            .and_then(Json::as_u64)
-            .ok_or_else(|| format!("missing integer member '{name}'"))?;
+    u64_member(v, "seed")?;
+    Ok(())
+}
+
+fn validate_phase(v: &Json) -> Result<(), String> {
+    validate_envelope(v)?;
+    for name in ["traces", "threads", "balance_pct"] {
+        u64_member(v, name)?;
     }
     for name in ["seconds", "traces_per_sec"] {
-        let n = v
-            .get(name)
-            .and_then(Json::as_f64)
-            .ok_or_else(|| format!("missing number member '{name}'"))?;
-        if !n.is_finite() || n < 0.0 {
-            return Err(format!("member '{name}' is not a finite non-negative number"));
-        }
+        finite_member(v, name)?;
     }
     let counters =
         v.get("counters").and_then(Json::as_obj).ok_or("missing object member 'counters'")?;
@@ -44,8 +63,92 @@ fn validate_line(line: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn validate_file(path: &str) -> Result<usize, String> {
+fn validate_progress(v: &Json) -> Result<(), String> {
+    validate_envelope(v)?;
+    let done = u64_member(v, "traces_done")?;
+    let total = u64_member(v, "traces_total")?;
+    if done > total {
+        return Err(format!("traces_done {done} exceeds traces_total {total}"));
+    }
+    u64_member(v, "threads")?;
+    for name in ["seconds", "traces_per_sec", "max_abs_t1", "max_abs_t2"] {
+        finite_member(v, name)?;
+    }
+    Ok(())
+}
+
+fn validate_line(line: &str) -> Result<(), String> {
+    let v = json::parse(line)?;
+    if v.as_obj().is_none() {
+        return Err("record is not an object".to_owned());
+    }
+    // Records before the `kind` member existed are phase records.
+    match v.get("kind").and_then(Json::as_str).unwrap_or("phase") {
+        "phase" => validate_phase(&v),
+        "progress" => validate_progress(&v),
+        other => Err(format!("unknown record kind '{other}'")),
+    }
+}
+
+/// Validate a Chrome trace-event export: the envelope of every event,
+/// and begin/end balance per thread (an `E` must close the most recent
+/// open `B` of its thread, and nothing may stay open at the end).
+fn validate_trace(v: &Json) -> Result<usize, String> {
+    let events = v
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("member 'traceEvents' is not an array")?;
+    let mut stacks: Vec<(u64, Vec<String>)> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let fail = |e: String| format!("traceEvents[{i}]: {e}");
+        ev.as_obj().ok_or_else(|| fail("event is not an object".to_owned()))?;
+        let name = str_member(ev, "name").map_err(fail)?;
+        let ph = str_member(ev, "ph").map_err(fail)?;
+        let tid = u64_member(ev, "tid").map_err(fail)?;
+        u64_member(ev, "pid").map_err(fail)?;
+        finite_member(ev, "ts").map_err(fail)?;
+        let stack = match stacks.iter_mut().find(|(t, _)| *t == tid) {
+            Some((_, s)) => s,
+            None => {
+                stacks.push((tid, Vec::new()));
+                &mut stacks.last_mut().expect("just pushed").1
+            }
+        };
+        match ph.as_str() {
+            "B" => stack.push(name),
+            "E" => {
+                let open = stack
+                    .pop()
+                    .ok_or_else(|| fail(format!("end of '{name}' with no open span")))?;
+                if open != name {
+                    return Err(fail(format!("end of '{name}' while '{open}' is open")));
+                }
+            }
+            // Complete and metadata events carry no stack obligations.
+            "X" | "M" => {}
+            other => return Err(fail(format!("unknown phase type '{other}'"))),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!("thread {tid}: span '{open}' never ends"));
+        }
+    }
+    Ok(events.len())
+}
+
+enum Validated {
+    Trace(usize),
+    Records(usize),
+}
+
+fn validate_file(path: &str) -> Result<Validated, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
+    if let Ok(v) = json::parse(&text) {
+        if v.get("traceEvents").is_some() {
+            return validate_trace(&v).map(Validated::Trace).map_err(|e| format!("{path}: {e}"));
+        }
+    }
     let mut records = 0usize;
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -57,19 +160,23 @@ fn validate_file(path: &str) -> Result<usize, String> {
     if records == 0 {
         return Err(format!("{path}: no records"));
     }
-    Ok(records)
+    Ok(Validated::Records(records))
 }
 
 fn main() {
     let paths: Vec<String> = std::env::args().skip(1).collect();
     if paths.is_empty() {
-        eprintln!("usage: validate_metrics <metrics.jsonl> [more.jsonl ...]");
+        eprintln!("usage: validate_metrics <metrics.jsonl|trace.json> [more ...]");
         std::process::exit(2);
     }
     let mut total = 0usize;
     for path in &paths {
         match validate_file(path) {
-            Ok(n) => {
+            Ok(Validated::Trace(n)) => {
+                println!("{path}: valid Chrome trace ({n} event(s))");
+                total += n;
+            }
+            Ok(Validated::Records(n)) => {
                 println!("{path}: {n} valid record(s)");
                 total += n;
             }
@@ -87,10 +194,22 @@ mod tests {
     use super::*;
 
     #[test]
-    fn accepts_a_real_record_line() {
-        let line = "{\"bin\":\"t\",\"phase\":\"p\",\"git_rev\":\"abc\",\"seed\":1,\
-                    \"traces\":10,\"threads\":2,\"seconds\":0.5,\"traces_per_sec\":20.0,\
-                    \"balance_pct\":100,\"counters\":{\"pool.traces\":10}}";
+    fn accepts_a_real_phase_line() {
+        let line = "{\"bin\":\"t\",\"kind\":\"phase\",\"phase\":\"p\",\"git_rev\":\"abc\",\
+                    \"seed\":1,\"traces\":10,\"threads\":2,\"seconds\":0.5,\
+                    \"traces_per_sec\":20.0,\"balance_pct\":100,\"counters\":{\"pool.traces\":10}}";
+        validate_line(line).unwrap();
+        // Pre-`kind` records from older runs still validate as phases.
+        let legacy = line.replace("\"kind\":\"phase\",", "");
+        validate_line(&legacy).unwrap();
+    }
+
+    #[test]
+    fn accepts_a_progress_line() {
+        let line = "{\"bin\":\"fig14\",\"kind\":\"progress\",\"phase\":\"fig14b-pt0\",\
+                    \"git_rev\":\"abc\",\"seed\":1,\"traces_done\":512,\"traces_total\":4000,\
+                    \"threads\":4,\"seconds\":0.25,\"traces_per_sec\":2048.0,\
+                    \"max_abs_t1\":1.25,\"max_abs_t2\":3.5}";
         validate_line(line).unwrap();
     }
 
@@ -102,5 +221,49 @@ mod tests {
                            \"traces\":1,\"threads\":1,\"seconds\":0.1,\"traces_per_sec\":10.0,\
                            \"balance_pct\":100,\"counters\":{\"x\":-3}}";
         assert!(validate_line(bad_counter).is_err());
+        let bad_kind = "{\"bin\":\"t\",\"kind\":\"mystery\",\"phase\":\"p\",\"git_rev\":\"a\",\
+                        \"seed\":1}";
+        assert!(validate_line(bad_kind).is_err());
+        let done_past_total = "{\"bin\":\"t\",\"kind\":\"progress\",\"phase\":\"p\",\
+                               \"git_rev\":\"a\",\"seed\":1,\"traces_done\":10,\
+                               \"traces_total\":5,\"threads\":1,\"seconds\":0.1,\
+                               \"traces_per_sec\":10.0,\"max_abs_t1\":1.0,\"max_abs_t2\":1.0}";
+        assert!(validate_line(done_past_total).is_err());
+    }
+
+    fn ev(name: &str, ph: &str, tid: u64, ts: f64) -> String {
+        format!("{{\"name\":\"{name}\",\"ph\":\"{ph}\",\"pid\":1,\"tid\":{tid},\"ts\":{ts}}}")
+    }
+
+    #[test]
+    fn accepts_balanced_trace() {
+        let body = format!(
+            "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{},{},{},{}]}}",
+            ev("a", "B", 1, 0.0),
+            ev("b", "B", 1, 1.0),
+            ev("b", "E", 1, 2.0),
+            ev("a", "E", 1, 3.0),
+        );
+        assert_eq!(validate_trace(&json::parse(&body).unwrap()).unwrap(), 4);
+        // Empty capture (obs-off build) is a valid trace.
+        let empty = json::parse("{\"traceEvents\":[]}").unwrap();
+        assert_eq!(validate_trace(&empty).unwrap(), 0);
+    }
+
+    #[test]
+    fn rejects_unbalanced_traces() {
+        for events in [
+            // E with nothing open.
+            vec![ev("a", "E", 1, 0.0)],
+            // Mismatched nesting on one thread.
+            vec![ev("a", "B", 1, 0.0), ev("b", "B", 1, 1.0), ev("a", "E", 1, 2.0)],
+            // Span left open at the end.
+            vec![ev("a", "B", 1, 0.0)],
+            // Threads do not share stacks.
+            vec![ev("a", "B", 1, 0.0), ev("a", "E", 2, 1.0)],
+        ] {
+            let body = format!("{{\"traceEvents\":[{}]}}", events.join(","));
+            assert!(validate_trace(&json::parse(&body).unwrap()).is_err(), "{body}");
+        }
     }
 }

@@ -34,6 +34,13 @@ pub struct Args {
     /// `--progress`: print per-phase observability lines as phases
     /// complete, plus the end-of-run summary table.
     pub progress: bool,
+    /// `--progress-every N`: stream live convergence records (max-|t|,
+    /// traces done, throughput) roughly every N acquired traces for
+    /// campaigns that support streaming (`progress` JSONL record kind).
+    pub progress_every: Option<u64>,
+    /// `--trace-out PATH`: capture begin/end span events across the run
+    /// and write them to PATH as Chrome trace-event JSON at exit.
+    pub trace_out: Option<String>,
 }
 
 impl Default for Args {
@@ -50,6 +57,8 @@ impl Default for Args {
             scalar: false,
             metrics: None,
             progress: false,
+            progress_every: None,
+            trace_out: None,
         }
     }
 }
@@ -81,10 +90,15 @@ impl Args {
                 "--scalar" => args.scalar = true,
                 "--metrics" => args.metrics = Some(grab()),
                 "--progress" => args.progress = true,
+                "--progress-every" => {
+                    args.progress_every =
+                        Some(grab().parse().expect("--progress-every takes a trace count"))
+                }
+                "--trace-out" => args.trace_out = Some(grab()),
                 other => panic!(
                     "unknown flag {other}; supported: --traces N --seed S --panel X --out DIR \
                      --quick --threads N --label S --gate-level --scalar --metrics PATH \
-                     --progress"
+                     --progress --progress-every N --trace-out PATH"
                 ),
             }
         }
@@ -118,7 +132,8 @@ mod tests {
     fn flags() {
         let a = parse(
             "--traces 5000 --seed 7 --panel d --out /tmp/x --quick --threads 8 --label s \
-             --gate-level --scalar --metrics /tmp/m.jsonl --progress",
+             --gate-level --scalar --metrics /tmp/m.jsonl --progress --progress-every 500 \
+             --trace-out /tmp/t.json",
         );
         assert_eq!(a.traces, Some(5000));
         assert_eq!(a.seed, 7);
@@ -131,6 +146,8 @@ mod tests {
         assert!(a.scalar);
         assert_eq!(a.metrics.as_deref(), Some("/tmp/m.jsonl"));
         assert!(a.progress);
+        assert_eq!(a.progress_every, Some(500));
+        assert_eq!(a.trace_out.as_deref(), Some("/tmp/t.json"));
     }
 
     #[test]
@@ -138,6 +155,8 @@ mod tests {
         let a = parse("");
         assert!(a.metrics.is_none());
         assert!(!a.progress);
+        assert!(a.progress_every.is_none());
+        assert!(a.trace_out.is_none());
     }
 
     #[test]

@@ -38,3 +38,4 @@ pub mod record;
 
 pub use cli::Args;
 pub use metrics::MetricsSink;
+pub use record::{read_records, BenchRecord};

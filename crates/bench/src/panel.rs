@@ -65,6 +65,87 @@ pub fn ascii_power(trace: &[f64], width: usize) -> String {
     out
 }
 
+/// Live convergence readout for a streamed TVLA campaign: collects
+/// `(traces_done, max|t1|)` snapshots and — when live printing is on —
+/// renders one `[conv]` line per snapshot (a bar scaled against the
+/// ±4.5 decision threshold) plus an end-of-campaign ASCII curve of
+/// max|t1| over acquired traces.
+#[derive(Debug)]
+pub struct Convergence {
+    name: String,
+    total: u64,
+    live: bool,
+    points: Vec<(u64, f64)>,
+}
+
+impl Convergence {
+    /// New readout for a campaign of `total` traces; `live` enables the
+    /// per-snapshot terminal lines (tie this to `--progress`).
+    pub fn new(name: &str, total: u64, live: bool) -> Self {
+        Convergence { name: name.to_owned(), total, live, points: Vec::new() }
+    }
+
+    /// Record one snapshot (and print its live line).
+    pub fn observe(&mut self, done: u64, max_t1: f64, seconds: f64) {
+        self.points.push((done, max_t1));
+        if self.live {
+            // 36 columns span twice the threshold, so the gate sits
+            // mid-bar: a bar crossing its midpoint marker is a leak.
+            const COLS: usize = 36;
+            let filled = ((max_t1 / (2.0 * THRESHOLD)) * COLS as f64).round() as usize;
+            let mut bar = String::with_capacity(COLS);
+            for i in 0..COLS {
+                bar.push(if i == COLS / 2 {
+                    if filled > i {
+                        '|'
+                    } else {
+                        ':'
+                    }
+                } else if i < filled {
+                    '='
+                } else {
+                    ' '
+                });
+            }
+            let tps = if seconds > 0.0 { done as f64 / seconds } else { 0.0 };
+            println!(
+                "[conv] {:<18} {:>9}/{:<9} max|t1| {:6.2} [{bar}] {:>9.0}/s",
+                truncate_ascii(&self.name, 18),
+                done,
+                self.total,
+                max_t1,
+                tps
+            );
+        }
+    }
+
+    /// Snapshots collected so far.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Render the end-of-campaign convergence curve (live mode only,
+    /// needs at least two snapshots to be a curve).
+    pub fn finish(&self) {
+        if !self.live || self.points.len() < 2 {
+            return;
+        }
+        let t: Vec<f64> = self.points.iter().map(|&(_, v)| v).collect();
+        println!(
+            "[conv] {}: max|t1| over {} snapshots ({} traces):",
+            self.name,
+            self.points.len(),
+            self.points.last().map_or(0, |&(n, _)| n)
+        );
+        println!("{}", report::ascii_curve(&t, 72));
+    }
+}
+
+fn truncate_ascii(s: &str, n: usize) -> &str {
+    // Phase names are ASCII; byte truncation is char truncation.
+    &s[..s.len().min(n)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,5 +154,23 @@ mod tests {
     fn max_abs_basics() {
         assert_eq!(max_abs(&[1.0, -3.0, 2.0]), 3.0);
         assert_eq!(max_abs(&[]), 0.0);
+    }
+
+    #[test]
+    fn convergence_collects_points_silently() {
+        let mut c = Convergence::new("unit", 1000, false);
+        c.observe(200, 1.5, 0.1);
+        c.observe(400, 2.5, 0.2);
+        c.observe(1000, 3.0, 0.5);
+        assert_eq!(c.points(), &[(200, 1.5), (400, 2.5), (1000, 3.0)]);
+        c.finish();
+    }
+
+    #[test]
+    fn convergence_live_lines_do_not_panic() {
+        let mut c = Convergence::new("a-rather-long-phase-name", 100, true);
+        c.observe(50, 0.0, 0.0);
+        c.observe(100, 40.0, 0.1); // bar saturates past 2×threshold
+        c.finish();
     }
 }

@@ -1,0 +1,93 @@
+//! Satellite: the `--metrics` JSONL stream survives a mid-run kill with
+//! every newline-terminated line a whole record.
+//!
+//! Every record goes out as one `write_all` + flush of line-plus-`\n`,
+//! so a SIGKILL between records loses nothing. A kill *during* the
+//! write can still truncate it — a single `write(2)` spanning a page
+//! boundary commits page by page and Linux checks fatal signals in
+//! between — so the contract is: at most the final, unterminated line
+//! is partial, and a line-oriented reader skips it naturally. This test
+//! proves it end to end: it re-spawns the test binary as a child
+//! (`GM_SINK_KILL_CHILD` selects the writer role) that streams records
+//! in a tight loop, kills it once enough lines exist, and validates
+//! every newline-terminated line of the survivor file parses as a
+//! complete JSON record.
+
+use gm_bench::{Args, MetricsSink};
+use gm_obs::Report;
+use std::time::{Duration, Instant};
+
+const CHILD_ENV: &str = "GM_SINK_KILL_CHILD";
+
+/// Writer role: stream phase records forever (until killed). Runs inside
+/// the child process only; as a test in the parent it is a no-op.
+#[test]
+fn child_writer_loop() {
+    let Ok(path) = std::env::var(CHILD_ENV) else { return };
+    let args = Args { metrics: Some(path), ..Args::default() };
+    let mut sink = MetricsSink::from_args("sink_kill_child", &args);
+    for i in 0u64.. {
+        let mut counters = Report::new();
+        counters.set("kill.iteration", i);
+        sink.record_phase(&format!("spin-{i}"), 0.001, 10, counters);
+    }
+}
+
+#[test]
+fn kill_mid_run_leaves_only_whole_lines() {
+    let dir = std::env::temp_dir().join("gm_bench_sink_kill_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("victim-{}.jsonl", std::process::id()));
+    let path = path.to_str().unwrap().to_owned();
+    let _ = std::fs::remove_file(&path);
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut child = std::process::Command::new(exe)
+        .args(["--exact", "child_writer_loop", "--nocapture"])
+        .env(CHILD_ENV, &path)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn writer child");
+
+    // Wait until the stream is clearly mid-flight, then kill without
+    // warning — the harshest interruption the sink can get.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let lines = std::fs::read_to_string(&path).map(|t| t.lines().count()).unwrap_or(0);
+        if lines >= 50 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "child produced {lines} lines in 30 s");
+        if let Some(status) = child.try_wait().expect("poll child") {
+            panic!("writer child exited early: {status}");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().expect("kill child");
+    let _ = child.wait();
+
+    let text = std::fs::read_to_string(&path).expect("survivor file");
+    // The kill may land mid-`write(2)` and truncate the record being
+    // written; only the final line may be partial, and only when the
+    // file does not end at a record boundary.
+    let whole = match text.rfind('\n') {
+        Some(pos) => &text[..=pos],
+        None => panic!("no complete record survived the kill"),
+    };
+    let mut n = 0;
+    for (i, line) in whole.lines().enumerate() {
+        let v = gm_bench::json::parse(line)
+            .unwrap_or_else(|e| panic!("line {}: torn record: {e}\n{line}", i + 1));
+        assert_eq!(
+            v.get("kind").and_then(gm_bench::json::Json::as_str),
+            Some("phase"),
+            "line {}",
+            i + 1
+        );
+        assert_eq!(v.get("bin").and_then(gm_bench::json::Json::as_str), Some("sink_kill_child"));
+        n += 1;
+    }
+    assert!(n >= 50, "all observed lines survive the kill, got {n}");
+    let _ = std::fs::remove_file(&path);
+}

@@ -139,6 +139,17 @@ impl TraceMoments {
         self.merge_parts(other.n, &other.mean, &other.m);
     }
 
+    /// Overwrite `self` with `src`, reusing existing allocations. The
+    /// streaming snapshot publish path calls this once per acquisition
+    /// block, so it must not allocate in steady state.
+    pub fn copy_from(&mut self, src: &TraceMoments) {
+        self.n = src.n;
+        self.mean.clone_from(&src.mean);
+        for (dst, s) in self.m.iter_mut().zip(src.m.iter()) {
+            dst.clone_from(s);
+        }
+    }
+
     /// The Pébay two-set combination over raw parts: fold a set of `nb`
     /// traces with per-sample means `mean_b` and central sums `m_b` into
     /// `self`. Shared by [`Self::merge`] and [`Self::add_block`].

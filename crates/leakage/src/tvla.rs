@@ -12,7 +12,8 @@ use crate::ttest::{t_first_order, t_second_order, t_third_order};
 use gm_obs::{Counter, LogHist, Report, Stopwatch, Timer, HIST_BUCKETS};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Mutex};
 
 /// TVLA trace class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,6 +144,13 @@ impl TvlaResult {
     pub fn merge(&mut self, other: &TvlaResult) {
         self.fixed.merge(&other.fixed);
         self.random.merge(&other.random);
+    }
+
+    /// Overwrite `self` with `other`, reusing allocations. The streaming
+    /// snapshot publish path runs this once per acquisition block.
+    pub fn copy_from(&mut self, other: &TvlaResult) {
+        self.fixed.copy_from(&other.fixed);
+        self.random.copy_from(&other.random);
     }
 }
 
@@ -312,6 +320,90 @@ impl WorkerTally {
     }
 }
 
+/// Shared state for live convergence streaming: one snapshot slot per
+/// worker plus a published-trace watermark and the next cadence target.
+///
+/// The ordering contract (DESIGN.md §2.12): workers only ever *publish*
+/// — a block boundary copies the worker's cumulative accumulator into
+/// its slot under `try_lock` (never blocking the hot path; a contended
+/// publish is simply skipped and the next block retries) and bumps the
+/// watermark. The coordinator *merges on read*: when a publish crosses
+/// the cadence target it is notified and folds the slots together in
+/// worker-index order. Snapshots are therefore monotone in trace count
+/// but may lag the watermark by up to one block per worker; the final
+/// emission always comes from the authoritative chunk-merged result, so
+/// the last snapshot of a campaign equals the one-shot result exactly.
+///
+/// Slots hold per-worker *cumulative* results, which is why streaming
+/// campaigns run as a single chunk (`run_streamed_observed`).
+struct StreamShared {
+    slots: Vec<Mutex<TvlaResult>>,
+    published: AtomicU64,
+    next_target: AtomicU64,
+    every: u64,
+}
+
+impl StreamShared {
+    fn new(threads: usize, num_samples: usize, every: u64) -> Self {
+        StreamShared {
+            slots: (0..threads).map(|_| Mutex::new(TvlaResult::new(num_samples))).collect(),
+            published: AtomicU64::new(0),
+            next_target: AtomicU64::new(every),
+            every,
+        }
+    }
+
+    /// Worker-side block-boundary publish of `worker`'s cumulative
+    /// result after acquiring `block` more traces. Returns `true` when
+    /// this publish crossed the cadence target and the coordinator
+    /// should be notified.
+    fn publish(&self, worker: usize, block: u64, cumulative: &TvlaResult) -> bool {
+        if let Ok(mut slot) = self.slots[worker].try_lock() {
+            slot.copy_from(cumulative);
+        }
+        let total = self.published.fetch_add(block, Ordering::AcqRel) + block;
+        let mut target = self.next_target.load(Ordering::Relaxed);
+        while target <= total {
+            let next = (total / self.every + 1) * self.every;
+            match self.next_target.compare_exchange(
+                target,
+                next,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(current) => target = current,
+            }
+        }
+        false
+    }
+
+    /// Coordinator-side merge-on-read: fold every worker slot together
+    /// in worker-index order.
+    fn merged(&self, num_samples: usize) -> TvlaResult {
+        let _span = gm_obs::trace::span("tvla.snapshot");
+        let mut merged = TvlaResult::new(num_samples);
+        for slot in &self.slots {
+            merged.merge(&slot.lock().unwrap());
+        }
+        merged
+    }
+}
+
+/// Cadence (traces) + sink for live convergence streaming.
+type StreamSink<'a> = (u64, &'a mut dyn FnMut(&TvlaResult));
+
+/// Messages workers send the coordinator.
+// Partial dwarfs Progress, but one Partial per worker per chunk makes
+// the indirection of boxing pure overhead.
+#[allow(clippy::large_enum_variant)]
+enum WorkerMsg {
+    /// A finished quota's partial result.
+    Partial(usize, TvlaResult),
+    /// A block-boundary publish crossed the progress cadence target.
+    Progress,
+}
+
 /// Per-worker acquisition workspace: the class-label block, the two
 /// contiguous per-class `BLOCK_TRACES × num_samples` buffers, and the
 /// blocked-moments scratch. Allocated once per worker; the steady-state
@@ -350,7 +442,10 @@ fn draw_labels(rng: &mut SmallRng, n: usize, labels: &mut Vec<Class>) {
 /// traces in label order into the per-class buffers, then fold each class
 /// buffer into `local` with one blocked-moments update per class. Each
 /// block is timed into `tally` (one clock pair per 256 traces; zero cost
-/// under `obs-off`).
+/// under `obs-off`) and reported to `on_block` with the cumulative state
+/// of `local` — the streaming publish hook (a no-op closure on the
+/// non-streaming paths).
+#[allow(clippy::too_many_arguments)]
 fn acquire_quota<S: TraceSource>(
     src: &mut S,
     rng: &mut SmallRng,
@@ -359,9 +454,12 @@ fn acquire_quota<S: TraceSource>(
     bufs: &mut AcquireBufs,
     local: &mut TvlaResult,
     tally: &mut WorkerTally,
+    mut on_block: impl FnMut(u64, &TvlaResult),
 ) {
+    let _quota_span = gm_obs::trace::span("tvla.quota");
     let mut remaining = quota;
     while remaining > 0 {
+        let _block_span = gm_obs::trace::span("tvla.block");
         let n = remaining.min(BLOCK_TRACES as u64) as usize;
         draw_labels(rng, n, &mut bufs.labels);
         let block_timer = Timer::start();
@@ -378,6 +476,7 @@ fn acquire_quota<S: TraceSource>(
             tally.random.add(nr as u64);
         }
         remaining -= n as u64;
+        on_block(n as u64, local);
     }
 }
 
@@ -447,9 +546,68 @@ impl Campaign {
         chunk_ends: &[u64],
         mut checkpoint: impl FnMut(u64, &TvlaResult) -> bool,
     ) -> Option<(TvlaResult, CampaignObs)> {
+        self.run_engine(source, chunk_ends, &mut checkpoint, None)
+    }
+
+    /// Run the whole campaign while streaming live convergence
+    /// snapshots: `on_progress` is invoked with a merged block-boundary
+    /// snapshot roughly every `every` acquired traces, and once more
+    /// with the final result.
+    pub fn run_streamed<S: TraceSource>(
+        &self,
+        source: &S,
+        every: u64,
+        on_progress: impl FnMut(&TvlaResult),
+    ) -> TvlaResult {
+        self.run_streamed_observed(source, every, on_progress).0
+    }
+
+    /// Like [`Campaign::run_streamed`], additionally returning the
+    /// [`CampaignObs`] of the run.
+    ///
+    /// Workers publish their cumulative per-class moments into lock-free
+    /// (`try_lock`, never blocking) per-worker slots at block boundaries;
+    /// the coordinator merges the slots on read whenever the published
+    /// trace count crosses a multiple of `every` — see [`StreamShared`]
+    /// for the ordering contract. Snapshot trace counts are monotone
+    /// non-decreasing across callbacks, and the final callback receives
+    /// the campaign result itself, so the last snapshot is always
+    /// *bit-identical* to what [`Campaign::run_observed`] returns for the
+    /// same configuration. The statistical result is unaffected by
+    /// streaming: trace order and RNG streams are exactly those of the
+    /// non-streamed entry points.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `every` is 0.
+    pub fn run_streamed_observed<S: TraceSource>(
+        &self,
+        source: &S,
+        every: u64,
+        mut on_progress: impl FnMut(&TvlaResult),
+    ) -> (TvlaResult, CampaignObs) {
+        assert!(every > 0, "progress cadence must be positive");
+        self.run_engine(source, &[self.traces], &mut |_, _| true, Some((every, &mut on_progress)))
+            .expect("single chunk provided")
+    }
+
+    /// The shared campaign engine behind the chunked and streamed entry
+    /// points. `stream` carries the progress cadence and sink when live
+    /// convergence streaming is on (single-chunk campaigns only).
+    fn run_engine<S: TraceSource>(
+        &self,
+        source: &S,
+        chunk_ends: &[u64],
+        checkpoint: &mut dyn FnMut(u64, &TvlaResult) -> bool,
+        mut stream: Option<StreamSink<'_>>,
+    ) -> Option<(TvlaResult, CampaignObs)> {
         if chunk_ends.is_empty() {
             return None;
         }
+        debug_assert!(
+            stream.is_none() || chunk_ends.len() == 1,
+            "streaming campaigns run as a single chunk"
+        );
         let wall = Timer::start();
         let threads = self.threads.max(1);
         let num_samples = source.num_samples();
@@ -461,6 +619,11 @@ impl Campaign {
             let mut rng = worker_rng(self.seed, 0);
             let mut bufs = AcquireBufs::new(num_samples);
             let mut tally = WorkerTally::default();
+            // Inline streaming: the caller-thread accumulator *is* the
+            // campaign state, so snapshots come straight from it at
+            // cadence-crossing block boundaries.
+            let mut next_target = stream.as_ref().map(|&(every, _)| every);
+            let mut last_emitted = u64::MAX;
             for &end in chunk_ends {
                 assert!(end > done, "chunk ends must be strictly increasing");
                 acquire_quota(
@@ -471,10 +634,27 @@ impl Campaign {
                     &mut bufs,
                     &mut result,
                     &mut tally,
+                    |_, cumulative| {
+                        if let (Some(target), Some((every, on_progress))) =
+                            (next_target.as_mut(), stream.as_mut())
+                        {
+                            let total = cumulative.total_traces();
+                            if total >= *target {
+                                *target = (total / *every + 1) * *every;
+                                last_emitted = total;
+                                on_progress(cumulative);
+                            }
+                        }
+                    },
                 );
                 done = end;
                 if !checkpoint(done, &result) {
                     break;
+                }
+            }
+            if let Some((_, on_progress)) = stream.as_mut() {
+                if last_emitted != result.total_traces() {
+                    on_progress(&result);
                 }
             }
             let mut obs = CampaignObs {
@@ -487,8 +667,11 @@ impl Campaign {
             return Some((result, obs));
         }
 
+        let stream_shared =
+            stream.as_ref().map(|&(every, _)| StreamShared::new(threads, num_samples, every));
+
         std::thread::scope(|scope| {
-            let (res_tx, res_rx) = mpsc::channel::<(usize, TvlaResult)>();
+            let (res_tx, res_rx) = mpsc::channel::<WorkerMsg>();
             let (obs_tx, obs_rx) = mpsc::channel::<(usize, WorkerObs, Report)>();
             // One persistent worker per thread, fed per-chunk quotas over
             // its own order channel; partial results come back on the
@@ -501,6 +684,7 @@ impl Campaign {
                     let mut rng = worker_rng(self.seed, w);
                     let res_tx = res_tx.clone();
                     let obs_tx = obs_tx.clone();
+                    let shared = stream_shared.as_ref();
                     scope.spawn(move || {
                         let mut bufs = AcquireBufs::new(num_samples);
                         let mut tally = WorkerTally::default();
@@ -519,8 +703,15 @@ impl Campaign {
                                 &mut bufs,
                                 &mut local,
                                 &mut tally,
+                                |block, cumulative| {
+                                    if let Some(shared) = shared {
+                                        if shared.publish(w, block, cumulative) {
+                                            let _ = res_tx.send(WorkerMsg::Progress);
+                                        }
+                                    }
+                                },
                             );
-                            if res_tx.send((w, local)).is_err() {
+                            if res_tx.send(WorkerMsg::Partial(w, local)).is_err() {
                                 break;
                             }
                         }
@@ -535,6 +726,7 @@ impl Campaign {
             drop(obs_tx);
 
             let mut zero_quota = vec![0u64; threads];
+            let mut last_emitted = u64::MAX;
             for &end in chunk_ends {
                 assert!(end > done, "chunk ends must be strictly increasing");
                 let todo = end - done;
@@ -557,17 +749,43 @@ impl Campaign {
                 // by worker index first makes the whole parallel
                 // campaign a pure function of (seed, traces, threads) —
                 // the reproducibility `bench_gate` asserts at scale.
+                // Progress notifications interleave with the partials on
+                // the same channel and are handled here, on the
+                // coordinator thread, by merging the published slots on
+                // read — the acquisition hot path never waits for them.
                 let mut partials: Vec<(usize, TvlaResult)> = Vec::with_capacity(outstanding);
-                for _ in 0..outstanding {
-                    partials.push(res_rx.recv().expect("worker panicked"));
+                while partials.len() < outstanding {
+                    match res_rx.recv().expect("worker panicked") {
+                        WorkerMsg::Partial(w, local) => partials.push((w, local)),
+                        WorkerMsg::Progress => {
+                            if let (Some(shared), Some((_, on_progress))) =
+                                (stream_shared.as_ref(), stream.as_mut())
+                            {
+                                let snapshot = shared.merged(num_samples);
+                                last_emitted = snapshot.total_traces();
+                                on_progress(&snapshot);
+                            }
+                        }
+                    }
                 }
                 partials.sort_by_key(|&(w, _)| w);
-                for (_, partial) in &partials {
-                    result.merge(partial);
+                {
+                    let _span = gm_obs::trace::span("tvla.merge");
+                    for (_, partial) in &partials {
+                        result.merge(partial);
+                    }
                 }
                 done = end;
                 if !checkpoint(done, &result) {
                     break;
+                }
+            }
+            // Final emission from the authoritative chunk-merged result:
+            // the last snapshot a streaming campaign delivers is exactly
+            // the result the campaign returns.
+            if let Some((_, on_progress)) = stream.as_mut() {
+                if last_emitted != result.total_traces() {
+                    on_progress(&result);
                 }
             }
             // Dropping the order channels ends the workers' receive loops;
@@ -836,6 +1054,51 @@ mod tests {
             assert_eq!(zero, 5);
             assert_eq!(obs.worker_balance(), 1.0, "unscheduled workers don't count");
         }
+    }
+
+    /// Sequential streaming: snapshot counts are monotone, cross every
+    /// cadence multiple, and the final snapshot is bit-identical to the
+    /// one-shot campaign result.
+    #[test]
+    fn streamed_sequential_matches_one_shot() {
+        let c = Campaign::sequential(4_000, 23);
+        let mut counts = Vec::new();
+        let mut final_t1 = Vec::new();
+        let r = c.run_streamed(&LeakyToy::new(0.2), 200, |snap| {
+            counts.push(snap.total_traces());
+            if snap.fixed.count() >= 2 && snap.random.count() >= 2 {
+                final_t1 = snap.t1();
+            }
+        });
+        let one_shot = c.run(&LeakyToy::new(0.2));
+        assert!(counts.len() >= 10, "4000 traces / 256-blocks at cadence 200: {counts:?}");
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "monotone counts: {counts:?}");
+        assert_eq!(*counts.last().unwrap(), 4_000);
+        assert_eq!(final_t1, one_shot.t1(), "final snapshot bit-equal to one-shot");
+        assert_eq!(r.t1(), one_shot.t1(), "streaming does not perturb the result");
+    }
+
+    /// Parallel streaming: same contract with merge-on-read snapshots.
+    #[test]
+    fn streamed_parallel_matches_one_shot() {
+        let c = Campaign { traces: 6_000, threads: 4, seed: 29 };
+        let mut counts = Vec::new();
+        let r = c.run_streamed(&LeakyToy::new(0.2), 500, |snap| {
+            counts.push(snap.total_traces());
+        });
+        let one_shot = c.run(&LeakyToy::new(0.2));
+        assert!(!counts.is_empty());
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "monotone counts: {counts:?}");
+        assert_eq!(*counts.last().unwrap(), 6_000, "final snapshot covers every trace");
+        assert_eq!(r.t1(), one_shot.t1(), "streaming does not perturb the result");
+        assert_eq!(r.fixed.count(), one_shot.fixed.count());
+    }
+
+    #[test]
+    #[should_panic(expected = "progress cadence must be positive")]
+    fn zero_cadence_panics() {
+        let c = Campaign::sequential(100, 1);
+        let _ = c.run_streamed(&LeakyToy::new(0.0), 0, |_| {});
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   a flat JSON object. `Report` is *always* compiled (so sink plumbing
 //!   never needs feature gates); only the sources of its numbers
 //!   compile out.
+//! * [`trace`] — a timestamped span-tree recorder (`trace::span`)
+//!   exporting Chrome trace-event JSON; capture is armed explicitly
+//!   (`--trace-out`), so idle span sites cost one relaxed load.
 //!
 //! # The `obs-off` guarantee
 //!
@@ -37,6 +40,7 @@
 pub mod fmt;
 mod metrics;
 mod report;
+pub mod trace;
 
 pub use metrics::{
     bucket_lo, AtomicCounter, Counter, LogHist, Span, Stopwatch, Timer, HIST_BUCKETS,
@@ -70,6 +74,7 @@ mod tests {
             assert_eq!(core::mem::size_of::<LogHist>(), 0);
             assert_eq!(core::mem::size_of::<Stopwatch>(), 0);
             assert_eq!(core::mem::size_of::<Timer>(), 0);
+            assert_eq!(core::mem::size_of::<trace::TraceSpan>(), 0);
         }
 
         #[test]

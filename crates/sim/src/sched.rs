@@ -144,9 +144,11 @@ impl RepairQueue {
             return 0;
         }
         let span = stats.fallback_ns.span();
+        let repair_span = gm_obs::trace::span("sched.repair");
         for &t in &self.tickets {
             repair(t);
         }
+        drop(repair_span);
         drop(span);
         let n = self.tickets.len();
         stats.repair_drains.inc();
@@ -585,6 +587,7 @@ impl SchedRunner {
         assert_eq!(stim_values.len(), sched.num_stims);
         self.ensure_capacity(sched, graph);
         let span = self.stats.pass_ns.span();
+        let _sweep_span = gm_obs::trace::span("sched.sweep");
         let lane_mask = if seeds.len() == LANES { !0u64 } else { (1u64 << seeds.len()) - 1 };
         for (l, &s) in seeds.iter().enumerate() {
             self.salts[l] = s ^ JITTER_SALT_XOR;
@@ -784,7 +787,10 @@ impl SchedRunner {
                             j += 1;
                         }
                     }
-                    delays.sample_event_tile(gid, nt as usize, &mut self.tile);
+                    {
+                        let _jitter_span = gm_obs::trace::span("sched.jitter");
+                        delays.sample_event_tile(gid, nt as usize, &mut self.tile);
+                    }
                     batched_draws += nt as u64;
                     let gls = &mut self.glanes[gl..gl + LANES];
                     for (&lb, &d) in lanes[..nt as usize].iter().zip(&self.tile.d) {
