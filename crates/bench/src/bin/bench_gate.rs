@@ -32,11 +32,10 @@ fn main() {
     let args = Args::parse();
     let mut metrics = MetricsSink::from_args("bench_gate", &args);
     let traces = args.trace_count(5_000, 200_000);
-    // Default to the machine's actual parallelism: oversubscribing a
-    // small box with idle workers only adds context-switch overhead to
-    // the measurement.
-    let threads =
-        args.threads.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    // Default to the machine's actual parallelism (the shared campaign
+    // bench default, same as bench_tvla): oversubscribing a small box
+    // with idle workers only adds context-switch overhead.
+    let threads = args.thread_count();
     let label = args.label.clone().unwrap_or_else(|| "unlabelled".to_owned());
 
     // --- fig15-gate placement campaign (the throughput number) ---------

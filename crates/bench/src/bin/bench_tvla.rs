@@ -1,14 +1,20 @@
 //! Campaign-throughput harness: times a fig14-style TVLA campaign
-//! (cycle-model backend, secAND2-FF core, PRNG on) on **both** the
-//! scalar reference and the 64-way bitsliced engine, appends one record
-//! per backend to `BENCH_tvla.json`, and checks the two agree on
-//! `max_abs_t1` — so the speedup trajectory and the
+//! (cycle-model backend, secAND2-FF core, PRNG on) on the scalar
+//! reference, the 64-way bitsliced engine with the pinned scalar
+//! statistics tail (`GM_MOMENTS_WIDE=0`), and the lane-major statistics
+//! kernel (`GM_MOMENTS_WIDE=1`, the default) — appending one record per
+//! configuration to `BENCH_tvla.json` and asserting all three agree on
+//! `max|t1|` and `max|t2|` to 1e-9. The speedup trajectory and the
 //! conclusions-unchanged evidence live in the same file.
 //!
 //! ```text
 //! cargo run --release -p gm-bench --bin bench_tvla -- \
-//!     --traces 100000 --threads 8 --label bitsliced
+//!     --traces 100000 --threads 8 --label lane-moments
 //! ```
+//!
+//! `--threads` defaults to every available core (the same default
+//! `bench_gate` uses — see [`Args::thread_count`]); the count actually
+//! used is recorded on every row.
 //!
 //! The JSON file is a flat array of run records; this binary appends
 //! without disturbing earlier entries. A smoke-scale overhead check
@@ -19,7 +25,7 @@ use gm_bench::metrics::assert_metrics_overhead;
 use gm_bench::record::{append_record, BenchRecord};
 use gm_bench::{Args, MetricsSink};
 use gm_des::tvla_src::{AnyCycleSource, CoreVariant, SourceConfig};
-use gm_leakage::Campaign;
+use gm_leakage::{set_moments_wide, Campaign};
 use std::time::Instant;
 
 const BENCH_FILE: &str = "BENCH_tvla.json";
@@ -28,7 +34,7 @@ fn main() {
     let args = Args::parse();
     let mut metrics = MetricsSink::from_args("bench_tvla", &args);
     let traces = args.trace_count(10_000, 100_000);
-    let threads = args.threads.unwrap_or(8);
+    let threads = args.thread_count();
     let label = args.label.clone().unwrap_or_else(|| "unlabelled".to_owned());
 
     let mut cfg = SourceConfig::new(CoreVariant::Ff);
@@ -36,10 +42,13 @@ fn main() {
     let campaign = Campaign { traces, threads, seed: args.seed };
 
     println!("bench_tvla: fig14-style campaign, {traces} traces, {threads} threads");
-    let mut measured: Vec<(&'static str, f64, f64)> = Vec::new();
-    for scalar in [true, false] {
+    // (backend row name, scalar engine?, lane-major moments tail?)
+    let configs: [(&str, bool, bool); 3] =
+        [("scalar", true, false), ("bitsliced", false, false), ("bitsliced-wide", false, true)];
+    let mut measured: Vec<(&'static str, f64, f64, f64)> = Vec::new();
+    for (backend, scalar, wide) in configs {
+        set_moments_wide(wide);
         let src = AnyCycleSource::new(cfg.clone(), scalar);
-        let backend = src.backend_name();
         // Untimed warm-up, then best of three identical passes: the
         // campaign is deterministic, so passes differ only by scheduler
         // noise and the fastest is the cleanest throughput estimate.
@@ -59,23 +68,34 @@ fn main() {
         }
         let tps = traces as f64 / seconds;
         let max_t1 = result.max_abs_t(1);
-        println!("  {backend:>9}: {seconds:.3} s -> {tps:.0} traces/s  (max|t1| = {max_t1:.2})");
+        let max_t2 = result.max_abs_t(2);
+        println!("  {backend:>14}: {seconds:.3} s -> {tps:.0} traces/s  (max|t1| = {max_t1:.2})");
 
         let record = BenchRecord::new(&label, "fig14-ff-cycle-model", traces, threads, seconds)
             .with("backend", format!("\"{backend}\""))
-            .with_f64("max_abs_t1", max_t1);
+            .with_f64("max_abs_t1", max_t1)
+            .with_f64("max_abs_t2", max_t2);
         append_record(BENCH_FILE, &record.to_json()).expect("write BENCH_tvla.json");
-        measured.push((backend, tps, max_t1));
+        measured.push((backend, tps, max_t1, max_t2));
     }
+    set_moments_wide(true);
 
-    let (_, tps_s, t1_s) = measured[0];
-    let (_, tps_b, t1_b) = measured[1];
-    assert!(
-        (t1_s - t1_b).abs() < 1e-9,
-        "backends disagree on max|t1|: scalar {t1_s} vs bitsliced {t1_b}"
-    );
-    println!("  bitsliced/scalar speedup: {:.1}x  (max|t1| identical)", tps_b / tps_s);
-    println!("  recorded as \"{label}\" (both backends) in {BENCH_FILE}");
+    let (_, tps_s, t1_s, t2_s) = measured[0];
+    for &(backend, _, t1, t2) in &measured[1..] {
+        assert!(
+            (t1_s - t1).abs() < 1e-9,
+            "backends disagree on max|t1|: scalar {t1_s} vs {backend} {t1}"
+        );
+        assert!(
+            (t2_s - t2).abs() < 1e-9,
+            "backends disagree on max|t2|: scalar {t2_s} vs {backend} {t2}"
+        );
+    }
+    let (_, tps_b, ..) = measured[1];
+    let (_, tps_w, ..) = measured[2];
+    println!("  bitsliced/scalar speedup: {:.1}x  (max|t1|, max|t2| agree to 1e-9)", tps_b / tps_s);
+    println!("  lane-major/bitsliced speedup: {:.1}x", tps_w / tps_b);
+    println!("  recorded as \"{label}\" (all three configurations) in {BENCH_FILE}");
 
     // Observability guarantee: metrics collection on a smoke-scale
     // campaign stays under 2% of throughput.

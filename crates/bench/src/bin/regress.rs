@@ -249,6 +249,40 @@ mod tests {
         assert!(verdict.contains("baseline \"a\""), "{verdict}");
     }
 
+    /// BENCH_tvla-shaped rows: the lane-major statistics kernel starts a
+    /// new `bitsliced-wide` backend series. Its first row has no
+    /// comparable baseline — the pinned-tail rows differ in backend and
+    /// the historical rows in thread count — so it passes vacuously;
+    /// from the second comparable row on, the series gates itself on
+    /// both throughput and the max|t1| conclusion.
+    #[test]
+    fn tvla_new_backend_series_gates_itself_only() {
+        let tvla = |label: &str, backend: &str, threads: usize, seconds: f64, t1: f64| {
+            let mut r = BenchRecord::new(label, "fig14-ff-cycle-model", 100_000, threads, seconds);
+            r.git_rev = "test".to_owned();
+            r.with("backend", format!("\"{backend}\"")).with_f64("max_abs_t1", t1)
+        };
+        let rows = vec![
+            tvla("bitsliced", "bitsliced", 8, 0.313, 2.587),
+            tvla("lane-moments", "scalar", 1, 3.0, 2.587),
+            tvla("lane-moments", "bitsliced", 1, 0.40, 2.587),
+            tvla("lane-moments", "bitsliced-wide", 1, 0.30, 2.587),
+        ];
+        assert!(gate(&rows, 30.0).unwrap().contains("no comparable baseline"));
+
+        let mut grown = rows.clone();
+        grown.push(tvla("next", "bitsliced-wide", 1, 0.31, 2.6));
+        gate(&grown, 30.0).expect("3% drift within bound");
+        grown.push(tvla("slow", "bitsliced-wide", 1, 3.0, 2.6));
+        let err = gate(&grown, 30.0).unwrap_err();
+        assert!(err.contains("throughput regression"), "{err}");
+
+        let mut flipped = rows;
+        flipped.push(tvla("flip", "bitsliced-wide", 1, 0.30, 9.9));
+        let err = gate(&flipped, 30.0).unwrap_err();
+        assert!(err.contains("conclusion flip") && err.contains("max_abs_t1"), "{err}");
+    }
+
     #[test]
     fn injected_rows_trip_the_gate() {
         let base = row("good", 0.05, 1.5);

@@ -79,6 +79,39 @@ impl MaskRng {
         b
     }
 
+    /// `n ≤ 64` bits from the **buffered** [`MaskRng::bit`] stream,
+    /// packed low-to-high in draw order: bit `k` of the result equals
+    /// the `k`-th of `n` successive [`MaskRng::bit`] calls, and the
+    /// buffer state afterwards is identical. The bitsliced engines pull
+    /// each lane's per-round refresh pool through this in word-sized
+    /// gulps instead of hundreds of single-bit calls.
+    pub fn bits_buffered(&mut self, n: u32) -> u64 {
+        assert!(n <= 64, "at most 64 bits at a time");
+        if !self.enabled {
+            return 0;
+        }
+        let mut out = 0u64;
+        let mut got = 0u32;
+        while got < n {
+            if self.bits_left == 0 {
+                self.words.inc();
+                self.bit_buf = self.rng.random();
+                self.bits_left = 64;
+            }
+            let take = (n - got).min(self.bits_left);
+            if take == 64 {
+                out = self.bit_buf;
+                self.bit_buf = 0;
+            } else {
+                out |= (self.bit_buf & ((1u64 << take) - 1)) << got;
+                self.bit_buf >>= take;
+            }
+            self.bits_left -= take;
+            got += take;
+        }
+        out
+    }
+
     /// `n ≤ 64` random bits in the low positions.
     ///
     /// Always draws a fresh PRNG word; the [`MaskRng::bit`] buffer is
@@ -152,6 +185,27 @@ mod tests {
     #[should_panic(expected = "at most 64")]
     fn too_many_bits_panics() {
         MaskRng::new(0).bits(65);
+    }
+
+    /// `bits_buffered` serves the exact [`MaskRng::bit`] stream: same
+    /// values LSB-first, same buffer state afterwards, across refills
+    /// and interleaved with fresh-word `bits` draws.
+    #[test]
+    fn bits_buffered_matches_bit_stream() {
+        let mut a = MaskRng::new(31337);
+        let mut b = MaskRng::new(31337);
+        for round in 0..40u32 {
+            let n = [64u32, 32, 1, 17, 63, 5, 64, 40][round as usize % 8];
+            let mut want = 0u64;
+            for k in 0..n {
+                want |= u64::from(a.bit()) << k;
+            }
+            assert_eq!(b.bits_buffered(n), want, "round {round}, n {n}");
+            assert_eq!(a.bits(7), b.bits(7), "fresh-word draws stay in lockstep");
+        }
+        assert_eq!(a.bits_buffered(0), 0);
+        let mut d = MaskRng::disabled();
+        assert_eq!(d.bits_buffered(64), 0, "disabled mode stays all-zero");
     }
 
     #[cfg(not(feature = "obs-off"))]

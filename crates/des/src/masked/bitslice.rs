@@ -30,7 +30,7 @@ use crate::sbox::mini::TEN_PRODUCTS;
 use crate::tables::{E, FP, IP, P, PC1, PC2, SHIFTS};
 use gm_core::bitslice::{lanes_to_bits, sec_and2_lanes, splat, LaneBit};
 use gm_core::MaskRng;
-use gm_netlist::bitslice::SegLaneCounter;
+use gm_netlist::bitslice::{transpose64, SegLaneCounter};
 
 /// Apply a 1-based-from-MSB DES permutation table as an index remap.
 ///
@@ -46,18 +46,15 @@ fn rot28(v: &[LaneBit; 28], by: usize) -> [LaneBit; 28] {
     std::array::from_fn(|i| v[(i + 28 - by) % 28])
 }
 
-/// Push the share-wise Hamming weight of a word (one push per share bit).
+/// Push the share-wise Hamming weight of a word (one toggle word per
+/// share bit, batched through [`SegLaneCounter::extend`]).
 fn push_hw(c: &mut SegLaneCounter, w: &[LaneBit]) {
-    for b in w {
-        c.push2(b.s0, b.s1);
-    }
+    c.extend(w.iter().flat_map(|b| [b.s0, b.s1]));
 }
 
 /// Push the share-wise Hamming distance between two words.
 fn push_hd(c: &mut SegLaneCounter, a: &[LaneBit], b: &[LaneBit]) {
-    for (x, y) in a.iter().zip(b) {
-        c.push2(x.s0 ^ y.s0, x.s1 ^ y.s1);
-    }
+    c.extend(a.iter().zip(b).flat_map(|(x, y)| [x.s0 ^ y.s0, x.s1 ^ y.s1]));
 }
 
 /// Record one `secAND2` evaluation's glitch/coupling exposure (the PD
@@ -236,14 +233,32 @@ impl GroupRandomness {
     /// in the same per-lane order. Inactive lanes stay all-zero.
     fn draw(rng: &mut MaskRng, active: usize, refresh_enabled: bool) -> Self {
         let mut g = GroupRandomness { km: [0; 64], ptm: [0; 64], pools: [[0; 14]; 16] };
+        // 16 rounds × 14 = 224 refresh bits per lane, pulled from the
+        // buffered bit stream in word gulps (same values the scalar
+        // cores' 224 single `bit()` calls would see) into lane-major
+        // chunk words, then lane-transposed once per 64 stream
+        // positions. `pools[round][k]` bit ℓ is lane ℓ's stream bit
+        // `q = 14·round + k`, i.e. bit `q % 64` of chunk `q / 64`.
+        let mut chunks = [[0u64; 64]; 4];
         for lane in 0..active {
             g.km[lane] = rng.bits(64);
             g.ptm[lane] = rng.bits(64);
             if refresh_enabled {
-                for round in 0..16 {
-                    for k in 0..14 {
-                        g.pools[round][k] |= u64::from(rng.bit()) << lane;
-                    }
+                let mut left = 16 * 14u32;
+                for chunk in chunks.iter_mut() {
+                    chunk[lane] = rng.bits_buffered(left.min(64));
+                    left = left.saturating_sub(64);
+                }
+            }
+        }
+        if refresh_enabled {
+            for chunk in chunks.iter_mut() {
+                transpose64(chunk);
+            }
+            for (round, pool) in g.pools.iter_mut().enumerate() {
+                for (k, w) in pool.iter_mut().enumerate() {
+                    let q = 14 * round + k;
+                    *w = chunks[q / 64][q % 64];
                 }
             }
         }
@@ -352,11 +367,9 @@ impl BitslicedDes {
 
             // Cycle 2: AND stage layer 2 + MUX stage-1 register.
             for (s, t) in traces.iter().enumerate() {
-                for (j, b) in t.sel.iter().enumerate() {
-                    let old = &mut sel_regs[4 * s + j];
-                    counters.reg.push2(old.s0 ^ b.s0, old.s1 ^ b.s1);
-                    *old = *b;
-                }
+                let old = &mut sel_regs[4 * s..4 * s + 4];
+                push_hd(&mut counters.reg, old, &t.sel);
+                old.copy_from_slice(&t.sel);
                 push_hw(&mut counters.comb, &t.products[6..10]);
             }
             counters.end_cycle();
@@ -454,12 +467,14 @@ impl BitslicedDes {
                 Some((&mut counters.glitch, &mut counters.coupling)),
             );
             for (s, t) in traces.iter().enumerate() {
+                let old = &mut mid_prev[20 * s..20 * s + 20];
                 let mids = t.sel.iter().chain(t.mini_out.iter().flatten());
-                for (j, b) in mids.enumerate() {
-                    let old = &mut mid_prev[20 * s + j];
-                    counters.reg.push2(old.s0 ^ b.s0, old.s1 ^ b.s1);
-                    counters.comb.push2(b.s0, b.s1);
-                    *old = *b;
+                counters.reg.extend(
+                    old.iter().zip(mids.clone()).flat_map(|(o, b)| [o.s0 ^ b.s0, o.s1 ^ b.s1]),
+                );
+                counters.comb.extend(mids.clone().flat_map(|b| [b.s0, b.s1]));
+                for (o, b) in old.iter_mut().zip(mids) {
+                    *o = *b;
                 }
                 push_hw(&mut counters.comb, &t.products);
             }

@@ -222,6 +222,144 @@ impl PowerModel {
             *o = self.measurement.sample(p);
         }
     }
+
+    /// Convert one ≤64-lane group's finished counters into per-lane power
+    /// traces without ever building [`CycleRecord`]s — the lane-major tail
+    /// of the bitsliced TVLA pipeline (DESIGN.md §2.13).
+    ///
+    /// Stage 1 computes the deterministic base energies for all 64 lanes
+    /// at once, straight off the sample-major count planes (one
+    /// contiguous, autovectorised sweep — the bit-plane popcounts are
+    /// already done inside [`SegLaneCounter`]). Stage 2 prefills one
+    /// measurement-noise tile for the whole group with a single bulk
+    /// ziggurat fill. Stage 3 finishes each of the first `lanes` lanes in
+    /// label order and hands the trace to `emit(lane, trace)`.
+    ///
+    /// Bit-identical to `lanes` successive [`Self::lane_into`] +
+    /// [`Self::trace_into`] calls on the same counters: every per-sample
+    /// arithmetic expression is unchanged, and both RNG streams (the
+    /// measurement ziggurat and the glitch binomial) are consumed in the
+    /// same (lane, sample) order the scalar demux uses. The callers'
+    /// golden-trace and campaign-identity tests pin this.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lanes > 64`.
+    pub fn trace_group_into(
+        &mut self,
+        counters: &mut CycleLaneCounters,
+        lanes: usize,
+        scratch: &mut GroupScratch,
+        mut emit: impl FnMut(usize, &[f64]),
+    ) {
+        assert!(lanes <= LANES, "a bitsliced group has at most {LANES} lanes");
+        let n = counters.num_cycles();
+        let reg = counters.reg.finish();
+        let comb = counters.comb.finish();
+        let glitch = counters.glitch.finish();
+        let coupling = counters.coupling.finish();
+
+        // Stage 1: base energies for the full 64-lane width, sample-major
+        // (`energy[cycle * LANES + lane]`). Idle lanes compute values that
+        // are never read; the branch-free full-width loop vectorises.
+        if scratch.energy.len() != n * LANES {
+            scratch.energy.resize(n * LANES, 0.0);
+        }
+        let (rw, cw) = (self.reg_weight, self.comb_weight);
+        for ((e, &r), &c) in scratch.energy.iter_mut().zip(reg).zip(comb) {
+            *e = rw * f64::from(r) + cw * f64::from(c);
+        }
+
+        // Stage 2: one noise tile per group, lane-major
+        // (`noise[lane * n + cycle]`) — exactly the (lane, sample) order
+        // the per-lane scalar chain draws the ziggurat stream in.
+        let sigma = self.measurement.noise_sigma;
+        if sigma > 0.0 {
+            if scratch.noise.len() != lanes * n {
+                scratch.noise.resize(lanes * n, 0.0);
+            }
+            self.measurement.fill_gauss(&mut scratch.noise[..lanes * n]);
+        }
+
+        // Stage 3a: 8×8-blocked transpose of the base energies to
+        // lane-major rows (`et[lane * n + cycle]`). The finishing loops
+        // below then stream unit-stride — the 512-byte column stride of
+        // the sample-major planes defeated vectorisation and burned one
+        // cache line per sample per lane.
+        if scratch.et.len() != n * LANES {
+            scratch.et.resize(n * LANES, 0.0);
+        }
+        let full = n - n % 8;
+        for cb in (0..full).step_by(8) {
+            for lb in (0..LANES).step_by(8) {
+                for c in cb..cb + 8 {
+                    for l in lb..lb + 8 {
+                        scratch.et[l * n + c] = scratch.energy[c * LANES + l];
+                    }
+                }
+            }
+        }
+        for c in full..n {
+            for l in 0..LANES {
+                scratch.et[l * n + c] = scratch.energy[c * LANES + l];
+            }
+        }
+
+        // Stage 3b: per-lane finish in label order, in place over each
+        // lane's `et` row. The glitch binomial stays serial here — it
+        // consumes a data-dependent number of RNG words — but it runs on
+        // count planes directly, no records; the FF combine is a pure
+        // element-wise sweep over two unit-stride rows and vectorises.
+        let gain = self.measurement.gain;
+        let fs = self.measurement.full_scale();
+        for l in 0..lanes {
+            let row = &mut scratch.et[l * n..][..n];
+            let noise_row: &[f64] = if sigma > 0.0 { &scratch.noise[l * n..][..n] } else { &[] };
+            if let Some(pd) = self.pd {
+                for (c, e) in row.iter_mut().enumerate() {
+                    let mut p = *e;
+                    if pd.order_violation_prob > 0.0 {
+                        let violated =
+                            binomial(&mut self.rng, glitch[c * LANES + l], pd.order_violation_prob);
+                        p += pd.glitch_gain * f64::from(violated);
+                    }
+                    p += pd.coupling_eps * f64::from(coupling[c * LANES + l]);
+                    let mut v = p * gain;
+                    if sigma > 0.0 {
+                        v += noise_row[c] * sigma;
+                    }
+                    *e = v.round().clamp(-fs, fs - 1.0);
+                }
+            } else if sigma > 0.0 {
+                for (e, &z) in row.iter_mut().zip(noise_row) {
+                    let v = *e * gain + z * sigma;
+                    *e = v.round().clamp(-fs, fs - 1.0);
+                }
+            } else {
+                for e in row.iter_mut() {
+                    *e = (*e * gain).round().clamp(-fs, fs - 1.0);
+                }
+            }
+            emit(l, row);
+        }
+    }
+}
+
+/// Reusable workspace for [`PowerModel::trace_group_into`]: the group's
+/// sample-major base energies, their lane-major transpose (finished in
+/// place into the emitted traces), and the lane-major noise tile.
+#[derive(Debug, Default)]
+pub struct GroupScratch {
+    energy: Vec<f64>,
+    et: Vec<f64>,
+    noise: Vec<f64>,
+}
+
+impl GroupScratch {
+    /// An empty workspace; buffers size themselves on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Popcount-based per-cycle activity accumulator for the 64-lane
@@ -247,8 +385,15 @@ pub struct CycleLaneCounters {
     pub glitch: SegLaneCounter,
     /// Coupling-exposure words: bit `ℓ` = the gadget's unshared *x*.
     pub coupling: SegLaneCounter,
+    /// When set, [`Self::finish`] reduces the four count planes but skips
+    /// materialising [`CycleRecord`]s — the lane-major pipeline reads the
+    /// sample-major planes directly via [`PowerModel::trace_group_into`],
+    /// so the 64-lane record transpose (~117 KB per group on the FF core)
+    /// is pure waste there. Default `false` keeps the scalar demux path
+    /// unchanged; [`Self::lane_into`] asserts the records exist.
+    pub skip_records: bool,
     /// Lane-major records: `records[lane * num_cycles + cycle]`, valid
-    /// after [`Self::finish`].
+    /// after [`Self::finish`] (unless [`Self::skip_records`]).
     records: Vec<CycleRecord>,
     cycles: usize,
 }
@@ -288,6 +433,11 @@ impl CycleLaneCounters {
         let comb = self.comb.finish();
         let glitch = self.glitch.finish();
         let coupling = self.coupling.finish();
+        if self.skip_records {
+            // The count planes above are reduced and stay readable
+            // through the public counter fields; nothing else to do.
+            return;
+        }
         if self.records.len() != n * LANES {
             self.records.resize(n * LANES, CycleRecord::default());
         }
@@ -317,6 +467,7 @@ impl CycleLaneCounters {
     /// [`PowerModel::trace_into`].
     pub fn lane_into(&self, lane: usize, out: &mut Vec<CycleRecord>) {
         assert!(lane < LANES);
+        assert!(!self.skip_records, "records were skipped; lane demux unavailable");
         out.clear();
         out.extend_from_slice(&self.records[lane * self.cycles..][..self.cycles]);
     }
@@ -439,6 +590,81 @@ mod tests {
             assert!((var / want_var - 1.0).abs() < 0.1, "p={p}: var {var} vs {want_var}");
             assert!(xs.iter().all(|&x| (0.0..=f64::from(n)).contains(&x)));
         }
+    }
+
+    /// Push a deterministic multi-cycle activity pattern into counters.
+    fn synthetic_counters() -> CycleLaneCounters {
+        let mut c = CycleLaneCounters::new();
+        let mut word = 0x9e37_79b9_7f4a_7c15u64;
+        for cycle in 0..7 {
+            for _ in 0..(3 + cycle % 4) {
+                word = word.rotate_left(13) ^ 0xa076_1d64_78bd_642f;
+                c.reg.push(word);
+                c.comb.push(word.rotate_right(7));
+                c.glitch.push(word & 0x00ff_00ff_00ff_00ff);
+                c.coupling.push(word >> 1);
+            }
+            c.end_cycle();
+        }
+        c.finish();
+        c
+    }
+
+    /// The lane-major group path must be BIT-identical to the per-lane
+    /// record demux + scalar trace chain, for both cores, with noise.
+    #[test]
+    fn trace_group_into_bit_identical_to_lane_demux() {
+        let models: [fn() -> PowerModel; 2] = [
+            || PowerModel::ff(3.0, 42),
+            || {
+                PowerModel::pd(
+                    PdLeakModel {
+                        order_violation_prob: 0.4,
+                        glitch_gain: 6.0,
+                        coupling_eps: 0.048,
+                    },
+                    3.0,
+                    42,
+                )
+            },
+        ];
+        for (mi, make) in models.iter().enumerate() {
+            for lanes in [1usize, 5, 64] {
+                let mut counters = synthetic_counters();
+                let n = counters.num_cycles();
+
+                let mut scalar = make();
+                let mut records = Vec::new();
+                let mut want = vec![0.0; lanes * n];
+                for l in 0..lanes {
+                    counters.lane_into(l, &mut records);
+                    scalar.trace_into(&records, &mut want[l * n..][..n]);
+                }
+
+                let mut wide = make();
+                let mut scratch = GroupScratch::new();
+                let mut got = vec![0.0; lanes * n];
+                wide.trace_group_into(&mut counters, lanes, &mut scratch, |l, trace| {
+                    got[l * n..][..n].copy_from_slice(trace);
+                });
+                assert_eq!(got, want, "model {mi}, {lanes} lanes");
+            }
+        }
+    }
+
+    /// `skip_records` keeps the count planes valid (the wide path reads
+    /// them) but makes the record demux unavailable.
+    #[test]
+    #[should_panic(expected = "records were skipped")]
+    fn skip_records_blocks_lane_demux() {
+        let mut c = CycleLaneCounters::new();
+        c.skip_records = true;
+        c.reg.push(1);
+        c.end_cycle();
+        c.finish();
+        assert_eq!(c.num_cycles(), 1);
+        let mut lane = Vec::new();
+        c.lane_into(0, &mut lane);
     }
 
     #[test]

@@ -49,6 +49,72 @@ fn zig_tables() -> &'static ZigTables {
     })
 }
 
+/// A word source that serves a prefetched run of raw PRNG output before
+/// falling through to the live generator.
+///
+/// The xoshiro step is a short serial dependency chain; interleaved with
+/// the ziggurat transform, every draw stalls on the previous state
+/// update. Prefetching one word per output sample in a tight loop lets
+/// that chain retire back-to-back, and the transform loop then reads
+/// words with no cross-iteration dependency. Each ziggurat sample
+/// consumes **at least** one word, so a prefetch of `out.len()` words
+/// never outlives its fill call: rejections simply overflow to the live
+/// generator, whose state already sits past the prefetched run — the
+/// consumed stream is position-for-position the sequential one.
+struct BufferedWords<'a> {
+    buf: &'a [u64],
+    pos: usize,
+    rng: &'a mut SmallRng,
+}
+
+impl RngCore for BufferedWords<'_> {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        match self.buf.get(self.pos) {
+            Some(&w) => {
+                self.pos += 1;
+                w
+            }
+            None => self.rng.next_u64(),
+        }
+    }
+}
+
+/// Ziggurat core, generic over the RNG borrow so the hoisted-table bulk
+/// fill and the one-shot path share one implementation. See
+/// [`MeasurementModel::gauss`] for the algorithm notes.
+fn gauss_with<R: RngCore>(rng: &mut R, t: &ZigTables) -> f64 {
+    loop {
+        let bits = rng.next_u64();
+        let i = (bits & 0xff) as usize;
+        // 53-bit uniform in [-1, 1) from the non-layer bits.
+        let u = ((bits >> 11) as f64) * (2.0 / 9_007_199_254_740_992.0) - 1.0;
+        let x = u * t.x[i];
+        if x.abs() < t.x[i + 1] {
+            return x;
+        }
+        if i == 0 {
+            // Tail beyond R: Marsaglia's exponential-majorant draw.
+            loop {
+                let a = rng.random::<f64>().max(f64::MIN_POSITIVE).ln() / ZIG_R;
+                let b = rng.random::<f64>().max(f64::MIN_POSITIVE).ln();
+                if -2.0 * b >= a * a {
+                    return if u < 0.0 { a - ZIG_R } else { ZIG_R - a };
+                }
+            }
+        }
+        // Wedge: accept under the true density.
+        if t.f[i + 1] + (t.f[i] - t.f[i + 1]) * rng.random::<f64>() < (-0.5 * x * x).exp() {
+            return x;
+        }
+    }
+}
+
 /// Measurement chain applied to an ideal power trace.
 #[derive(Debug, Clone)]
 pub struct MeasurementModel {
@@ -82,30 +148,29 @@ impl MeasurementModel {
     /// rejections (the remaining ~1%) touch `exp`/`ln`. The sampled
     /// distribution is exactly N(0,1) either way.
     fn gauss(&mut self) -> f64 {
+        gauss_with(&mut self.rng, zig_tables())
+    }
+
+    /// Fill `out` with standard-normal draws — the bulk form of the
+    /// per-sample ziggurat, consuming the noise RNG stream in element
+    /// order. `out[j]` is bit-identical to the `j`-th sequential
+    /// `gauss()` on the same state; the lane-major trace sources prefill
+    /// one tile per 64-trace group with this so the noise stage runs
+    /// once per group instead of once per sample call.
+    pub fn fill_gauss(&mut self, out: &mut [f64]) {
         let t = zig_tables();
-        loop {
-            let bits = self.rng.next_u64();
-            let i = (bits & 0xff) as usize;
-            // 53-bit uniform in [-1, 1) from the non-layer bits.
-            let u = ((bits >> 11) as f64) * (2.0 / 9_007_199_254_740_992.0) - 1.0;
-            let x = u * t.x[i];
-            if x.abs() < t.x[i + 1] {
-                return x;
+        // Prefetch one raw word per sample per chunk (see
+        // [`BufferedWords`]); values and stream order are untouched.
+        const CHUNK: usize = 1024;
+        let mut words = [0u64; CHUNK];
+        for block in out.chunks_mut(CHUNK) {
+            let prefetched = &mut words[..block.len()];
+            for w in prefetched.iter_mut() {
+                *w = self.rng.next_u64();
             }
-            if i == 0 {
-                // Tail beyond R: Marsaglia's exponential-majorant draw.
-                loop {
-                    let a = self.rng.random::<f64>().max(f64::MIN_POSITIVE).ln() / ZIG_R;
-                    let b = self.rng.random::<f64>().max(f64::MIN_POSITIVE).ln();
-                    if -2.0 * b >= a * a {
-                        return if u < 0.0 { a - ZIG_R } else { ZIG_R - a };
-                    }
-                }
-            }
-            // Wedge: accept under the true density.
-            if t.f[i + 1] + (t.f[i] - t.f[i + 1]) * self.rng.random::<f64>() < (-0.5 * x * x).exp()
-            {
-                return x;
+            let mut src = BufferedWords { buf: prefetched, pos: 0, rng: &mut self.rng };
+            for o in block {
+                *o = gauss_with(&mut src, t);
             }
         }
     }
@@ -228,6 +293,25 @@ mod tests {
             assert_eq!(got, want, "sample_into, wide={wide}");
         }
         set_wide_jitter(true);
+    }
+
+    /// The bulk fill must be the same RNG stream as sequential draws.
+    #[test]
+    fn fill_gauss_matches_sequential_draws() {
+        let mut seq = MeasurementModel::new(1.0, 1.0, 12, 123);
+        let want: Vec<f64> = (0..1000).map(|_| seq.gauss()).collect();
+        let mut bulk = MeasurementModel::new(1.0, 1.0, 12, 123);
+        let mut got = vec![0.0; 1000];
+        bulk.fill_gauss(&mut got);
+        assert_eq!(got, want);
+        // Split fills continue the stream exactly.
+        let mut split = MeasurementModel::new(1.0, 1.0, 12, 123);
+        let mut head = vec![0.0; 300];
+        let mut tail = vec![0.0; 700];
+        split.fill_gauss(&mut head);
+        split.fill_gauss(&mut tail);
+        head.extend_from_slice(&tail);
+        assert_eq!(head, want);
     }
 
     #[test]
